@@ -1,0 +1,98 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation disables one IMME mechanism and re-runs the Fig-5 workload,
+verifying the mechanism actually carries its weight:
+
+* **proactive swapping** (§III-C4) — without it, reactive replacement does
+  all the work and latency-sensitive tasks see more disturbance;
+* **page pinning** (Fig. 4) — without pinning, LAT/SHL pages become
+  eviction candidates;
+* **shared-CXL image staging** (§III-C5) — without it, startup pays the
+  network pull storm.
+"""
+
+import pytest
+
+from repro.core.manager import TieredMemoryManager
+from repro.core.movement import MovementConfig
+from repro.envs.environments import EnvKind
+from repro.experiments.common import build_env, colocated_mix, run_and_collect
+from repro.experiments.fig05_exec_time import DEFAULT_MIX
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return colocated_mix(dict(DEFAULT_MIX))
+
+
+def run_imme(specs, policy_factory=None):
+    env = build_env(
+        EnvKind.IMME, specs, dram_fraction=0.25, policy_factory=policy_factory
+    )
+    return run_and_collect(env, specs), env
+
+
+def test_ablation_no_proactive_swap(benchmark, workload):
+    """Disabling proactive swapping must not *help* (and typically hurts
+    the latency-sensitive class via reactive-eviction disturbance)."""
+
+    def run():
+        no_proactive = MovementConfig(proactive_threshold=1.0, proactive_target=1.0)
+        base, _ = run_imme(workload)
+        ablated, env = run_imme(
+            workload,
+            policy_factory=lambda s: TieredMemoryManager(s, movement_config=no_proactive),
+        )
+        return base, ablated, env
+
+    base, ablated, env = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nproactive-swap ablation: DM {base.mean_execution_time('DM'):.2f}s -> "
+        f"{ablated.mean_execution_time('DM'):.2f}s without proactive swapping"
+    )
+    assert ablated.mean_execution_time("DM") >= base.mean_execution_time("DM") * 0.99
+    # without the proactive path nothing populates the page cache
+    assert env.node_traffic()["page_cache_inserts"] == 0
+
+
+def test_ablation_no_pinning(benchmark, workload):
+    """pin_fraction=0 removes the guaranteed LAT/SHL slice; the protected
+    class must not get faster without it."""
+
+    def run():
+        base, _ = run_imme(workload)
+        ablated, _ = run_imme(
+            workload, policy_factory=lambda s: TieredMemoryManager(s, pin_fraction=0.0)
+        )
+        return base, ablated
+
+    base, ablated = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\npinning ablation: DM {base.mean_execution_time('DM'):.2f}s -> "
+        f"{ablated.mean_execution_time('DM'):.2f}s without pinning"
+    )
+    assert ablated.mean_execution_time("DM") >= base.mean_execution_time("DM") * 0.95
+
+
+def test_ablation_no_image_staging(benchmark, workload):
+    """Without shared-CXL staging, container startup pays network pulls."""
+
+    def run():
+        staged_env = build_env(EnvKind.IMME, workload, dram_fraction=0.25)
+        staged = staged_env.run_batch(workload, max_time=1e7)
+        unstaged_env = build_env(EnvKind.IMME, workload, dram_fraction=0.25)
+        unstaged_env.config.stage_images = False
+        unstaged = unstaged_env.run_batch(workload, max_time=1e7)
+        staged_env.stop(); unstaged_env.stop()
+        return staged, unstaged, staged_env, unstaged_env
+
+    staged, unstaged, staged_env, unstaged_env = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print(
+        f"\nimage-staging ablation: startup {staged.mean_startup_time():.2f}s staged vs "
+        f"{unstaged.mean_startup_time():.2f}s unstaged"
+    )
+    assert staged.mean_startup_time() < unstaged.mean_startup_time()
+    assert staged_env.containers.network_pulls == 0
+    assert unstaged_env.containers.network_pulls > 0

@@ -1,0 +1,76 @@
+"""Table I / Algorithm 1 micro-benchmarks.
+
+§III-C2 claims the allocation policy's complexity "is a linear function of
+the number of memory tiers ... constant O(1)" for the three-tier system —
+"particularly important for time-sensitive HPC workflows".  We measure
+``TierAlloc`` directly and check the cost does not grow with request size.
+"""
+
+import time
+
+from repro.core.allocation import EvictableMap, TierAllocator
+from repro.core.flags import MemFlag
+from repro.memory.tiers import CXL, DRAM, PMEM, default_tier_specs
+from repro.util.units import GiB, MiB
+
+
+def fresh_ev():
+    return EvictableMap({DRAM: GiB(256), PMEM: GiB(512), CXL: GiB(1024)})
+
+
+def test_tier_alloc_throughput(benchmark):
+    """Raw TierAlloc calls per second (the allocation fast path)."""
+    alloc = TierAllocator(default_tier_specs())
+
+    def run():
+        ev = fresh_ev()
+        for i in range(100):
+            alloc.tier_alloc(f"w{i % 10}", MiB(256), MemFlag.LAT | MemFlag.CAP, ev)
+
+    benchmark(run)
+
+
+def test_tier_alloc_is_size_independent(benchmark):
+    """O(1) in request size: a 256 GiB plan costs no more than a 1 MiB one."""
+    alloc = TierAllocator(default_tier_specs())
+
+    def cost(nbytes, reps=2000):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            alloc.tier_alloc("w", nbytes, MemFlag.BW, fresh_ev())
+        return (time.perf_counter() - t0) / reps
+
+    benchmark.pedantic(
+        lambda: alloc.tier_alloc("w", GiB(256), MemFlag.BW, fresh_ev()),
+        rounds=200,
+        iterations=1,
+    )
+    small = cost(MiB(1))
+    large = cost(GiB(256))
+    assert large < small * 3.0  # constant-factor, not size-proportional
+
+
+def test_allocate_tm_api_latency(benchmark):
+    """End-to-end allocate_TM/free_TM through the manager on one node."""
+    import numpy as np
+
+    from repro.core.api import TieredMemoryClient
+    from repro.core.manager import TieredMemoryManager
+    from repro.memory.pageset import PageSet
+    from repro.memory.system import NodeMemorySystem
+    from repro.policies.base import PolicyContext
+    from repro.util.units import KiB
+
+    specs = default_tier_specs(dram_capacity=GiB(1))
+    node = NodeMemorySystem(specs, "bench")
+    ctx = PolicyContext(memory=node, rng=np.random.default_rng(0))
+    mgr = TieredMemoryManager(specs)
+    ps = PageSet("task", GiB(4), KiB(256))
+    node.register(ps)
+    client = TieredMemoryClient(ctx, mgr, ps)
+
+    def run():
+        h = client.allocate_TM(MiB(64), MemFlag.LAT | MemFlag.CAP)
+        client.free_TM(h)
+
+    benchmark(run)

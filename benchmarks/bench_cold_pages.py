@@ -1,0 +1,17 @@
+"""§II-C claim — 55-80% of BERT's allocation is idle in the first 120s.
+
+The heatmap-backed cold-page measurement over the DL workload must land in
+the paper's band at every sample point.
+"""
+
+from repro.experiments import run_cold_pages
+
+
+def test_cold_pages_band(run_once):
+    r = run_once(run_cold_pages)
+    series = r.series["idle-fraction"]
+    assert all(0.50 <= v <= 0.85 for v in series)
+    # idleness never increases as training touches more memory
+    assert series == sorted(series, reverse=True)
+    # the early band is distinctly colder than the late one
+    assert series[0] >= series[-1]

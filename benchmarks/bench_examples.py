@@ -1,0 +1,32 @@
+"""Example-script smoke benches.
+
+Every shipped example must run end-to-end; their wall-clock cost is
+tracked so regressions in the simulator show up here first.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(benchmark, script, capsys):
+    path = Path(__file__).parent.parent / "examples" / script
+
+    def run():
+        argv = sys.argv
+        sys.argv = [str(path)]
+        try:
+            runpy.run_path(str(path), run_name="__main__")
+        finally:
+            sys.argv = argv
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    out = capsys.readouterr().out
+    assert len(out) > 100  # every example narrates its result

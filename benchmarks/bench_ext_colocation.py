@@ -1,0 +1,20 @@
+"""Extension bench — containerized colocation vs bare-metal exclusivity.
+
+The §I premise quantified: packing workflows onto shared nodes must beat
+whole-node allocations on makespan, core utilisation, and queue wait.
+"""
+
+from repro.experiments import run_colocation
+
+
+def test_colocation_beats_exclusivity(run_once):
+    r = run_once(run_colocation)
+    assert r.value("containerized", "makespan (s)") < r.value("bare-metal", "makespan (s)")
+    assert (
+        r.value("containerized", "mean core util (%)")
+        > r.value("bare-metal", "mean core util (%)")
+    )
+    assert (
+        r.value("containerized", "mean queue wait (s)")
+        < r.value("bare-metal", "mean queue wait (s)")
+    )

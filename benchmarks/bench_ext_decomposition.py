@@ -1,0 +1,23 @@
+"""Extension bench — workflow deconstruction (§I).
+
+Deconstructed big jobs must strand less memory and leave the colocated
+latency-sensitive stream visibly faster.
+"""
+
+from repro.experiments import run_decomposition
+
+
+def test_decomposition_unstrands_memory(run_once):
+    r = run_once(run_decomposition)
+    assert (
+        r.value("deconstructed", "peak big-job bytes (MiB)")
+        < 0.7 * r.value("monolithic", "peak big-job bytes (MiB)")
+    )
+    assert (
+        r.value("deconstructed", "mean DM exec (s)")
+        <= r.value("monolithic", "mean DM exec (s)")
+    )
+    assert (
+        r.value("deconstructed", "makespan (s)")
+        <= r.value("monolithic", "makespan (s)") * 1.10
+    )

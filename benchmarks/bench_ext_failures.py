@@ -1,0 +1,18 @@
+"""Extension bench — workflow-failure avoidance (design objective 1).
+
+Fixed container allocations + mid-run expansion requests: without the
+manager's CAP→CXL path the OOM killer terminates every instance; under
+IMME every workflow completes (§IV-D1's "would otherwise crash").
+"""
+
+from repro.experiments import run_failures
+
+
+def test_failure_avoidance(run_once):
+    r = run_once(run_failures)
+    # the constrained baseline loses every workflow to the OOM killer
+    assert r.value("CBE", "completed") == 0.0
+    assert r.value("CBE", "oom-killed") > 0.0
+    # IMME completes the whole ensemble
+    assert r.value("IMME", "oom-killed") == 0.0
+    assert r.value("IMME", "completed") == r.value("CBE", "oom-killed")

@@ -1,0 +1,21 @@
+"""Extension bench — open-system DM stream under increasing offered load.
+
+The constrained baseline's DM turnaround must grow steeply with the
+arrival rate while IMME stays near-flat (latency-sensitive protection +
+CXL absorption of the background footprint).
+"""
+
+from repro.experiments import run_open_system
+
+
+def test_open_system_stream(run_once):
+    r = run_once(run_open_system)
+    cbe = r.series["CBE"]
+    imme = r.series["IMME"]
+    # IMME beats CBE at every offered rate
+    assert all(i < c for i, c in zip(imme, cbe))
+    # CBE degrades with load; IMME stays within 2x of its lightest point
+    assert cbe[-1] > cbe[0]
+    assert imme[-1] <= imme[0] * 2.0
+    # the gap widens with load (the open-system separation)
+    assert cbe[-1] / imme[-1] > cbe[0] / imme[0]

@@ -1,0 +1,20 @@
+"""Extension bench — the execution-log predictor (§III-C1).
+
+Repeated unflagged runs of the same workflow must get faster after the
+first execution (the manager learned the heat profile) and then stay
+stable.
+"""
+
+from repro.experiments import run_predictor_learning
+
+
+def test_predictor_learning_curve(run_once):
+    r = run_once(run_predictor_learning)
+    series = r.series["IMME(no flags)"]
+    # the cold-start run is the slowest
+    assert series[0] > min(series[1:])
+    # learning converges: later runs are stable within 5%
+    tail = series[1:]
+    assert max(tail) <= min(tail) * 1.05
+    # the learned placement is meaningfully better than cold start
+    assert series[-1] <= series[0] * 0.95

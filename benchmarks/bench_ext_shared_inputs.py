@@ -1,0 +1,21 @@
+"""Extension bench — shared read-only inputs on CXL (§III-C5 strategy 1).
+
+IMME must stage the common dataset exactly once and save both resident
+memory and execution time versus per-instance private copies.
+"""
+
+from repro.experiments import run_shared_inputs
+
+
+def test_shared_inputs(run_once):
+    r = run_once(run_shared_inputs)
+    # one staged copy vs one private copy per instance
+    assert r.value("IMME", "staged copies") == 1.0
+    assert r.value("TME", "staged copies") > 1.0
+    # large residency saving
+    assert (
+        r.value("IMME", "resident bytes (MiB)")
+        < 0.6 * r.value("TME", "resident bytes (MiB)")
+    )
+    # and at least no slower
+    assert r.value("IMME", "exec time (s)") <= r.value("TME", "exec time (s)") * 1.02

@@ -1,0 +1,20 @@
+"""Extension bench — the abstract's utilisation claim.
+
+IMME must convert memory occupancy into the highest productive throughput
+and keep the largest share of the footprint byte-addressable.
+"""
+
+from repro.experiments import run_utilization
+
+
+def test_utilization_and_throughput(run_once):
+    r = run_once(run_utilization)
+    # IMME completes the most work per hour of any environment
+    imme_tp = r.value("IMME", "jobs/hour")
+    for env in ("IE", "CBE", "TME"):
+        assert imme_tp >= r.value(env, "jobs/hour")
+    # CBE is the occupancy-without-progress case
+    assert r.value("CBE", "jobs/hour") < 0.5 * imme_tp
+    assert r.value("CBE", "tiered util (%)") < r.value("IMME", "tiered util (%)")
+    # IMME keeps most of the footprint byte-addressable
+    assert r.value("IMME", "tiered util (%)") >= r.value("TME", "tiered util (%)")

@@ -1,0 +1,24 @@
+"""Figure 1 — motivation: tiered memory vs swap for containerized workflows.
+
+Paper shape: every workflow collapses when constrained to DRAM+swap;
+static tiered allocation recovers most of the loss; adding active
+migration to CXL recovers more.
+"""
+
+from repro.experiments import run_fig01
+from repro.experiments.common import CLASS_ORDER
+
+
+def test_fig01_motivation(run_once):
+    r = run_once(run_fig01)
+    for cls in CLASS_ORDER:
+        swap = r.value("swap-constrained", cls.name)
+        static = r.value("tiered-alloc", cls.name)
+        migrate = r.value("tiered+migration", cls.name)
+        # tiered allocation beats pure swap for every workflow class
+        assert static <= swap
+        # the latency-sensitive and capacity classes gain the most from
+        # active migration (paper: "bandwidth-intensive tasks benefit ...
+        # performance further improved when pages are actively migrated")
+        if cls.name in ("DM", "SC", "DL"):
+            assert migrate < swap * 0.7

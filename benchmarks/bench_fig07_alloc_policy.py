@@ -1,0 +1,32 @@
+"""Figure 7 — page allocation policy comparison.
+
+Paper: Algorithm 1 reduces execution time by 44% on average vs Default
+Allocation and 8% vs Uniform (interleaved) Allocation; Uniform helps
+bandwidth-intensive flows but is the worst case for latency-sensitive
+ones.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig07
+from repro.experiments.common import CLASS_ORDER
+from repro.metrics.report import improvement
+
+
+def test_fig07_alloc_policy(run_once):
+    r = run_once(run_fig07)
+    ours = np.array(r.series["ours-alg1"])
+    default = np.array(r.series["default-alloc"])
+    uniform = np.array(r.series["uniform-interleave"])
+    mean_gain_default = float(
+        np.mean([improvement(d, o) for d, o in zip(default, ours)])
+    )
+    mean_gain_uniform = float(
+        np.mean([improvement(u, o) for u, o in zip(uniform, ours)])
+    )
+    # ours beats both baselines on average (paper: 44% / 8%)
+    assert mean_gain_default > 0.10
+    assert mean_gain_uniform > 0.0
+    # uniform interleave is the worst case for the latency-sensitive class
+    dm = CLASS_ORDER.index(next(c for c in CLASS_ORDER if c.name == "DM"))
+    assert uniform[dm] > ours[dm]

@@ -1,0 +1,26 @@
+"""Figure 8 — DRAM availability as a fraction of working-set size.
+
+Paper shape: IE (DRAM+swap) explodes as DRAM shrinks below the WSS;
+TME/IMME absorb the shortfall in byte-addressable tiers and stay nearly
+flat; IMME's class-aware placement gives the biggest wins for the
+latency-sensitive (DM) and capacity-hungry (SC) classes.
+"""
+
+from repro.experiments import run_fig08
+from repro.experiments.common import CLASS_ORDER
+
+
+def test_fig08_dram_fraction(run_once):
+    r = run_once(run_fig08)
+    for cls in CLASS_ORDER:
+        ie = r.series[f"IE:{cls.name}"]
+        imme = r.series[f"IMME:{cls.name}"]
+        # IE degrades monotonically-ish as DRAM shrinks (first point is the
+        # most constrained)
+        assert ie[0] >= ie[-1]
+        # IMME beats IE at the most constrained point for every class
+        assert imme[0] < ie[0]
+        # IMME stays much flatter than IE across the sweep
+        ie_spread = ie[0] / ie[-1]
+        imme_spread = imme[0] / max(imme[-1], 1e-9)
+        assert imme_spread < ie_spread

@@ -1,0 +1,26 @@
+"""Figure 10 — cluster-size scaling with the paper's 2000-instance mix
+(scaled), including the shared-CXL image-staging startup win.
+
+Paper shape: makespan falls (or stays flat) as nodes are added; CBE is
+worst everywhere; IMME wins overall, with container startup collapsing
+because images are read from shared CXL instead of pulled over the
+network (up to 51%/76%/32% vs IE/CBE/TME).
+"""
+
+from repro.experiments import run_fig10
+from repro.metrics.report import improvement
+
+
+def test_fig10_scalability(run_once):
+    r = run_once(run_fig10)
+    # adding nodes never makes a constrained environment slower
+    for env in ("CBE", "TME", "IMME"):
+        assert r.series[env][-1] <= r.series[env][0] * 1.05
+    # CBE is the worst environment at every cluster size
+    for i in range(len(r.xlabels)):
+        assert r.series["CBE"][i] >= r.series["IMME"][i]
+    # IMME beats every baseline at the largest cluster
+    for base in ("IE", "CBE", "TME"):
+        assert improvement(r.series[base][-1], r.series["IMME"][-1]) >= 0.0
+    # the startup note shows the CXL-staging effect
+    assert any("startup" in n for n in r.notes)

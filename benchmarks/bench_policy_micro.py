@@ -1,0 +1,97 @@
+"""Policy micro-benchmarks: the per-tick costs that bound simulator scale.
+
+Large-cluster runs execute one `tick` per node per simulated second and a
+rate recomputation per placement change; these measure both at realistic
+pageset sizes (a 512 GiB node at 4 MiB chunks ≈ 128k DRAM chunks).
+"""
+
+import numpy as np
+
+from repro.core.flags import MemFlag
+from repro.core.manager import TieredMemoryManager
+from repro.memory.pageset import PageSet
+from repro.memory.system import NodeMemorySystem
+from repro.memory.tiers import default_tier_specs
+from repro.policies.base import AllocationRequest, PolicyContext
+from repro.policies.linux import LinuxSwapPolicy
+from repro.policies.tpp import TieredDemandPolicy
+from repro.util.units import GiB, MiB
+
+
+def big_node(policy_cls=None, n_tasks=8, task_bytes=GiB(32)):
+    specs = default_tier_specs(dram_capacity=GiB(128))
+    node = NodeMemorySystem(specs, "bench")
+    ctx = PolicyContext(memory=node, rng=np.random.default_rng(0))
+    rng = np.random.default_rng(1)
+    policy = (
+        TieredMemoryManager(specs)
+        if policy_cls is None
+        else policy_cls()
+    )
+    for i in range(n_tasks):
+        ps = PageSet(f"t{i}", task_bytes, MiB(4))
+        ps.region[:] = 0
+        ps.region_flags[0] = MemFlag.NONE
+        node.register(ps)
+        policy.place(ctx, ps, AllocationRequest(f"t{i}", 0, task_bytes))
+        ps.temperature = rng.random(ps.n_chunks).astype(np.float32)
+        ps.access_weight = (rng.random(ps.n_chunks) ** 4).astype(np.float32)
+    return node, ctx, policy
+
+
+def test_manager_tick_cost(benchmark):
+    """One IMME daemon tick over 8 x 32 GiB tasks (256 GiB of metadata)."""
+    node, ctx, policy = big_node()
+    benchmark(lambda: policy.tick(ctx))
+    node.validate()
+
+
+def test_linux_kswapd_tick_cost(benchmark):
+    node, ctx, policy = big_node(
+        policy_cls=lambda: LinuxSwapPolicy(high_watermark=0.5, low_watermark=0.45)
+    )
+    benchmark(lambda: policy.tick(ctx))
+    node.validate()
+
+
+def test_tpp_tick_cost(benchmark):
+    node, ctx, policy = big_node(policy_cls=lambda: TieredDemandPolicy())
+    benchmark(lambda: policy.tick(ctx))
+    node.validate()
+
+
+def test_rate_recompute_cost(benchmark):
+    """The contention-matrix + slowdown path for 64 colocated tasks."""
+    from repro.memory.contention import allocate_bandwidth
+    from repro.runtime.rates import phase_slowdown, tier_demand
+    from repro.workflows.patterns import UniformPattern
+    from repro.workflows.task import TaskPhase
+    from repro.util.units import GBps
+
+    specs = default_tier_specs(dram_capacity=GiB(512))
+    node = NodeMemorySystem(specs, "bench")
+    rng = np.random.default_rng(0)
+    phase = TaskPhase(
+        "p", base_time=10.0, compute_frac=0.4, lat_frac=0.4, bw_frac=0.2,
+        demand_bandwidth=GBps(5.0), pattern=UniformPattern(),
+    )
+    pagesets = []
+    for i in range(64):
+        ps = PageSet(f"t{i}", GiB(8), MiB(4))
+        node.register(ps)
+        node.place(ps, np.arange(ps.n_chunks), 0)
+        ps.access_weight = (rng.random(ps.n_chunks) ** 4).astype(np.float32)
+        pagesets.append(ps)
+    caps = np.array([specs[t].bandwidth for t in sorted(specs, key=int)])
+
+    def recompute():
+        demands = np.stack([tier_demand(ps, phase.demand_bandwidth) for ps in pagesets])
+        achieved = allocate_bandwidth(caps, demands)
+        per_task = achieved.sum(axis=1)
+        return [
+            phase_slowdown(phase, ps, specs, float(bw))
+            for ps, bw in zip(pagesets, per_task)
+        ]
+
+    slowdowns = benchmark(recompute)
+    assert len(slowdowns) == 64

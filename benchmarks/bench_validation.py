@@ -1,0 +1,13 @@
+"""Simulator-validation bench: the end-to-end stack must reproduce the
+closed-form rate model exactly for uncontended single-tier tasks."""
+
+from repro.experiments import run_validation
+
+
+def test_model_validation(run_once):
+    r = run_once(run_validation)
+    for tier, values in r.series.items():
+        for label, ratio in zip(r.xlabels, values):
+            assert abs(ratio - 1.0) < 0.02, (
+                f"{tier}/{label}: simulated/predicted = {ratio:.4f}"
+            )

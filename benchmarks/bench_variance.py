@@ -1,0 +1,40 @@
+"""§IV-B methodology bench — run-to-run variance.
+
+The paper runs each experiment ten times and reports "a negligible
+variance, i.e., less than 5% between different executions of the same
+experiment".  We run the Fig-5 colocated workload under IMME across five
+seeds (different jitter, submission order, and policy noise streams) and
+require the makespan's coefficient of variation to stay under 5%.
+"""
+
+import numpy as np
+
+from repro.envs.environments import EnvKind
+from repro.experiments.common import build_env, colocated_mix, run_and_collect
+from repro.experiments.fig05_exec_time import DEFAULT_MIX
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def run_seed(seed: int) -> float:
+    specs = colocated_mix(dict(DEFAULT_MIX), seed=seed)
+    env = build_env(EnvKind.IMME, specs, dram_fraction=0.25)
+    metrics = run_and_collect(env, specs)
+    return metrics.makespan()
+
+
+def test_seed_variance_under_5_percent(benchmark):
+    makespans = benchmark.pedantic(
+        lambda: [run_seed(s) for s in SEEDS], rounds=1, iterations=1
+    )
+    arr = np.array(makespans)
+    cv = arr.std() / arr.mean()
+    print(f"\nmakespans: {[f'{m:.1f}' for m in makespans]}  CV={100 * cv:.2f}%")
+    assert cv < 0.05, f"coefficient of variation {cv:.3f} exceeds the paper's 5% bound"
+
+
+def test_identical_seed_is_deterministic(benchmark):
+    a, b = benchmark.pedantic(
+        lambda: (run_seed(0), run_seed(0)), rounds=1, iterations=1
+    )
+    assert a == b

@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's figures at laptop scale,
+prints the same series the figure plots, and asserts the qualitative
+shape (who wins, roughly by how much).  Runs are deterministic, so a
+single round measures the harness cost without statistical noise.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a figure harness exactly once under pytest-benchmark and return
+    its FigureResult (printed so ``pytest -s`` shows the figure table)."""
+
+    def _run(fn, **kwargs):
+        result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+        print()
+        print(result.to_table())
+        return result
+
+    return _run

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Plugging a custom memory policy into the simulation stack.
+
+Implements a deliberately naive "CXL-first" policy (everything lands on
+CXL; hot pages are promoted to DRAM only on daemon ticks) and races it
+against the built-in baselines and the paper's manager on the same
+workload — a template for experimenting with your own placement ideas.
+
+Run:  python examples/custom_policy.py
+"""
+
+import numpy as np
+
+from repro.envs import EnvKind
+from repro.experiments.common import build_env, colocated_mix, per_class_exec_time
+from repro.memory import CXL, DRAM, PageSet
+from repro.metrics import format_table
+from repro.policies import AllocationRequest, MemoryPolicy, PolicyContext, cascade_place
+from repro.workflows import WorkloadClass
+
+
+class CxlFirstPolicy(MemoryPolicy):
+    """Everything starts remote; only proven-hot pages earn DRAM."""
+
+    name = "cxl-first"
+
+    def __init__(self, promote_chunks_per_tick: int = 64) -> None:
+        self.promote_chunks_per_tick = promote_chunks_per_tick
+
+    def place(self, ctx: PolicyContext, ps: PageSet, request: AllocationRequest) -> None:
+        idx = ctx.region_chunks(ps, request.region)
+        unmapped = idx[ps.tier[idx] == -1]
+        if unmapped.size:
+            cascade_place(ctx, ps, unmapped, (CXL, DRAM))
+
+    def tick(self, ctx: PolicyContext) -> None:
+        budget = self.promote_chunks_per_tick
+        for ps in list(ctx.memory.pagesets()):
+            if budget <= 0:
+                return
+            hot = ps.hottest_in(CXL, budget)
+            hot = hot[ps.temperature[hot] > 0.1]
+            room = max(0, ctx.memory.free(DRAM)) // ps.chunk_size
+            take = hot[: int(room)]
+            if take.size:
+                ctx.memory.migrate(ps, take, DRAM)
+                ctx.record_minor(ps.owner, int(take.size))
+                budget -= take.size
+
+
+def main() -> None:
+    specs = colocated_mix({WorkloadClass.DM: 4, WorkloadClass.SC: 2, WorkloadClass.DC: 2})
+    classes = [WorkloadClass.DM, WorkloadClass.DC, WorkloadClass.SC]
+
+    contenders = {
+        "cxl-first (custom)": dict(
+            kind=EnvKind.TME, policy_factory=lambda s: CxlFirstPolicy()
+        ),
+        "tpp-baseline": dict(kind=EnvKind.TME, policy_factory=None),
+        "paper-manager": dict(kind=EnvKind.IMME, policy_factory=None),
+    }
+    rows = []
+    for name, cfg in contenders.items():
+        env = build_env(
+            cfg["kind"], specs, dram_fraction=0.25, policy_factory=cfg["policy_factory"]
+        )
+        metrics = env.run_batch(specs)
+        times = per_class_exec_time(metrics)
+        rows.append([name] + [times[c] for c in classes])
+        env.stop()
+
+    print(
+        format_table(
+            ["policy"] + [c.name for c in classes],
+            rows,
+            title="Custom policy vs built-ins: mean execution time (s)",
+        )
+    )
+    print(
+        "\nCXL-first pays the promotion lag on every latency-sensitive phase;"
+        "\nthe paper's manager places LAT pages correctly from the first access."
+    )
+
+
+if __name__ == "__main__":
+    main()

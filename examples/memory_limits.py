@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Container memory limits and failure avoidance (design objective 1).
+
+Runs the same expanding scientific workflow under a fixed container
+allocation in three environments and shows who survives: without tiered
+memory the OOM killer fires; the Tiered Memory Manager serves the
+expansion from CXL *outside* the cgroup cap and the workflow completes —
+§IV-D1's "would otherwise crash".
+
+Run:  python examples/memory_limits.py
+"""
+
+from dataclasses import replace
+
+from repro.envs import EnvKind, make_environment
+from repro.metrics import format_table
+from repro.util.units import MiB, bytes_to_human
+from repro.workflows import scientific_task
+
+SCALE = 1 / 128
+
+
+def main() -> None:
+    base = scientific_task(scale=SCALE, request_extra=True)
+    spec = replace(base, memory_limit=int(base.footprint * 1.05))
+    print(
+        f"Workflow: footprint {bytes_to_human(spec.footprint)}, cgroup limit "
+        f"{bytes_to_human(spec.memory_limit)}, traversal requests "
+        f"{bytes_to_human(spec.max_footprint - spec.footprint)} more mid-run\n"
+    )
+
+    rows = []
+    for kind in (EnvKind.CBE, EnvKind.TME, EnvKind.IMME):
+        env = make_environment(
+            kind, dram_capacity=spec.footprint * 2, chunk_size=MiB(1)
+        )
+        print(f"  {env.summary()}")
+        metrics = env.run_batch([spec], max_time=1e6)
+        tm = metrics.get(spec.name)
+        rows.append(
+            [
+                kind.name,
+                "completed" if tm.done else "OOM-KILLED",
+                tm.execution_time if tm.done else float("nan"),
+                tm.failure_reason[:46],
+            ]
+        )
+        env.stop()
+
+    print()
+    print(
+        format_table(
+            ["env", "outcome", "exec (s)", "reason"],
+            rows,
+            title="Fixed allocation + mid-run expansion",
+        )
+    )
+    print(
+        "\nOnly the manager's CAP-flagged allocation lands on CXL, which sits"
+        "\noutside the container's fixed allocation — the workflow survives."
+    )
+
+
+if __name__ == "__main__":
+    main()

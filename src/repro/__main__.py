@@ -1,0 +1,18 @@
+"""Top-level CLI: ``python -m repro`` delegates to the experiment runner.
+
+``python -m repro --list`` enumerates everything that can be regenerated;
+any other arguments are passed straight to
+:mod:`repro.experiments.runner`.
+"""
+
+import sys
+
+from .experiments.runner import ALL_EXPERIMENTS, main
+
+if "--list" in sys.argv[1:]:
+    print("available experiments (python -m repro <name> ...):")
+    for name in ALL_EXPERIMENTS:
+        print(f"  {name}")
+    sys.exit(0)
+
+sys.exit(main(sys.argv[1:]))

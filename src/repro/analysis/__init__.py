@@ -1,0 +1,15 @@
+"""Analysis helpers: replication statistics and generic parameter sweeps."""
+
+from .stats import Comparison, ReplicationResult, compare, relative_improvement, replicate
+from .sweeps import makespan_metric, mean_exec_metric, sweep
+
+__all__ = [
+    "Comparison",
+    "ReplicationResult",
+    "compare",
+    "relative_improvement",
+    "replicate",
+    "makespan_metric",
+    "mean_exec_metric",
+    "sweep",
+]

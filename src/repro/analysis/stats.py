@@ -1,0 +1,136 @@
+"""Replication statistics.
+
+The paper runs every experiment ten times and reports means with <5%
+variance (§IV-B).  :func:`replicate` is the library-side version: run a
+seeded measurement across seeds and summarise mean, spread, and a
+t-distribution confidence interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..util.validation import require
+
+try:  # scipy is an optional test dependency; fall back to normal quantiles
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover - scipy is present in CI
+    _scipy_stats = None
+
+__all__ = ["ReplicationResult", "replicate", "relative_improvement", "compare"]
+
+
+@dataclass(frozen=True)
+class ReplicationResult:
+    """Summary of one measurement replicated across seeds."""
+
+    label: str
+    values: tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1); 0 for single runs."""
+        if self.n < 2:
+            return 0.0
+        return float(np.std(self.values, ddof=1))
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation — the paper's <5% variance metric."""
+        m = self.mean
+        return self.std / m if m else 0.0
+
+    def ci95(self) -> tuple[float, float]:
+        """95% confidence interval for the mean (t-distribution)."""
+        if self.n < 2:
+            return (self.mean, self.mean)
+        sem = self.std / np.sqrt(self.n)
+        if _scipy_stats is not None:
+            t = float(_scipy_stats.t.ppf(0.975, df=self.n - 1))
+        else:  # pragma: no cover
+            t = 1.96
+        return (self.mean - t * sem, self.mean + t * sem)
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        lo, hi = self.ci95()
+        return f"{self.label}: {self.mean:.2f} ±{hi - self.mean:.2f} (CV {100 * self.cv:.1f}%)"
+
+
+def replicate(
+    fn: Callable[[int], float],
+    seeds: Sequence[int] = tuple(range(10)),
+    *,
+    label: str = "measurement",
+) -> ReplicationResult:
+    """Run ``fn(seed)`` for every seed (the paper's 10-run methodology)."""
+    require(len(seeds) >= 1, "need at least one seed")
+    values = tuple(float(fn(int(s))) for s in seeds)
+    return ReplicationResult(label, values)
+
+
+def relative_improvement(
+    baseline: ReplicationResult, treatment: ReplicationResult
+) -> float:
+    """Mean relative reduction of ``treatment`` versus ``baseline``
+    (positive = treatment is faster), matching the paper's convention."""
+    b = baseline.mean
+    if b <= 0:
+        return 0.0
+    return (b - treatment.mean) / b
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Outcome of a two-sample comparison."""
+
+    improvement: float
+    p_value: float
+    significant: bool
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        mark = "significant" if self.significant else "not significant"
+        return f"{100 * self.improvement:+.1f}% (p={self.p_value:.3g}, {mark})"
+
+
+def compare(
+    baseline: ReplicationResult,
+    treatment: ReplicationResult,
+    *,
+    alpha: float = 0.05,
+) -> Comparison:
+    """Welch's t-test between two replicated measurements.
+
+    Degenerate inputs (single runs, or zero variance on both sides —
+    common with a deterministic simulator) yield ``p=0`` when the means
+    differ and ``p=1`` when they are identical.
+    """
+    imp = relative_improvement(baseline, treatment)
+    if baseline.n < 2 or treatment.n < 2 or (baseline.std == 0 and treatment.std == 0):
+        p = 1.0 if baseline.mean == treatment.mean else 0.0
+    elif _scipy_stats is not None:
+        p = float(
+            _scipy_stats.ttest_ind(
+                baseline.values, treatment.values, equal_var=False
+            ).pvalue
+        )
+    else:  # pragma: no cover - scipy absent
+        # normal-approximation fallback
+        import math
+
+        se = math.sqrt(
+            baseline.std**2 / baseline.n + treatment.std**2 / treatment.n
+        )
+        z = abs(baseline.mean - treatment.mean) / se if se else float("inf")
+        p = math.erfc(z / math.sqrt(2.0))
+    return Comparison(improvement=imp, p_value=p, significant=p < alpha)

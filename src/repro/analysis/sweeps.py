@@ -1,0 +1,83 @@
+"""Generic parameter sweeps over environments.
+
+The figure harnesses are hand-shaped for the paper; :func:`sweep` is the
+general tool a downstream user reaches for: vary one knob (DRAM fraction,
+instance count, CXL share, daemon interval, ...), measure any scalar per
+environment kind, and get an aligned :class:`FigureResult` back.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..envs.environments import EnvKind, Environment
+from ..experiments.common import FigureResult
+from ..metrics.collector import MetricsRegistry
+from ..util.validation import require
+
+__all__ = ["sweep", "makespan_metric", "mean_exec_metric"]
+
+
+def makespan_metric(metrics: MetricsRegistry, env: Environment) -> float:
+    return metrics.makespan()
+
+
+def mean_exec_metric(wclass: Optional[str] = None):
+    """Metric factory: mean execution time, optionally for one class."""
+
+    def metric(metrics: MetricsRegistry, env: Environment) -> float:
+        return metrics.mean_execution_time(wclass)
+
+    return metric
+
+
+def sweep(
+    *,
+    name: str,
+    description: str,
+    values: Sequence[object],
+    kinds: Sequence[EnvKind],
+    build: Callable[[EnvKind, object], Environment],
+    run: Callable[[Environment, object], MetricsRegistry],
+    metric: Callable[[MetricsRegistry, Environment], float] = makespan_metric,
+    xlabel: Callable[[object], str] = str,
+) -> FigureResult:
+    """Run ``metric`` for every (environment kind, sweep value) pair.
+
+    Parameters
+    ----------
+    build:
+        ``(kind, value) -> Environment`` — constructs a fresh environment
+        for each grid point (environments are single-use).
+    run:
+        ``(env, value) -> MetricsRegistry`` — executes the workload.
+
+    Examples
+    --------
+    ::
+
+        result = sweep(
+            name="dram-sweep",
+            description="makespan vs DRAM fraction",
+            values=[0.2, 0.4, 0.8],
+            kinds=[EnvKind.TME, EnvKind.IMME],
+            build=lambda kind, f: build_env(kind, specs, dram_fraction=f),
+            run=lambda env, f: env.run_batch(specs),
+        )
+    """
+    require(len(values) > 0, "sweep needs at least one value")
+    require(len(kinds) > 0, "sweep needs at least one environment kind")
+    result = FigureResult(
+        figure=name, description=description, xlabels=[xlabel(v) for v in values]
+    )
+    for kind in kinds:
+        series: list[float] = []
+        for value in values:
+            env = build(kind, value)
+            try:
+                metrics = run(env, value)
+                series.append(float(metric(metrics, env)))
+            finally:
+                env.stop()
+        result.add_series(kind.name, series)
+    return result

@@ -1,0 +1,16 @@
+"""Singularity-like container substrate: images, registry, contended
+pulls, and cgroup memory limits."""
+
+from .cgroup import MemoryCgroup, OomKill
+from .image import ContainerImage, ImageRegistry, default_images
+from .runtime import ContainerRuntime, NetworkFabric
+
+__all__ = [
+    "MemoryCgroup",
+    "OomKill",
+    "ContainerImage",
+    "ImageRegistry",
+    "default_images",
+    "ContainerRuntime",
+    "NetworkFabric",
+]

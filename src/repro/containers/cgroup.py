@@ -1,0 +1,77 @@
+"""Container memory cgroups.
+
+Containerized HPC deployments give each container a fixed memory
+allocation from the job script: "memory is allocated at the start based on
+the memory requirement of the job and does not support dynamic memory
+allocation based on different execution phases" (§II-B).  When a workflow
+outgrows that fixed allocation the kernel's OOM killer terminates it —
+the failure mode the paper's design objective 1 targets ("reduce workflow
+failures due to limited memory").
+
+:class:`MemoryCgroup` models the cgroup-v2 ``memory.max`` semantics at
+chunk granularity:
+
+* every byte the task maps in **local** tiers (DRAM/PMem) is charged;
+* CXL memory attached through the Tiered Memory Manager is *expansion
+  memory* outside the container's fixed allocation (the paper's dynamic
+  footprint growth), so it is not charged;
+* swap is charged too (``memory.swap.max`` folded in, like a strict HPC
+  configuration);
+* charging past the limit raises :class:`OomKill`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..util.errors import ReproError
+from ..util.validation import check_positive
+
+__all__ = ["OomKill", "MemoryCgroup"]
+
+
+class OomKill(ReproError):
+    """The container exceeded its memory limit and was killed."""
+
+
+@dataclass
+class MemoryCgroup:
+    """Per-container charged-memory accounting with a hard limit.
+
+    ``None`` limit means unconstrained (the scheduler did not cap the
+    container).
+    """
+
+    owner: str
+    limit: Optional[int] = None
+    charged: int = 0
+    peak: int = 0
+    oom_kills: int = 0
+
+    def __post_init__(self) -> None:
+        if self.limit is not None:
+            check_positive(self.limit, "limit")
+
+    def charge(self, nbytes: int) -> None:
+        """Account ``nbytes`` of limit-visible memory; raise on overrun."""
+        if nbytes <= 0:
+            return
+        new_total = self.charged + int(nbytes)
+        if self.limit is not None and new_total > self.limit:
+            self.oom_kills += 1
+            raise OomKill(
+                f"container {self.owner!r} exceeded its memory limit: "
+                f"{new_total} > {self.limit} bytes"
+            )
+        self.charged = new_total
+        self.peak = max(self.peak, self.charged)
+
+    def uncharge(self, nbytes: int) -> None:
+        self.charged = max(0, self.charged - int(nbytes))
+
+    @property
+    def headroom(self) -> Optional[int]:
+        if self.limit is None:
+            return None
+        return self.limit - self.charged

@@ -1,0 +1,64 @@
+"""Container images and the image registry.
+
+Singularity images are single ``.sif`` files; "launching thousands of HPC
+workflows using a custom Singularity container image requires the image to
+be moved to all the servers that will run the job workflows" (§III-C5) —
+the registry is where those pulls come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.errors import ContainerError
+from ..util.units import GiB
+from ..util.validation import check_positive
+
+__all__ = ["ContainerImage", "ImageRegistry", "default_images"]
+
+
+@dataclass(frozen=True)
+class ContainerImage:
+    """A named, immutable container image."""
+
+    name: str
+    size: int
+
+    def __post_init__(self) -> None:
+        check_positive(self.size, "size")
+
+
+class ImageRegistry:
+    """Name → image catalogue (the site registry / shared filesystem)."""
+
+    def __init__(self) -> None:
+        self._images: dict[str, ContainerImage] = {}
+
+    def add(self, image: ContainerImage) -> None:
+        self._images[image.name] = image
+
+    def get(self, name: str) -> ContainerImage:
+        img = self._images.get(name)
+        if img is None:
+            raise ContainerError(f"unknown container image {name!r}")
+        return img
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._images
+
+    def __len__(self) -> int:
+        return len(self._images)
+
+
+def default_images(scale: float = 1.0) -> ImageRegistry:
+    """The evaluation workloads' images (sizes typical of HPC .sif files)."""
+    reg = ImageRegistry()
+    for name, size in (
+        ("dl-bert.sif", GiB(6.0)),
+        ("dm-spark.sif", GiB(3.0)),
+        ("dc-zip.sif", GiB(0.5)),
+        ("sc-igraph.sif", GiB(1.5)),
+        ("default.sif", GiB(1.0)),
+    ):
+        reg.add(ContainerImage(name, max(1, int(size * scale))))
+    return reg

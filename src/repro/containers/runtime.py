@@ -1,0 +1,149 @@
+"""Singularity-like container runtime with a contended image-pull model.
+
+Startup of a containerized task needs its image on the node.  Three paths,
+fastest first:
+
+1. **node cache hit** — the image was pulled before; only container
+   instantiation time is paid,
+2. **shared-CXL staged** (IMME) — the image is read from cluster-shared
+   CXL memory at CXL bandwidth, bypassing the network entirely
+   (§III-C5 strategy 2, the Fig. 10/11 startup win),
+3. **network pull** — the image is fetched from the registry over the
+   shared 10 GbE fabric; concurrent pulls share the link max-min fairly,
+   which is exactly the §III-C5 "network and I/O bottleneck when a large
+   number of workflows access the same data".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.sharing import SharedMemoryManager
+from ..sim.engine import SimulationEngine
+from ..sim.events import Event
+from ..sim.process import RateTracker
+from ..util.units import GBps
+from ..util.validation import check_non_negative, check_positive, require
+from .image import ImageRegistry
+
+__all__ = ["NetworkFabric", "ContainerRuntime"]
+
+
+class _Transfer:
+    __slots__ = ("tracker", "event", "on_done")
+
+    def __init__(self, nbytes: int, on_done: Callable[[], None]) -> None:
+        self.tracker = RateTracker(float(nbytes))
+        self.event: Optional[Event] = None
+        self.on_done = on_done
+
+
+class NetworkFabric:
+    """A shared full-duplex link; active transfers get max-min fair shares.
+
+    All transfers here are same-sized-priority bulk pulls, so the fair
+    share degenerates to an equal split — recomputed whenever a transfer
+    starts or finishes.
+    """
+
+    def __init__(self, engine: SimulationEngine, bandwidth: float = GBps(1.25)) -> None:
+        check_positive(bandwidth, "bandwidth")
+        self.engine = engine
+        self.bandwidth = float(bandwidth)  # 10 GbE ≈ 1.25 GB/s
+        self._active: list[_Transfer] = []
+        self.completed_transfers = 0
+        self.bytes_transferred = 0
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def transfer(self, nbytes: int, on_done: Callable[[], None]) -> None:
+        check_positive(nbytes, "nbytes")
+        t = _Transfer(nbytes, on_done)
+        self._active.append(t)
+        self.bytes_transferred += int(nbytes)
+        self._rebalance()
+
+    def _rebalance(self) -> None:
+        if not self._active:
+            return
+        share = self.bandwidth / len(self._active)
+        now = self.engine.now
+        for t in self._active:
+            t.tracker.set_rate(now, share)
+            self.engine.cancel(t.event)
+            eta = t.tracker.projected_finish(now)
+            assert eta is not None  # share > 0
+            t.event = self.engine.schedule_at(eta, lambda t=t: self._complete(t), "net.pull")
+
+    def _complete(self, t: _Transfer) -> None:
+        self._active.remove(t)
+        self.completed_transfers += 1
+        self._rebalance()
+        t.on_done()
+
+
+class ContainerRuntime:
+    """Per-cluster container manager: image caches, pulls, CXL staging."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        registry: ImageRegistry,
+        fabric: NetworkFabric,
+        n_nodes: int,
+        *,
+        shared_memory: Optional[SharedMemoryManager] = None,
+        cxl_read_bandwidth: float = GBps(30.0),
+        instantiation_time: float = 0.5,
+    ) -> None:
+        check_positive(n_nodes, "n_nodes")
+        check_positive(cxl_read_bandwidth, "cxl_read_bandwidth")
+        check_non_negative(instantiation_time, "instantiation_time")
+        self.engine = engine
+        self.registry = registry
+        self.fabric = fabric
+        self.shared_memory = shared_memory
+        self.cxl_read_bandwidth = float(cxl_read_bandwidth)
+        self.instantiation_time = float(instantiation_time)
+        self._node_caches: list[set[str]] = [set() for _ in range(n_nodes)]
+        self.cache_hits = 0
+        self.cxl_reads = 0
+        self.network_pulls = 0
+
+    # ------------------------------------------------------------------ #
+    def stage_image(self, name: str) -> None:
+        """Pre-stage an image in shared CXL memory (IMME's scheduler does
+        this once per distinct image before a large launch)."""
+        require(self.shared_memory is not None, "no shared-memory manager configured")
+        image = self.registry.get(name)
+        if not self.shared_memory.pool.contains(name):
+            self.shared_memory.stage(name, image.size)
+
+    def is_cached(self, node_index: int, name: str) -> bool:
+        return name in self._node_caches[node_index]
+
+    def prepare(self, node_index: int, image_name: str, on_ready: Callable[[], None]) -> None:
+        """Make ``image_name`` runnable on node ``node_index``; fires
+        ``on_ready`` after instantiation completes."""
+        image = self.registry.get(image_name)
+
+        def instantiate() -> None:
+            self._node_caches[node_index].add(image_name)
+            self.engine.schedule(self.instantiation_time, on_ready, f"init.{image_name}")
+
+        if image_name in self._node_caches[node_index]:
+            self.cache_hits += 1
+            instantiate()
+            return
+        if self.shared_memory is not None and self.shared_memory.pool.contains(image_name):
+            # §III-C5: CXL-hosted image, read at CXL bandwidth, then cached
+            # in the node's local buffers.
+            self.cxl_reads += 1
+            self.shared_memory.note_access(node_index, image_name)
+            duration = image.size / self.cxl_read_bandwidth
+            self.engine.schedule(duration, instantiate, f"cxl-read.{image_name}")
+            return
+        self.network_pulls += 1
+        self.fabric.transfer(image.size, instantiate)

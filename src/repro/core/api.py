@@ -1,0 +1,117 @@
+"""The Table I programmatic API: ``allocate_TM`` / ``free_TM``.
+
+Workflows use these to "request tiered memory for expansion, staging
+input data, or storing intermediate and output data beyond the initial
+memory allocation" (§III-C1).  A :class:`TieredMemoryClient` is bound to
+one task's pageset on one node — the per-node *client* of the paper's
+manager/client deployment — and hands out :class:`RegionHandle` tokens in
+place of raw pointers.
+
+Flags are advisory: passing none lets the manager predict them, exactly
+as the paper specifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..memory.pageset import NO_REGION, UNMAPPED, PageSet
+from ..policies.base import AllocationRequest, MemoryPolicy, PolicyContext
+from ..util.errors import AllocationError
+from ..util.validation import check_positive, require
+from .flags import MemFlag, normalize_flags
+
+__all__ = ["RegionHandle", "TieredMemoryClient"]
+
+
+@dataclass(frozen=True)
+class RegionHandle:
+    """Opaque token standing in for the C API's ``void*``."""
+
+    owner: str
+    region: int
+    nbytes: int
+    flags: MemFlag
+
+
+class TieredMemoryClient:
+    """Per-task allocation front-end (Table I).
+
+    Examples
+    --------
+    ::
+
+        client = TieredMemoryClient(ctx, policy, pageset)
+        h = client.allocate_TM(GiB(2), MemFlag.LAT)   # hot lookup tables
+        ...
+        client.free_TM(h)
+    """
+
+    def __init__(self, ctx: PolicyContext, policy: MemoryPolicy, ps: PageSet) -> None:
+        self.ctx = ctx
+        self.policy = policy
+        self.ps = ps
+        self._next_region = 0
+        self._live: dict[int, RegionHandle] = {}
+
+    # ------------------------------------------------------------------ #
+    def allocate_TM(self, size: int, flags: "MemFlag | None" = None) -> RegionHandle:
+        """Allocate ``size`` bytes of tiered memory per ``flags``.
+
+        Chunks come from the pageset's unassigned pool; the bound policy
+        decides tier placement (Algorithm 1 under the Tiered Memory
+        Manager, the oblivious baselines otherwise).
+        """
+        check_positive(size, "size")
+        flags = normalize_flags(flags)
+        ps = self.ps
+        need = -(-int(size) // ps.chunk_size)
+        pool = np.flatnonzero((ps.region == NO_REGION) & (ps.tier == UNMAPPED))
+        if pool.size < need:
+            raise AllocationError(
+                f"{ps.owner!r}: address space exhausted "
+                f"(need {need} chunks, {pool.size} unassigned remain)"
+            )
+        region = self._next_region
+        self._next_region += 1
+        idx = pool[:need]
+        ps.region[idx] = region
+        ps.region_flags[region] = flags
+        request = AllocationRequest(owner=ps.owner, region=region, nbytes=int(size), flags=flags)
+        try:
+            self.policy.place(self.ctx, ps, request)
+        except Exception:
+            ps.region[idx] = NO_REGION
+            ps.region_flags.pop(region, None)
+            raise
+        handle = RegionHandle(ps.owner, region, int(size), flags)
+        self._live[region] = handle
+        return handle
+
+    def free_TM(self, handle: RegionHandle) -> None:
+        """Release a region previously returned by :meth:`allocate_TM`."""
+        require(handle.owner == self.ps.owner, "handle belongs to a different task")
+        live = self._live.pop(handle.region, None)
+        if live is None:
+            raise AllocationError(f"double free or foreign handle: {handle!r}")
+        idx = np.flatnonzero(self.ps.region == handle.region)
+        self.policy.release(self.ctx, self.ps, idx)
+        self.ps.region[idx] = NO_REGION
+        self.ps.region_flags.pop(handle.region, None)
+
+    def free_region(self, region: int) -> None:
+        """Free by region id (used by phase specs' ``release_region``)."""
+        handle = self._live.get(region)
+        require(handle is not None, f"region {region} is not live for {self.ps.owner!r}")
+        self.free_TM(handle)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def live_regions(self) -> tuple[RegionHandle, ...]:
+        return tuple(self._live.values())
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(h.nbytes for h in self._live.values())

@@ -1,0 +1,76 @@
+"""Memory-characteristic flags (paper Table I / §III-C1).
+
+Workflows pass these advisory hints with allocation requests; the Tiered
+Memory Manager also infers them from execution logs when absent
+(:mod:`repro.core.predictor`).
+
+* ``LAT`` — extremely latency-sensitive; place in the fastest tier.
+* ``BW``  — bandwidth-intensive; stripe across tiers for aggregate throughput.
+* ``CAP`` — capacity-only; not sensitive to latency or bandwidth.
+* ``SHL`` — short-lived; treated like ``LAT`` for placement priority.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Sequence
+
+__all__ = ["MemFlag", "normalize_flags", "parse_flags"]
+
+
+class MemFlag(enum.Flag):
+    """Advisory memory-characteristic flag bits (Table I)."""
+
+    NONE = 0
+    LAT = enum.auto()
+    BW = enum.auto()
+    CAP = enum.auto()
+    SHL = enum.auto()
+
+    @property
+    def label(self) -> str:
+        """SLURM job-script spelling of a single flag."""
+        if self is MemFlag.NONE:
+            return "NONE"
+        names = [f.name for f in MemFlag if f is not MemFlag.NONE and f in self]
+        return "|".join(names)  # type: ignore[arg-type]
+
+    def atoms(self) -> tuple["MemFlag", ...]:
+        """Decompose a combined flag into its atomic members, in the
+        priority order Algorithm 1 recurses over (LAT, SHL, BW, CAP)."""
+        order = (MemFlag.LAT, MemFlag.SHL, MemFlag.BW, MemFlag.CAP)
+        return tuple(f for f in order if f in self)
+
+
+def normalize_flags(flags: "MemFlag | Iterable[MemFlag] | None") -> MemFlag:
+    """Collapse ``None`` / a single flag / an iterable of flags into one
+    :class:`MemFlag` value."""
+    if flags is None:
+        return MemFlag.NONE
+    if isinstance(flags, MemFlag):
+        return flags
+    out = MemFlag.NONE
+    for f in flags:
+        if not isinstance(f, MemFlag):
+            raise TypeError(f"expected MemFlag, got {type(f).__name__}")
+        out |= f
+    return out
+
+
+def parse_flags(spec: "str | Sequence[str]") -> MemFlag:
+    """Parse the SLURM job-script flag syntax, e.g. ``"LAT|SHL"`` or
+    ``["BW", "CAP"]`` (the paper's modified-SLURM integration, §IV-A)."""
+    if isinstance(spec, str):
+        parts = [p for p in spec.replace(",", "|").split("|") if p.strip()]
+    else:
+        parts = list(spec)
+    out = MemFlag.NONE
+    for part in parts:
+        name = part.strip().upper()
+        if name in ("", "NONE"):
+            continue
+        try:
+            out |= MemFlag[name]
+        except KeyError:
+            raise ValueError(f"unknown memory flag {part!r} (expected LAT/BW/CAP/SHL)") from None
+    return out

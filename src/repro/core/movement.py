@@ -1,0 +1,220 @@
+"""Intelligent page movement and proactive swapping (§III-C4).
+
+The movement daemon does four things each tick, in order:
+
+1. **Promotion** — pages "previously identified as cold but later
+   categorized as hot" move up: swap→DRAM (as minor faults when shadowed,
+   background-major otherwise), PMem→CXL/DRAM, CXL→DRAM, budget-limited
+   by the staging buffers.
+2. **Proactive swap** — above a DRAM utilisation threshold, cold pages of
+   non-latency-sensitive workflows move to CXL *before* pressure forces
+   reactive eviction; DRAM shadow copies are kept in the page cache when
+   room remains, so re-touching them costs only a minor fault.
+3. **Reactive replacement** — if DRAM is still over its high watermark,
+   Algorithm 2 (:class:`~repro.core.replacement.PageReplacementPolicy`)
+   runs with its workflow-aware victim filtering.
+4. **Compaction** — a compaction pass is recorded when proactive swapping
+   freed enough space to matter (§III-C4's fragmentation reduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..memory.tiers import CXL, DRAM, PMEM, SWAP
+from ..policies.base import PolicyContext
+from ..util.validation import check_fraction, check_positive, require
+from .flags import MemFlag
+from .replacement import PageReplacementPolicy, is_protected
+
+__all__ = ["MovementConfig", "IntelligentPageMovement"]
+
+
+@dataclass(frozen=True)
+class MovementConfig:
+    """Thresholds and budgets for the movement daemon."""
+
+    #: DRAM rss fraction above which proactive swapping starts.
+    proactive_threshold: float = 0.85
+    #: DRAM rss fraction proactive swapping drives down to.
+    proactive_target: float = 0.78
+    #: DRAM rss fraction that triggers reactive (Alg. 2) replacement.
+    high_watermark: float = 0.96
+    low_watermark: float = 0.90
+    #: minimum temperature for a slow-tier chunk to be promotion-worthy.
+    promote_threshold: float = 0.05
+    #: temperature bar for *exchange* promotion (evicting resident DRAM
+    #: pages to make room); higher than promote_threshold to avoid
+    #: ping-ponging lukewarm pages.
+    exchange_threshold: float = 0.20
+    #: temperature below which a DRAM chunk counts as proactively-swappable.
+    cold_threshold: float = 0.01
+    #: record a compaction when a tick frees at least this many chunks.
+    compaction_min_chunks: int = 16
+
+    def __post_init__(self) -> None:
+        check_fraction(self.proactive_threshold, "proactive_threshold")
+        check_fraction(self.proactive_target, "proactive_target")
+        check_fraction(self.high_watermark, "high_watermark")
+        check_fraction(self.low_watermark, "low_watermark")
+        require(self.proactive_target <= self.proactive_threshold, "target above threshold")
+        require(self.low_watermark <= self.high_watermark, "low watermark above high")
+        check_positive(self.compaction_min_chunks, "compaction_min_chunks")
+
+
+class IntelligentPageMovement:
+    """The per-tick movement engine behind the IMME environment."""
+
+    def __init__(
+        self,
+        owner_flags: Callable[[str], MemFlag],
+        replacement: PageReplacementPolicy,
+        config: MovementConfig | None = None,
+    ) -> None:
+        self.owner_flags = owner_flags
+        self.replacement = replacement
+        self.config = config if config is not None else MovementConfig()
+
+    # ------------------------------------------------------------------ #
+    def tick(self, ctx: PolicyContext, promote_budget_bytes: int) -> None:
+        """One daemon pass; ``promote_budget_bytes`` is the staging-buffer
+        capacity the manager grants this tick."""
+        self._promote(ctx, promote_budget_bytes)
+        freed = self._proactive_swap(ctx)
+        self._reactive(ctx)
+        any_ps = next(iter(ctx.memory.pagesets()), None)
+        if any_ps is not None and freed >= self.config.compaction_min_chunks * any_ps.chunk_size:
+            ctx.memory.compact()
+
+    # ------------------------------------------------------------------ #
+    # promotion
+    # ------------------------------------------------------------------ #
+    def _promote(self, ctx: PolicyContext, budget_bytes: int) -> None:
+        mem = ctx.memory
+        cfg = self.config
+        # Pass 1 — swap-resident hot pages, globally, before anything else:
+        # these are the most damaging, and must not be starved by
+        # streaming workloads' tier-to-tier churn.
+        for ps in list(mem.pagesets()):
+            if budget_bytes <= 0:
+                return
+            hot_swap = ps.hottest_in(SWAP, budget_bytes // ps.chunk_size)
+            hot_swap = hot_swap[ps.temperature[hot_swap] >= cfg.promote_threshold]
+            if hot_swap.size:
+                moved_idx = self._pull_up(ctx, ps, hot_swap)
+                if moved_idx.size:
+                    # shadowed swap-ins are free remaps (minor); the rest
+                    # were brought in by the background daemon, which the
+                    # paper counts as converting major faults into minors.
+                    ctx.record_minor(ps.owner, int(moved_idx.size))
+                    budget_bytes -= int(moved_idx.size) * ps.chunk_size
+        # Pass 2 — PMem/CXL hot pages move toward DRAM.
+        for ps in list(mem.pagesets()):
+            if budget_bytes <= 0:
+                return
+            for tier in (PMEM, CXL):
+                hot = ps.hottest_in(tier, budget_bytes // ps.chunk_size)
+                hot = hot[ps.temperature[hot] >= cfg.promote_threshold]
+                if hot.size == 0:
+                    continue
+                room = max(0, mem.free(DRAM)) // ps.chunk_size
+                if room < hot.size:
+                    # exchange: very hot slow-tier pages displace cold DRAM
+                    # pages (demoted via Algorithm 2, never swapped blindly)
+                    very_hot = hot[ps.temperature[hot] >= cfg.exchange_threshold]
+                    want = int(very_hot.size) - int(room)
+                    if want > 0:
+                        self.replacement.replace(
+                            ctx, want * ps.chunk_size, protect_owner=ps.owner
+                        )
+                        room = max(0, mem.free(DRAM)) // ps.chunk_size
+                take = hot[: int(room)]
+                if tier is PMEM and take.size < hot.size and mem.free(CXL) > 0:
+                    # heatmap-driven PMem→CXL rebalance when DRAM is full:
+                    # CXL is the faster of the two in the testbed.
+                    spill = hot[take.size:]
+                    spill_room = max(0, mem.free(CXL)) // ps.chunk_size
+                    spill = spill[: int(spill_room)]
+                    if spill.size:
+                        mem.migrate(ps, spill, CXL)
+                        ctx.record_minor(ps.owner, int(spill.size))
+                        budget_bytes -= int(spill.size) * ps.chunk_size
+                if take.size:
+                    mem.migrate(ps, take, DRAM)
+                    ctx.record_minor(ps.owner, int(take.size))
+                    budget_bytes -= int(take.size) * ps.chunk_size
+                if budget_bytes <= 0:
+                    return
+
+    def _pull_up(self, ctx: PolicyContext, ps, idx: np.ndarray) -> np.ndarray:
+        """Move swap chunks into the fastest tiers with room; returns the
+        chunks actually moved."""
+        mem = ctx.memory
+        moved = []
+        remaining = idx
+        for tier in (DRAM, CXL, PMEM):
+            if remaining.size == 0:
+                break
+            room = max(0, mem.free(tier)) // ps.chunk_size
+            take = remaining[: int(room)]
+            if take.size:
+                mem.migrate(ps, take, tier)
+                moved.append(take)
+                remaining = remaining[take.size:]
+        return np.concatenate(moved) if moved else idx[:0]
+
+    # ------------------------------------------------------------------ #
+    # proactive swapping
+    # ------------------------------------------------------------------ #
+    def _proactive_swap(self, ctx: PolicyContext) -> int:
+        """Move cold, unprotected DRAM pages to CXL ahead of pressure.
+
+        Pages from latency-sensitive/short-lived workflows are skipped
+        entirely at this stage; their pageable remainder is only touched
+        by reactive replacement when nothing else is left.
+        """
+        mem = ctx.memory
+        cfg = self.config
+        cap = mem.capacity(DRAM)
+        if cap <= 0 or mem.capacity(CXL) <= 0:
+            return 0
+        rss = mem.rss(DRAM)
+        if rss <= cfg.proactive_threshold * cap:
+            return 0
+        target_free = int(rss - cfg.proactive_target * cap)
+        freed = 0
+        for ps in list(mem.pagesets()):
+            if freed >= target_free:
+                break
+            if is_protected(self.owner_flags(ps.owner)):
+                continue
+            need_chunks = -(-(target_free - freed) // ps.chunk_size)
+            cold = ps.coldest_in(DRAM, need_chunks)
+            cold = cold[ps.temperature[cold] <= cfg.cold_threshold]
+            if cold.size == 0:
+                continue
+            room = max(0, mem.free(CXL)) // ps.chunk_size
+            cold = cold[: int(room)]
+            if cold.size == 0:
+                break
+            freed += mem.migrate(ps, cold, CXL)
+            # keep page-cache shadows while DRAM still has free space, so a
+            # re-touch is a minor fault served at DRAM speed (§III-C4)
+            mem.add_page_cache_shadow(ps, cold)
+        return freed
+
+    # ------------------------------------------------------------------ #
+    # reactive replacement (Algorithm 2)
+    # ------------------------------------------------------------------ #
+    def _reactive(self, ctx: PolicyContext) -> None:
+        mem = ctx.memory
+        cfg = self.config
+        cap = mem.capacity(DRAM)
+        if cap <= 0:
+            return
+        rss = mem.rss(DRAM)
+        if rss > cfg.high_watermark * cap:
+            self.replacement.replace(ctx, int(rss - cfg.low_watermark * cap))

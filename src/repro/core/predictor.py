@@ -1,0 +1,169 @@
+"""Flag and flag-size prediction from execution history (§III-C1/C2).
+
+When a workflow arrives without Table-I flags, the Tiered Memory Manager
+"assigns either single or multiple flags to each workflow based on the
+previous execution logs, heuristics, and predictor".  Two pieces model
+that:
+
+* :class:`ExecutionLogStore` — per-workflow-key records of observed flag
+  sizes ("if a job allocates 40 GB ... and only 512 MB of pages are
+  accessed 80 % of the time ... 512 MB is determined to be
+  latency-sensitive (LAT) while the remaining memory is classified as
+  capacity-sensitive (CAP)").
+* :class:`FlagPredictor` — exact-key lookup, nearest-match fallback
+  ("for cases where logs are not available or the exact match is not
+  found, we utilize the nearest match as hints"), and a conservative
+  default heuristic when the store is empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..memory.pageset import PageSet
+from ..util.validation import check_fraction, check_positive, require
+from .flags import MemFlag
+from .heatmap import hot_mask
+
+__all__ = ["ExecutionRecord", "ExecutionLogStore", "FlagPredictor", "flag_sizes_from_heatmap"]
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """One completed execution's observed memory behaviour."""
+
+    key: str
+    footprint: int
+    flag_sizes: dict[MemFlag, int]
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.footprint, "footprint")
+        for f, s in self.flag_sizes.items():
+            require(isinstance(f, MemFlag), "flag_sizes keys must be MemFlag atoms")
+            require(s >= 0, f"flag size for {f} must be >= 0")
+
+
+class ExecutionLogStore:
+    """Keeps the most recent record per workflow key.
+
+    Keys are the workflow configuration identity the paper looks up with
+    ("workflow configuration information, parameters, flags, etc.") —
+    in this library, the task spec name or any caller-chosen string.
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[str, ExecutionRecord] = {}
+
+    def record(self, rec: ExecutionRecord) -> None:
+        self._records[rec.key] = rec
+
+    def get(self, key: str) -> Optional[ExecutionRecord]:
+        return self._records.get(key)
+
+    def nearest(self, key: str, footprint: int) -> Optional[ExecutionRecord]:
+        """Nearest match: prefer a shared name prefix (same application,
+        different parameters), then closest footprint."""
+        if not self._records:
+            return None
+        stem = key.split("-")[0]
+        same_family = [r for k, r in self._records.items() if k.split("-")[0] == stem]
+        pool = same_family if same_family else list(self._records.values())
+        return min(pool, key=lambda r: abs(r.footprint - footprint))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def flag_sizes_from_heatmap(
+    ps: PageSet, hot_share: float = 0.80, bw_weight: float = 0.0
+) -> dict[MemFlag, int]:
+    """Derive per-flag sizes from observed page temperatures.
+
+    The hot set (smallest chunk set with ``hot_share`` of the heat)
+    is latency-sensitive; the remainder is capacity.  A ``bw_weight``
+    fraction of the hot set may be tagged BW instead when the workload's
+    throughput demand dominates (callers pass their own judgement).
+    """
+    check_fraction(hot_share, "hot_share")
+    check_fraction(bw_weight, "bw_weight")
+    hot = hot_mask(ps, hot_share)
+    hot_bytes = int(np.count_nonzero(hot)) * ps.chunk_size
+    total = int(np.count_nonzero(ps.mapped_mask)) * ps.chunk_size
+    bw_bytes = int(hot_bytes * bw_weight)
+    lat_bytes = hot_bytes - bw_bytes
+    out: dict[MemFlag, int] = {}
+    if lat_bytes:
+        out[MemFlag.LAT] = lat_bytes
+    if bw_bytes:
+        out[MemFlag.BW] = bw_bytes
+    cap = max(0, total - hot_bytes)
+    if cap or not out:
+        out[MemFlag.CAP] = cap
+    return out
+
+
+@dataclass
+class FlagPredictor:
+    """Predicts flags / per-flag sizes for incoming allocations.
+
+    ``default_lat_fraction`` drives the cold-start heuristic: with no
+    history at all, a ``default_lat_fraction`` slice of the request is
+    assumed latency-sensitive and the rest capacity — a conservative split
+    that keeps unknown workloads partly in fast memory.
+    """
+
+    store: ExecutionLogStore = field(default_factory=ExecutionLogStore)
+    default_lat_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        check_fraction(self.default_lat_fraction, "default_lat_fraction")
+
+    # ------------------------------------------------------------------ #
+    def predict_flags(self, key: str, nbytes: int) -> MemFlag:
+        """Algorithm 1's ``predict_flags``: which flags apply at all."""
+        check_positive(nbytes, "nbytes")
+        rec = self.store.get(key) or self.store.nearest(key, nbytes)
+        if rec is not None:
+            flags = MemFlag.NONE
+            for f, s in rec.flag_sizes.items():
+                if s > 0:
+                    flags |= f
+            if flags is not MemFlag.NONE:
+                return flags
+        return MemFlag.LAT | MemFlag.CAP
+
+    def predict_flag_sizes(self, key: str, nbytes: int, flags: MemFlag) -> dict[MemFlag, int]:
+        """Algorithm 1's ``predict_flag_mem_size``: bytes per atomic flag,
+        scaled to the current request and guaranteed to sum to ``nbytes``."""
+        check_positive(nbytes, "nbytes")
+        atoms = flags.atoms()
+        require(len(atoms) > 0, "flags must contain at least one atom")
+        rec = self.store.get(key) or self.store.nearest(key, nbytes)
+        if rec is not None:
+            known = {f: rec.flag_sizes.get(f, 0) for f in atoms}
+            total_known = sum(known.values())
+            if total_known > 0:
+                sizes = {f: int(nbytes * s / total_known) for f, s in known.items()}
+            else:
+                sizes = {f: nbytes // len(atoms) for f in atoms}
+        elif MemFlag.LAT in flags and MemFlag.CAP in flags and len(atoms) == 2:
+            lat = int(nbytes * self.default_lat_fraction)
+            sizes = {MemFlag.LAT: lat, MemFlag.CAP: nbytes - lat}
+        else:
+            sizes = {f: nbytes // len(atoms) for f in atoms}
+        # fix rounding so sizes sum exactly to the request
+        drift = nbytes - sum(sizes.values())
+        last = atoms[-1]
+        sizes[last] = sizes.get(last, 0) + drift
+        return {f: s for f, s in sizes.items() if s > 0}
+
+    # ------------------------------------------------------------------ #
+    def learn(self, key: str, ps: PageSet, duration: float, bw_weight: float = 0.0) -> None:
+        """Record a finished execution's heat profile for future predictions."""
+        sizes = flag_sizes_from_heatmap(ps, bw_weight=bw_weight)
+        footprint = max(ps.mapped_bytes, ps.chunk_size)
+        self.store.record(ExecutionRecord(key, footprint, sizes, duration))

@@ -1,0 +1,121 @@
+"""Shared memory across workflows on CXL (§III-C5).
+
+Three strategies from the paper:
+
+1. **Locality-aware shared regions** — read-only data shared between
+   workflows lives in cluster-visible CXL memory, with per-node local
+   buffer caching for fast repeated access.
+2. **CXL-hosted container images** — the scheduler stages images into the
+   shared pool once, so scale-outs hit CXL instead of re-pulling over the
+   network (the Fig. 10/11 startup-time win).
+3. **Scale-down safety** — shared regions are reference-counted; memory
+   is freed only "when all references in the corresponding page tables
+   have been removed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..memory.topology import SharedCXLPool
+from ..util.validation import check_positive, require
+
+__all__ = ["SharedRegionHandle", "SharedMemoryManager"]
+
+
+@dataclass(frozen=True)
+class SharedRegionHandle:
+    """An attached shared region as seen by one workflow."""
+
+    name: str
+    nbytes: int
+    owner: str
+
+
+@dataclass
+class _NodeCache:
+    """Per-node local-buffer cache of shared regions (strategy 1)."""
+
+    cached: set[str] = field(default_factory=set)
+
+
+class SharedMemoryManager:
+    """Tracks shared CXL regions, per-node caches, and references."""
+
+    def __init__(self, pool: SharedCXLPool, n_nodes: int) -> None:
+        check_positive(n_nodes, "n_nodes")
+        self.pool = pool
+        self._node_caches = [_NodeCache() for _ in range(n_nodes)]
+        self._attachments: dict[tuple[str, str], SharedRegionHandle] = {}
+        self.stage_count = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------ #
+    # staging & attachment
+    # ------------------------------------------------------------------ #
+    def stage(self, name: str, nbytes: int, owner: str = "_platform") -> SharedRegionHandle:
+        """Stage (or re-reference) a region in shared CXL memory.
+
+        The platform itself holds the initial reference for images so a
+        burst of container starts never races region teardown.
+        """
+        fresh = self.pool.stage(name, nbytes)
+        if fresh:
+            self.stage_count += 1
+        handle = SharedRegionHandle(name, self.pool.region_bytes(name), owner)
+        self._attachments[(owner, name)] = handle
+        return handle
+
+    def attach(self, owner: str, name: str) -> SharedRegionHandle:
+        """A workflow maps an existing shared region."""
+        require(self.pool.contains(name), f"shared region {name!r} is not staged")
+        key = (owner, name)
+        require(key not in self._attachments, f"{owner!r} already attached to {name!r}")
+        self.pool.acquire(name)
+        handle = SharedRegionHandle(name, self.pool.region_bytes(name), owner)
+        self._attachments[key] = handle
+        return handle
+
+    def detach(self, owner: str, name: str) -> bool:
+        """Drop one workflow's reference; returns True when the region was
+        freed (last reference gone — the scale-down rule)."""
+        key = (owner, name)
+        require(key in self._attachments, f"{owner!r} is not attached to {name!r}")
+        del self._attachments[key]
+        freed = self.pool.release(name)
+        if freed:
+            for cache in self._node_caches:
+                cache.cached.discard(name)
+        return freed
+
+    def detach_all(self, owner: str) -> int:
+        """Release every region ``owner`` holds (container teardown)."""
+        names = [name for (o, name) in list(self._attachments) if o == owner]
+        for name in names:
+            self.detach(owner, name)
+        return len(names)
+
+    # ------------------------------------------------------------------ #
+    # locality (strategy 1)
+    # ------------------------------------------------------------------ #
+    def is_cached_on(self, node_index: int, name: str) -> bool:
+        return name in self._node_caches[node_index].cached
+
+    def note_access(self, node_index: int, name: str) -> bool:
+        """Record an access from a node; the first access populates the
+        node's local buffer cache, later ones are cache hits.  Returns
+        whether this access was a hit."""
+        require(self.pool.contains(name), f"shared region {name!r} is not staged")
+        cache = self._node_caches[node_index].cached
+        if name in cache:
+            self.cache_hits += 1
+            return True
+        cache.add(name)
+        return False
+
+    def attachments_of(self, owner: str) -> tuple[SharedRegionHandle, ...]:
+        return tuple(h for (o, _), h in self._attachments.items() if o == owner)
+
+    @property
+    def staged_bytes(self) -> int:
+        return self.pool.used

@@ -1,0 +1,5 @@
+"""Execution environments: IE, CBE, TME, IMME (§IV-C3)."""
+
+from .environments import EnvKind, Environment, EnvironmentConfig, make_environment
+
+__all__ = ["EnvKind", "Environment", "EnvironmentConfig", "make_environment"]

@@ -1,0 +1,269 @@
+"""The paper's four execution environments (§IV-C3), ready to run.
+
+* **IE** — Ideal Environment: enough local DRAM for everything, plain
+  Linux memory management.
+* **CBE** — Constrained Baseline Environment: limited DRAM, no tiered
+  memory, pages swap to disk under pressure.
+* **TME** — Tiered Memory Environment: CBE plus PMem/CXL tiers managed by
+  a workflow-oblivious TPP-style demand policy with temperature-based
+  promotion/demotion.
+* **IMME** — Intelligent Memory Management Environment: TME plus the
+  paper's Tiered Memory Manager (Algorithms 1/2, intelligent movement,
+  proactive swapping, CXL image staging).
+
+An :class:`Environment` bundles the full simulated stack — engine,
+cluster memory topology, node agents, container runtime, scheduler,
+metrics — so experiments construct one per configuration and call
+:meth:`Environment.run_batch`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..containers.image import ImageRegistry, default_images
+from ..containers.runtime import ContainerRuntime, NetworkFabric
+from ..core.flags import MemFlag
+from ..core.manager import TieredMemoryManager
+from ..core.sharing import SharedMemoryManager
+from ..memory.pageset import DEFAULT_CHUNK_SIZE
+from ..memory.tiers import TierKind, TierSpec, constrained_tier_specs
+from ..memory.topology import MemoryTopology
+from ..metrics.collector import MetricsRegistry
+from ..policies.base import MemoryPolicy
+from ..policies.linux import LinuxSwapPolicy
+from ..policies.tpp import TieredDemandPolicy
+from ..runtime.node_agent import NodeAgent
+from ..runtime.rates import RateModelConfig
+from ..scheduler.slurm import SlurmScheduler
+from ..sim.engine import SimulationEngine
+from ..util.units import GBps, TiB
+from ..util.validation import check_positive, require
+from ..workflows.task import TaskSpec
+
+__all__ = ["EnvKind", "EnvironmentConfig", "Environment", "make_environment"]
+
+
+class EnvKind(enum.Enum):
+    IE = "ideal"
+    CBE = "constrained-baseline"
+    TME = "tiered-memory"
+    IMME = "intelligent"
+
+
+@dataclass
+class EnvironmentConfig:
+    """Everything needed to stand up one simulated cluster."""
+
+    kind: EnvKind
+    n_nodes: int = 1
+    cores_per_node: int = 64
+    dram_capacity: int = TiB(8)
+    pmem_capacity: int = 0
+    cxl_capacity: int = 0
+    swap_capacity: int = TiB(16)
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    daemon_interval: float = 1.0
+    network_bandwidth: float = GBps(1.25)
+    rate_config: RateModelConfig = field(default_factory=RateModelConfig)
+    #: IMME: pre-stage container images in shared CXL before launches
+    stage_images: bool = False
+    #: TME: force this fraction of each allocation onto CXL (Fig. 6 sweep)
+    cxl_fraction: Optional[float] = None
+    #: override the policy entirely (Fig. 7 allocation-policy comparison)
+    policy_factory: Optional[Callable[[dict[TierKind, TierSpec]], MemoryPolicy]] = None
+    validate_invariants: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive(self.n_nodes, "n_nodes")
+        check_positive(self.cores_per_node, "cores_per_node")
+        check_positive(self.dram_capacity, "dram_capacity")
+
+    def tier_specs(self) -> dict[TierKind, TierSpec]:
+        if self.kind in (EnvKind.IE, EnvKind.CBE):
+            return constrained_tier_specs(
+                dram_capacity=self.dram_capacity, swap_capacity=self.swap_capacity
+            )
+        return constrained_tier_specs(
+            dram_capacity=self.dram_capacity,
+            pmem_capacity=self.pmem_capacity,
+            cxl_capacity=self.cxl_capacity,
+            swap_capacity=self.swap_capacity,
+        )
+
+    def build_policy(self, specs: dict[TierKind, TierSpec]) -> MemoryPolicy:
+        if self.policy_factory is not None:
+            return self.policy_factory(specs)
+        if self.kind in (EnvKind.IE, EnvKind.CBE):
+            return LinuxSwapPolicy()
+        if self.kind is EnvKind.TME:
+            return TieredDemandPolicy(cxl_fraction=self.cxl_fraction)
+        return TieredMemoryManager(specs)
+
+
+class Environment:
+    """A fully-wired simulated cluster for one environment configuration."""
+
+    def __init__(self, config: EnvironmentConfig, registry: Optional[ImageRegistry] = None):
+        self.config = config
+        self.engine = SimulationEngine()
+        specs = config.tier_specs()
+        self.topology = MemoryTopology(config.n_nodes, specs)
+        self.metrics = MetricsRegistry()
+        self.shared_memory: Optional[SharedMemoryManager] = None
+        if config.kind is EnvKind.IMME:
+            self.shared_memory = SharedMemoryManager(self.topology.shared_cxl, config.n_nodes)
+        self.agents = [
+            NodeAgent(
+                self.engine,
+                node,
+                config.build_policy(specs),
+                self.metrics,
+                cores=config.cores_per_node,
+                daemon_interval=config.daemon_interval,
+                rate_config=config.rate_config,
+                chunk_size=config.chunk_size,
+                validate_invariants=config.validate_invariants,
+                shared_memory=self.shared_memory,
+                node_index=i,
+            )
+            for i, node in enumerate(self.topology.nodes)
+        ]
+        self.registry = registry if registry is not None else default_images()
+        self.fabric = NetworkFabric(self.engine, config.network_bandwidth)
+        self.containers = ContainerRuntime(
+            self.engine,
+            self.registry,
+            self.fabric,
+            config.n_nodes,
+            shared_memory=self.shared_memory,
+        )
+        self.scheduler = SlurmScheduler(self.engine, self.agents, self.containers, self.metrics)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return self.config.kind.name
+
+    def stage_images_for(self, specs: Iterable[TaskSpec]) -> None:
+        """IMME: stage each distinct image once in shared CXL (§III-C5)."""
+        require(self.shared_memory is not None, "image staging requires the IMME environment")
+        for image in sorted({s.image for s in specs}):
+            self.containers.stage_image(image)
+
+    def run_batch(
+        self,
+        specs: Sequence[TaskSpec],
+        *,
+        flags: Optional[MemFlag] = None,
+        exclusive: bool = False,
+        max_time: float = 1e9,
+    ) -> MetricsRegistry:
+        """Submit every spec now, run to completion, return the metrics.
+
+        ``exclusive`` runs the batch bare-metal style: whole-node
+        allocations, no containers, no colocation (§II-B).
+        """
+        if self.config.stage_images and self.shared_memory is not None and not exclusive:
+            self.stage_images_for(specs)
+        self.scheduler.submit_batch(specs, flags=flags, exclusive=exclusive)
+        self.scheduler.run_to_completion(max_time=max_time)
+        return self.metrics
+
+    def run_arrivals(
+        self,
+        specs: Sequence[TaskSpec],
+        arrival_times: Sequence[float],
+        *,
+        flags: Optional[MemFlag] = None,
+        max_time: float = 1e9,
+    ) -> MetricsRegistry:
+        """Open-loop run: submit ``specs[i]`` at ``arrival_times[i]``
+        (simulated seconds from now), then run until everything finishes."""
+        require(
+            len(specs) == len(arrival_times),
+            "need exactly one arrival time per spec",
+        )
+        if self.config.stage_images and self.shared_memory is not None:
+            self.stage_images_for(specs)
+        for spec, at in zip(specs, arrival_times):
+            self.engine.schedule(
+                max(0.0, float(at)),
+                lambda s=spec: self.scheduler.submit(s, flags=flags),
+                f"arrival.{spec.name}",
+            )
+        # drain the arrival events first so all_done cannot be trivially true
+        last = max((float(a) for a in arrival_times), default=0.0)
+        self.engine.run(until=self.engine.now + last)
+        self.scheduler.run_to_completion(max_time=max_time)
+        return self.metrics
+
+    def node_traffic(self) -> dict[str, int]:
+        return MetricsRegistry.node_traffic(self.topology.nodes)
+
+    def summary(self) -> str:
+        """One-paragraph human description of the wired cluster."""
+        from ..util.units import bytes_to_human
+
+        node = self.topology.node(0)
+        tiers = ", ".join(
+            f"{TierKind(t).name} {bytes_to_human(node.capacity(TierKind(t)))}"
+            for t in range(4)
+            if node.capacity(TierKind(t)) > 0
+        )
+        policy = self.agents[0].policy.name
+        return (
+            f"{self.name}: {self.config.n_nodes} node(s) x "
+            f"{self.config.cores_per_node} cores, {tiers}; policy={policy}; "
+            f"chunk={bytes_to_human(self.config.chunk_size)}; "
+            f"image staging={'on' if self.config.stage_images else 'off'}"
+        )
+
+    def stop(self) -> None:
+        for agent in self.agents:
+            agent.stop()
+
+
+def make_environment(
+    kind: EnvKind,
+    *,
+    n_nodes: int = 1,
+    dram_capacity: int,
+    pmem_capacity: int = 0,
+    cxl_capacity: int = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    cores_per_node: int = 64,
+    cxl_fraction: Optional[float] = None,
+    policy_factory: Optional[Callable[[dict[TierKind, TierSpec]], MemoryPolicy]] = None,
+    daemon_interval: float = 1.0,
+    validate_invariants: bool = False,
+    rate_config: Optional[RateModelConfig] = None,
+) -> Environment:
+    """Convenience factory used throughout the experiments.
+
+    For TME/IMME, PMem/CXL capacities default to the paper's per-node
+    ratios (2x DRAM of PMem, effectively-unlimited CXL) when not given.
+    """
+    if kind in (EnvKind.TME, EnvKind.IMME):
+        if pmem_capacity == 0:
+            pmem_capacity = 2 * dram_capacity
+        if cxl_capacity == 0:
+            cxl_capacity = 64 * dram_capacity
+    config = EnvironmentConfig(
+        kind=kind,
+        n_nodes=n_nodes,
+        cores_per_node=cores_per_node,
+        dram_capacity=dram_capacity,
+        pmem_capacity=pmem_capacity,
+        cxl_capacity=cxl_capacity,
+        chunk_size=chunk_size,
+        cxl_fraction=cxl_fraction,
+        policy_factory=policy_factory,
+        stage_images=(kind is EnvKind.IMME),
+        daemon_interval=daemon_interval,
+        validate_invariants=validate_invariants,
+        rate_config=rate_config if rate_config is not None else RateModelConfig(),
+    )
+    return Environment(config)

@@ -1,0 +1,52 @@
+"""Per-figure experiment harnesses (see DESIGN.md's experiment index).
+
+Each ``run_figXX`` regenerates the corresponding paper figure's series at
+laptop scale and returns a :class:`~repro.experiments.common.FigureResult`
+whose table mirrors what the figure plots.
+"""
+
+from .ablations import run_ablations
+from .cold_pages import run_cold_pages
+from .common import CHUNK, SCALE, FigureResult, build_env, colocated_mix
+from .ext_colocation import run_colocation
+from .ext_decomposition import run_decomposition
+from .ext_failures import run_failures
+from .ext_open_system import run_open_system
+from .ext_predictor import run_predictor_learning
+from .ext_shared_inputs import run_shared_inputs
+from .ext_utilization import run_utilization
+from .fig01_motivation import run_fig01
+from .fig05_exec_time import run_fig05
+from .fig06_cxl_fraction import run_fig06
+from .fig07_alloc_policy import run_fig07
+from .fig08_dram_fraction import run_fig08
+from .fig09_page_faults import run_fig09
+from .fig10_scalability import run_fig10
+from .validation import run_validation
+from .fig11_concurrency import run_fig11
+
+__all__ = [
+    "CHUNK",
+    "SCALE",
+    "FigureResult",
+    "build_env",
+    "colocated_mix",
+    "run_ablations",
+    "run_cold_pages",
+    "run_colocation",
+    "run_decomposition",
+    "run_failures",
+    "run_open_system",
+    "run_predictor_learning",
+    "run_shared_inputs",
+    "run_utilization",
+    "run_fig01",
+    "run_fig05",
+    "run_fig06",
+    "run_fig07",
+    "run_fig08",
+    "run_fig09",
+    "run_fig10",
+    "run_validation",
+    "run_fig11",
+]

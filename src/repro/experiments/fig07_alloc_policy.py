@@ -1,0 +1,98 @@
+"""Figure 7 — impact of the page allocation policy.
+
+Three allocation strategies over identical tiered hardware:
+
+* **Default Allocation** — DRAM on demand, spill to CXL, oblivious to
+  workflow class (great until a latency-sensitive footprint overflows),
+* **Uniform Allocation** — interleave every allocation across tiers
+  (helps bandwidth-intensive flows, hurts latency-sensitive ones),
+* **Ours (Algorithm 1)** — flag-aware cascading/striping/CXL-direct.
+
+Paper averages: ours −44 % vs Default, −8 % vs Uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..envs.environments import EnvKind
+from ..metrics.report import improvement
+from ..policies.interleave import DefaultAllocationPolicy, UniformInterleavePolicy
+from .fig05_exec_time import DEFAULT_MIX
+from .common import (
+    SCALE,
+    CHUNK,
+    CLASS_ORDER,
+    FigureResult,
+    build_env,
+    colocated_mix,
+    per_class_exec_time,
+    run_and_collect,
+)
+
+__all__ = ["run_fig07"]
+
+
+def run_fig07(
+    *,
+    scale: float = SCALE,
+    instances_per_class: "int | dict | None" = None,
+    dram_fraction: float = 0.25,
+    chunk_size: int = CHUNK,
+    seed: int = 0,
+) -> FigureResult:
+    if instances_per_class is None:
+        instances_per_class = dict(DEFAULT_MIX)
+    specs = colocated_mix(instances_per_class, scale=scale, seed=seed)
+    result = FigureResult(
+        figure="fig07",
+        description="Fig 7: mean execution time (s) per allocation policy",
+        xlabels=[cls.name for cls in CLASS_ORDER],
+    )
+    def weighted_factory(tier_specs):
+        """Bandwidth-proportional weights — the "weighted interleaving"
+        the paper notes "can further improve" Uniform Allocation."""
+        from repro.memory.tiers import MEMORY_TIERS
+
+        weights = {
+            t: tier_specs[t].bandwidth
+            for t in MEMORY_TIERS
+            if tier_specs[t].capacity > 0
+        }
+        return UniformInterleavePolicy(weights)
+
+    policies = {
+        "default-alloc": dict(
+            kind=EnvKind.TME, policy_factory=lambda s: DefaultAllocationPolicy()
+        ),
+        "uniform-interleave": dict(
+            kind=EnvKind.TME, policy_factory=lambda s: UniformInterleavePolicy()
+        ),
+        "weighted-interleave": dict(kind=EnvKind.TME, policy_factory=weighted_factory),
+        "ours-alg1": dict(kind=EnvKind.IMME, policy_factory=None),
+    }
+    for name, cfg in policies.items():
+        env = build_env(
+            cfg["kind"],
+            specs,
+            dram_fraction=dram_fraction,
+            chunk_size=chunk_size,
+            policy_factory=cfg["policy_factory"],
+        )
+        metrics = run_and_collect(env, specs)
+        times = per_class_exec_time(metrics)
+        result.add_series(name, [times[cls] for cls in CLASS_ORDER])
+
+    ours = np.array(result.series["ours-alg1"])
+    for base in ("default-alloc", "uniform-interleave"):
+        vals = np.array(result.series[base])
+        mean_gain = float(np.mean([improvement(b, o) for b, o in zip(vals, ours)]))
+        result.notes.append(
+            f"ours avg improvement vs {base}: {100 * mean_gain:.0f}% "
+            f"(paper: 44% vs default, 8% vs uniform)"
+        )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig07().to_table())

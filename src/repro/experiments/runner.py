@@ -1,0 +1,113 @@
+"""Run every paper experiment and emit a combined report.
+
+``python -m repro.experiments`` regenerates all figures at laptop scale
+and prints their tables; ``--out FILE`` also writes a markdown report
+(the source of EXPERIMENTS.md's measured numbers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Optional, Sequence
+
+from .cold_pages import run_cold_pages
+from .common import FigureResult
+from .fig01_motivation import run_fig01
+from .fig05_exec_time import run_fig05
+from .fig06_cxl_fraction import run_fig06
+from .fig07_alloc_policy import run_fig07
+from .fig08_dram_fraction import run_fig08
+from .fig09_page_faults import run_fig09
+from .ext_colocation import run_colocation
+from .ext_decomposition import run_decomposition
+from .ext_failures import run_failures
+from .ext_open_system import run_open_system
+from .ext_predictor import run_predictor_learning
+from .ext_shared_inputs import run_shared_inputs
+from .ext_utilization import run_utilization
+from .fig10_scalability import run_fig10
+from .ablations import run_ablations
+from .validation import run_validation
+from .fig11_concurrency import run_fig11
+
+__all__ = ["ALL_EXPERIMENTS", "run_all", "main"]
+
+ALL_EXPERIMENTS: dict[str, Callable[[], FigureResult]] = {
+    "validation": run_validation,
+    "fig01": run_fig01,
+    "cold-pages": run_cold_pages,
+    "fig05": run_fig05,
+    "fig06": run_fig06,
+    "fig07": run_fig07,
+    "fig08": run_fig08,
+    "fig09": run_fig09,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "ext-shared-inputs": run_shared_inputs,
+    "ext-failures": run_failures,
+    "ext-open-system": run_open_system,
+    "ext-colocation": run_colocation,
+    "ext-predictor": run_predictor_learning,
+    "ext-decomposition": run_decomposition,
+    "ext-utilization": run_utilization,
+    "ablations": run_ablations,
+}
+
+
+def run_all(
+    names: Optional[Sequence[str]] = None, *, verbose: bool = True
+) -> dict[str, FigureResult]:
+    """Run the selected experiments (all by default), returning results."""
+    selected = list(names) if names else list(ALL_EXPERIMENTS)
+    results: dict[str, FigureResult] = {}
+    for name in selected:
+        if name not in ALL_EXPERIMENTS:
+            raise KeyError(f"unknown experiment {name!r}; choose from {list(ALL_EXPERIMENTS)}")
+        t0 = time.perf_counter()
+        result = ALL_EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - t0
+        results[name] = result
+        if verbose:
+            print(result.to_table())
+            print(f"  [{name} regenerated in {elapsed:.1f}s]\n")
+    return results
+
+
+def to_markdown(results: dict[str, FigureResult]) -> str:
+    lines = ["# Experiment report (auto-generated)", ""]
+    for name, result in results.items():
+        lines.append(f"## {name}")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.to_table())
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures at laptop scale.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="NAME",
+        help=f"experiments to run (default: all of {', '.join(ALL_EXPERIMENTS)})",
+    )
+    parser.add_argument("--out", help="also write a markdown report to this path")
+    parser.add_argument("--quiet", action="store_true", help="suppress per-figure tables")
+    args = parser.parse_args(argv)
+    results = run_all(args.experiments or None, verbose=not args.quiet)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(to_markdown(results))
+        print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

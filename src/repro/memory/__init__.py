@@ -1,0 +1,49 @@
+"""Tiered-memory substrate: tier specs, page metadata, node accounting,
+bandwidth contention, and cluster topology."""
+
+from .contention import allocate_bandwidth, fair_share
+from .emulation import NumaNodeDesc, emulated_cxl_specs, latency_probe
+from .pageset import DEFAULT_CHUNK_SIZE, UNMAPPED, PageSet
+from .system import MemoryTrafficStats, NodeMemorySystem
+from .tiers import (
+    CXL,
+    DRAM,
+    MEMORY_TIERS,
+    NUM_TIERS,
+    PMEM,
+    SWAP,
+    TIER_NAMES,
+    TierKind,
+    TierSpec,
+    constrained_tier_specs,
+    default_tier_specs,
+    ideal_tier_specs,
+)
+from .topology import MemoryTopology, SharedCXLPool
+
+__all__ = [
+    "allocate_bandwidth",
+    "fair_share",
+    "NumaNodeDesc",
+    "emulated_cxl_specs",
+    "latency_probe",
+    "DEFAULT_CHUNK_SIZE",
+    "UNMAPPED",
+    "PageSet",
+    "MemoryTrafficStats",
+    "NodeMemorySystem",
+    "CXL",
+    "DRAM",
+    "MEMORY_TIERS",
+    "NUM_TIERS",
+    "PMEM",
+    "SWAP",
+    "TIER_NAMES",
+    "TierKind",
+    "TierSpec",
+    "constrained_tier_specs",
+    "default_tier_specs",
+    "ideal_tier_specs",
+    "MemoryTopology",
+    "SharedCXLPool",
+]

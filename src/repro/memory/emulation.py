@@ -1,0 +1,97 @@
+"""CXL emulation via remote NUMA characteristics (§IV-C1).
+
+The paper provisions its CXL tier "emulated using the remote NUMA socket
+as advocated by POND and CXLMemSim", observing ~80 ns local and ~140 ns
+remote latency.  This module reproduces that methodology for users who
+want tier specs derived from *their* machine's NUMA numbers rather than
+the paper's defaults:
+
+* describe each socket with a :class:`NumaNodeDesc` (as reported by
+  ``numactl --hardware`` + a latency benchmark),
+* :func:`latency_probe` simulates the pointer-chase measurement loop such
+  benchmarks run (deterministic jitter, so tests are stable),
+* :func:`emulated_cxl_specs` builds a full tier-spec set where the CXL
+  tier inherits the remote socket's latency/bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.rng import derive_seed
+from ..util.units import GBps, GiB, TiB, ns
+from ..util.validation import check_positive
+from .tiers import CXL, DRAM, PMEM, SWAP, TierKind, TierSpec, default_tier_specs
+
+__all__ = ["NumaNodeDesc", "latency_probe", "emulated_cxl_specs"]
+
+
+@dataclass(frozen=True)
+class NumaNodeDesc:
+    """One NUMA socket's memory characteristics."""
+
+    latency: float
+    read_bandwidth: float
+    write_bandwidth: float
+    capacity: int
+
+    def __post_init__(self) -> None:
+        check_positive(self.latency, "latency")
+        check_positive(self.read_bandwidth, "read_bandwidth")
+        check_positive(self.write_bandwidth, "write_bandwidth")
+        check_positive(self.capacity, "capacity")
+
+
+#: the paper's testbed sockets (~80 ns local, ~140 ns remote)
+PAPER_LOCAL = NumaNodeDesc(ns(80), GBps(100.0), GBps(80.0), GiB(256))
+PAPER_REMOTE = NumaNodeDesc(ns(140), GBps(30.0), GBps(25.0), GiB(256))
+
+
+def latency_probe(node: NumaNodeDesc, samples: int = 1000, seed: int = 0) -> float:
+    """Simulated pointer-chase latency measurement.
+
+    Real measurements (Intel MLC, CXLMemSim's probes) sample a dependent
+    load chain and report the mean; per-sample jitter comes from TLB and
+    row-buffer effects.  We model ±5% deterministic jitter around the true
+    latency so calibration code can be tested end-to-end.
+    """
+    check_positive(samples, "samples")
+    rng = np.random.default_rng(derive_seed(seed, "latency-probe"))
+    observed = node.latency * (1.0 + 0.05 * rng.standard_normal(samples) / 3.0)
+    return float(np.clip(observed, node.latency * 0.9, node.latency * 1.1).mean())
+
+
+def emulated_cxl_specs(
+    local: NumaNodeDesc = PAPER_LOCAL,
+    remote: NumaNodeDesc = PAPER_REMOTE,
+    *,
+    pmem_capacity: int = TiB(1),
+    swap_capacity: int = TiB(4),
+    calibrate: bool = False,
+) -> dict[TierKind, TierSpec]:
+    """Tier specs with DRAM = the local socket and CXL = the remote one.
+
+    With ``calibrate=True`` the latencies come from :func:`latency_probe`
+    instead of the nominal values (the measured-on-testbed workflow).
+    """
+    base = default_tier_specs(pmem_capacity=pmem_capacity, swap_capacity=swap_capacity)
+    local_lat = latency_probe(local) if calibrate else local.latency
+    remote_lat = latency_probe(remote, seed=1) if calibrate else remote.latency
+    return {
+        DRAM: TierSpec(
+            DRAM, local.capacity, local_lat, local.read_bandwidth,
+            local.write_bandwidth, "ddr",
+        ),
+        PMEM: base[PMEM],
+        CXL: TierSpec(
+            CXL,
+            base[CXL].capacity,  # "unlimited" pool assumption stands
+            remote_lat,
+            remote.read_bandwidth,
+            remote.write_bandwidth,
+            "cxl-emulated-numa",
+        ),
+        SWAP: base[SWAP],
+    }

@@ -1,0 +1,312 @@
+"""Per-node tiered-memory accounting.
+
+:class:`NodeMemorySystem` owns the ground truth of *where every chunk
+lives* on one server: per-tier used/capacity counters, the registry of
+resident :class:`~repro.memory.pageset.PageSet` objects, and the DRAM page
+cache that holds shadow copies of proactively-swapped pages (§III-C4).
+
+Policies never mutate placement directly — they call :meth:`place`,
+:meth:`migrate` and :meth:`swap_out` so the accounting (and the migration
+counters the experiments report) can never drift from the metadata.
+:meth:`validate` asserts exactly that invariant and is exercised heavily by
+the property-based tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..util.errors import AllocationError
+from ..util.validation import require
+from .pageset import UNMAPPED, PageSet
+from .tiers import DRAM, NUM_TIERS, SWAP, TierKind, TierSpec
+
+__all__ = ["NodeMemorySystem", "MemoryTrafficStats"]
+
+
+@dataclass
+class MemoryTrafficStats:
+    """Cumulative data-movement counters for one node.
+
+    ``migrated_bytes[src, dst]`` counts every chunk the node moved between
+    tiers; the figure harnesses read swap-in/out and CXL-migration totals
+    from here.
+    """
+
+    migrated_bytes: np.ndarray = field(
+        default_factory=lambda: np.zeros((NUM_TIERS, NUM_TIERS), dtype=np.int64)
+    )
+    swapped_out_bytes: int = 0
+    swapped_in_bytes: int = 0
+    page_cache_inserts: int = 0
+    page_cache_drops: int = 0
+    compactions: int = 0
+
+    def record_migration(self, src: int, dst: int, nbytes: int) -> None:
+        self.migrated_bytes[src, dst] += nbytes
+        if dst == int(SWAP):
+            self.swapped_out_bytes += nbytes
+        if src == int(SWAP):
+            self.swapped_in_bytes += nbytes
+
+    @property
+    def total_migrated_bytes(self) -> int:
+        return int(self.migrated_bytes.sum())
+
+
+class NodeMemorySystem:
+    """Tier accounting and placement engine for one cluster node."""
+
+    def __init__(self, specs: dict[TierKind, TierSpec], node_id: str = "node0") -> None:
+        require(set(specs) == set(TierKind), "specs must cover every TierKind")
+        self.node_id = node_id
+        self.specs = dict(specs)
+        self._capacity = np.array(
+            [specs[TierKind(t)].capacity for t in range(NUM_TIERS)], dtype=np.int64
+        )
+        self._used = np.zeros(NUM_TIERS, dtype=np.int64)
+        self._page_cache_used: int = 0
+        self._pagesets: dict[str, PageSet] = {}
+        self.stats = MemoryTrafficStats()
+        #: bytes migrated since the executor last sampled (for the
+        #: migration-overhead term in the rate model); the executor resets it.
+        self.migration_bytes_window: int = 0
+
+    # ------------------------------------------------------------------ #
+    # capacity queries
+    # ------------------------------------------------------------------ #
+    def capacity(self, tier: TierKind) -> int:
+        return int(self._capacity[int(tier)])
+
+    def used(self, tier: TierKind) -> int:
+        used = int(self._used[int(tier)])
+        if tier == DRAM:
+            used += self._page_cache_used
+        return used
+
+    def free(self, tier: TierKind) -> int:
+        return self.capacity(tier) - self.used(tier)
+
+    def free_excluding_page_cache(self, tier: TierKind) -> int:
+        """Free bytes counting page-cache shadows as reclaimable."""
+        return int(self._capacity[int(tier)] - self._used[int(tier)])
+
+    def rss(self, tier: TierKind) -> int:
+        """Bytes of real (non-page-cache) allocations resident in ``tier``."""
+        return int(self._used[int(tier)])
+
+    @property
+    def page_cache_used(self) -> int:
+        return self._page_cache_used
+
+    def utilization(self, tier: TierKind) -> float:
+        cap = self.capacity(tier)
+        return self.used(tier) / cap if cap else 0.0
+
+    # ------------------------------------------------------------------ #
+    # pageset registry
+    # ------------------------------------------------------------------ #
+    def register(self, ps: PageSet) -> None:
+        require(ps.owner not in self._pagesets, f"pageset {ps.owner!r} already registered")
+        require(not ps.mapped_mask.any(), "pageset must be unmapped at registration")
+        self._pagesets[ps.owner] = ps
+
+    def unregister(self, ps: PageSet) -> None:
+        """Remove a pageset, releasing all its backing memory."""
+        require(ps.owner in self._pagesets, f"pageset {ps.owner!r} not registered")
+        counts = ps.counts_by_tier()
+        self._used -= counts * ps.chunk_size
+        shadows = int(np.count_nonzero(ps.in_page_cache))
+        self._page_cache_used -= shadows * ps.chunk_size
+        ps.unmap()
+        del self._pagesets[ps.owner]
+
+    def pagesets(self) -> Iterable[PageSet]:
+        return self._pagesets.values()
+
+    def get_pageset(self, owner: str) -> Optional[PageSet]:
+        return self._pagesets.get(owner)
+
+    # ------------------------------------------------------------------ #
+    # placement operations
+    # ------------------------------------------------------------------ #
+    def place(self, ps: PageSet, idx: np.ndarray, tier: TierKind) -> int:
+        """Back unmapped chunks ``idx`` with ``tier``.  Returns bytes placed.
+
+        DRAM placement automatically reclaims page-cache shadows when the
+        cache is squatting on the needed space (the kernel drops clean page
+        cache before failing an allocation).
+        """
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.size == 0:
+            return 0
+        require(ps.owner in self._pagesets, f"pageset {ps.owner!r} not registered")
+        require(bool(np.all(ps.tier[idx] == UNMAPPED)), "place() requires unmapped chunks")
+        nbytes = int(idx.size) * ps.chunk_size
+        t = int(tier)
+        if self._capacity[t] - self._used[t] - (self._page_cache_used if tier == DRAM else 0) < nbytes:
+            if tier == DRAM and self._capacity[t] - self._used[t] >= nbytes:
+                self._reclaim_page_cache(nbytes - (self._capacity[t] - self._used[t] - self._page_cache_used))
+            else:
+                raise AllocationError(
+                    f"node {self.node_id}: tier {tier.name} cannot hold {nbytes} more bytes "
+                    f"(used {self.used(tier)} of {self.capacity(tier)})"
+                )
+        ps.assign(idx, tier)
+        self._used[t] += nbytes
+        return nbytes
+
+    def migrate(self, ps: PageSet, idx: np.ndarray, dst: TierKind) -> int:
+        """Move mapped chunks ``idx`` to ``dst``.  Returns bytes moved.
+
+        No-ops (chunks already in ``dst``) are filtered out.  Shadow copies
+        are invalidated when a chunk leaves swap (the authoritative copy is
+        byte-addressable again).
+        """
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.size == 0:
+            return 0
+        require(ps.owner in self._pagesets, f"pageset {ps.owner!r} not registered")
+        src_tiers = ps.tier[idx]
+        require(bool(np.all(src_tiers != UNMAPPED)), "migrate() requires mapped chunks")
+        moving = idx[src_tiers != int(dst)]
+        if moving.size == 0:
+            return 0
+        nbytes = int(moving.size) * ps.chunk_size
+        d = int(dst)
+        headroom = self._capacity[d] - self._used[d] - (self._page_cache_used if dst == DRAM else 0)
+        if headroom < nbytes:
+            if dst == DRAM and self._capacity[d] - self._used[d] >= nbytes:
+                self._reclaim_page_cache(nbytes - headroom)
+            else:
+                raise AllocationError(
+                    f"node {self.node_id}: migrate to {dst.name} needs {nbytes} bytes, "
+                    f"only {self.free(dst)} free"
+                )
+        # vectorised per-source accounting
+        move_src = ps.tier[moving].astype(np.int64)
+        counts = np.bincount(move_src, minlength=NUM_TIERS)
+        self._used -= counts * ps.chunk_size
+        self._used[d] += nbytes
+        for s in np.flatnonzero(counts):
+            self.stats.record_migration(int(s), d, int(counts[s]) * ps.chunk_size)
+        self.migration_bytes_window += nbytes
+        if dst == DRAM:
+            # the authoritative copy is DRAM again; shadows are redundant
+            self._drop_shadows(ps, moving)
+        ps.assign(moving, dst)
+        return nbytes
+
+    def swap_out(self, ps: PageSet, idx: np.ndarray) -> int:
+        """Demote chunks to disk-based swap (always has room by policy;
+        raises if even swap is exhausted, the paper's failure mode)."""
+        return self.migrate(ps, idx, SWAP)
+
+    # ------------------------------------------------------------------ #
+    # page cache (shadow copies of proactively-swapped pages)
+    # ------------------------------------------------------------------ #
+    def add_page_cache_shadow(self, ps: PageSet, idx: np.ndarray) -> int:
+        """Keep DRAM shadow copies for chunks resident in slower tiers,
+        space permitting (§III-C4: proactively-swapped pages "are cached in
+        the page cache if there is enough memory available").
+
+        Returns the number of chunks actually shadowed — the cache never
+        displaces real allocations, it only uses free DRAM.
+        """
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.size == 0:
+            return 0
+        tiers = ps.tier[idx]
+        require(
+            bool(np.all((tiers != UNMAPPED) & (tiers != int(DRAM)))),
+            "shadows only cover mapped, non-DRAM chunks",
+        )
+        fresh = idx[~ps.in_page_cache[idx]]
+        room_chunks = max(0, self.free(DRAM)) // ps.chunk_size
+        take = fresh[: int(room_chunks)]
+        if take.size == 0:
+            return 0
+        ps.in_page_cache[take] = True
+        self._page_cache_used += int(take.size) * ps.chunk_size
+        self.stats.page_cache_inserts += int(take.size)
+        return int(take.size)
+
+    def _drop_shadows(self, ps: PageSet, idx: np.ndarray) -> None:
+        shadowed = idx[ps.in_page_cache[idx]]
+        if shadowed.size:
+            ps.in_page_cache[shadowed] = False
+            self._page_cache_used -= int(shadowed.size) * ps.chunk_size
+            self.stats.page_cache_drops += int(shadowed.size)
+
+    def _reclaim_page_cache(self, nbytes_needed: int) -> None:
+        """Drop coldest shadows until ``nbytes_needed`` is reclaimed."""
+        if nbytes_needed <= 0:
+            return
+        reclaimed = 0
+        for ps in list(self._pagesets.values()):
+            if reclaimed >= nbytes_needed:
+                break
+            shadowed = np.flatnonzero(ps.in_page_cache)
+            if shadowed.size == 0:
+                continue
+            order = np.argsort(ps.temperature[shadowed], kind="stable")
+            need_chunks = -(-(nbytes_needed - reclaimed) // ps.chunk_size)
+            drop = shadowed[order[:need_chunks]]
+            self._drop_shadows(ps, drop)
+            reclaimed += int(drop.size) * ps.chunk_size
+
+    def compact(self) -> None:
+        """Record a compaction pass (§III-C4).
+
+        Placement here is set-based rather than address-based, so
+        compaction has no functional effect beyond its counter — the hook
+        exists so the movement policy matches the paper's description and
+        the overhead model can charge for it.
+        """
+        self.stats.compactions += 1
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    def meminfo(self) -> dict[str, int]:
+        """A ``/proc/meminfo``-style snapshot (bytes) for dashboards/tests."""
+        info: dict[str, int] = {}
+        for t in TierKind:
+            name = t.name.lower()
+            info[f"{name}_total"] = self.capacity(t)
+            info[f"{name}_used"] = self.used(t)
+            info[f"{name}_free"] = self.free(t)
+        info["page_cache"] = self._page_cache_used
+        info["dram_rss"] = self.rss(DRAM)
+        info["pagesets"] = len(self._pagesets)
+        return info
+
+    # ------------------------------------------------------------------ #
+    # invariants
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Assert accounting matches the union of registered pagesets."""
+        expect = np.zeros(NUM_TIERS, dtype=np.int64)
+        shadow_bytes = 0
+        for ps in self._pagesets.values():
+            expect += ps.counts_by_tier() * ps.chunk_size
+            shadow_bytes += int(np.count_nonzero(ps.in_page_cache)) * ps.chunk_size
+            bad = ps.in_page_cache & ((ps.tier == int(DRAM)) | (ps.tier == UNMAPPED))
+            require(not bad.any(), f"{ps.owner}: page-cache shadow for DRAM/unmapped chunk")
+        require(bool(np.all(expect == self._used)), "per-tier used bytes drifted from pagesets")
+        require(shadow_bytes == self._page_cache_used, "page-cache accounting drifted")
+        total_dram = self._used[int(DRAM)] + self._page_cache_used
+        require(
+            bool(np.all(self._used <= self._capacity)) and total_dram <= self._capacity[int(DRAM)],
+            "tier over capacity",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        parts = ", ".join(
+            f"{TierKind(t).name.lower()}={self._used[t]}/{self._capacity[t]}"
+            for t in range(NUM_TIERS)
+        )
+        return f"<NodeMemorySystem {self.node_id} {parts} pc={self._page_cache_used}>"

@@ -1,0 +1,171 @@
+"""Memory-tier specifications.
+
+The paper's testbed (§IV-C1) provides the reference constants: local DRAM
+(~80 ns), CXL emulated through a remote NUMA socket (~140 ns, as advocated
+by Pond and CXLMemSim), Intel Optane DC persistent memory, and NVMe-backed
+swap.  A :class:`TierSpec` captures the three properties the policies care
+about — access latency, attainable bandwidth, capacity — plus the
+interconnect classification used by the Tiered Memory Manager when it
+builds its tier ordering.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..util.units import GBps, GiB, TiB, ns, us
+from ..util.validation import check_non_negative, check_positive
+
+__all__ = [
+    "TierKind",
+    "TierSpec",
+    "DRAM",
+    "PMEM",
+    "CXL",
+    "SWAP",
+    "NUM_TIERS",
+    "MEMORY_TIERS",
+    "TIER_NAMES",
+    "default_tier_specs",
+    "constrained_tier_specs",
+    "ideal_tier_specs",
+]
+
+
+class TierKind(enum.IntEnum):
+    """Identity of a memory tier.
+
+    Integer values index the per-chunk ``tier`` arrays in
+    :class:`~repro.memory.pageset.PageSet`; the order (fastest first for
+    byte-addressable tiers, swap last) matches Algorithm 1's cascading
+    order ``(local, pmem, cxl)``.
+    """
+
+    DRAM = 0
+    PMEM = 1
+    CXL = 2
+    SWAP = 3
+
+
+DRAM = TierKind.DRAM
+PMEM = TierKind.PMEM
+CXL = TierKind.CXL
+SWAP = TierKind.SWAP
+
+#: Total number of tiers, including disk-based swap.
+NUM_TIERS = len(TierKind)
+
+#: Byte-addressable tiers in Algorithm 1's cascading order.
+MEMORY_TIERS = (DRAM, PMEM, CXL)
+
+TIER_NAMES = {DRAM: "dram", PMEM: "pmem", CXL: "cxl", SWAP: "swap"}
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """Performance and capacity description of one memory tier.
+
+    Parameters
+    ----------
+    kind:
+        Which tier this describes.
+    capacity:
+        Usable bytes.  Algorithm 1 treats CXL capacity as unlimited; model
+        that with a very large (but finite, for accounting) capacity.
+    latency:
+        Average load-to-use latency in seconds for a cache-missing access.
+    read_bandwidth / write_bandwidth:
+        Peak sequential throughput in bytes/second.
+    interconnect:
+        Free-form label ("ddr", "cxl", "pcie", "nvme") used by the manager
+        when classifying discovered memory into tiers.
+    byte_addressable:
+        False only for swap; accesses to non-byte-addressable tiers fault.
+    """
+
+    kind: TierKind
+    capacity: int
+    latency: float
+    read_bandwidth: float
+    write_bandwidth: float
+    interconnect: str = "ddr"
+    byte_addressable: bool = True
+    name: str = field(default="")
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.capacity, "capacity")
+        check_positive(self.latency, "latency")
+        check_positive(self.read_bandwidth, "read_bandwidth")
+        check_positive(self.write_bandwidth, "write_bandwidth")
+        if not self.name:
+            object.__setattr__(self, "name", TIER_NAMES[self.kind])
+
+    @property
+    def bandwidth(self) -> float:
+        """Blended bandwidth assuming a 2:1 read:write mix."""
+        return (2.0 * self.read_bandwidth + self.write_bandwidth) / 3.0
+
+    def with_capacity(self, capacity: int) -> "TierSpec":
+        """Copy of this spec with a different capacity."""
+        return replace(self, capacity=int(capacity))
+
+    def __str__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"{self.name}(cap={self.capacity / GiB(1):.1f}GiB, "
+            f"lat={self.latency * 1e9:.0f}ns, bw={self.read_bandwidth / GBps(1):.0f}GB/s)"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Reference configurations (paper §IV-C1 testbed)
+# --------------------------------------------------------------------------- #
+
+def default_tier_specs(
+    dram_capacity: int = GiB(512),
+    pmem_capacity: int = TiB(1),
+    cxl_capacity: Optional[int] = None,
+    swap_capacity: int = TiB(4),
+) -> dict[TierKind, TierSpec]:
+    """Tier specs mirroring the paper's testbed.
+
+    Local/remote NUMA latencies are the measured ~80 ns / ~140 ns; Optane
+    PMem uses published DC PMM figures; swap models an NVMe SSD.  ``None``
+    CXL capacity selects the paper's "unlimited CXL" assumption (64 TiB).
+    """
+    if cxl_capacity is None:
+        cxl_capacity = TiB(64)
+    return {
+        DRAM: TierSpec(DRAM, dram_capacity, ns(80), GBps(100.0), GBps(80.0), "ddr"),
+        PMEM: TierSpec(PMEM, pmem_capacity, ns(300), GBps(30.0), GBps(8.0), "ddr-t"),
+        CXL: TierSpec(CXL, cxl_capacity, ns(140), GBps(30.0), GBps(25.0), "cxl"),
+        SWAP: TierSpec(
+            SWAP, swap_capacity, us(90), GBps(2.5), GBps(1.5), "nvme", byte_addressable=False
+        ),
+    }
+
+
+def constrained_tier_specs(
+    dram_capacity: int,
+    pmem_capacity: int = 0,
+    cxl_capacity: int = 0,
+    swap_capacity: int = TiB(4),
+) -> dict[TierKind, TierSpec]:
+    """Specs for memory-constrained environments (CBE: DRAM + swap only).
+
+    Tiers with zero capacity are still present (so indices stay stable) but
+    can never hold pages.
+    """
+    base = default_tier_specs(dram_capacity=dram_capacity, swap_capacity=swap_capacity)
+    return {
+        DRAM: base[DRAM],
+        PMEM: base[PMEM].with_capacity(pmem_capacity),
+        CXL: base[CXL].with_capacity(cxl_capacity),
+        SWAP: base[SWAP],
+    }
+
+
+def ideal_tier_specs(dram_capacity: int = TiB(8)) -> dict[TierKind, TierSpec]:
+    """Specs for the Ideal Environment: DRAM large enough for everything."""
+    return constrained_tier_specs(dram_capacity=dram_capacity)

@@ -1,0 +1,24 @@
+"""Measurement collection, timelines, and report formatting."""
+
+from .collector import MetricsRegistry, TaskMetrics
+from .report import (
+    best_of,
+    format_pct,
+    format_series,
+    format_table,
+    improvement,
+    render_gantt,
+)
+from .timeline import UtilizationSampler
+
+__all__ = [
+    "MetricsRegistry",
+    "TaskMetrics",
+    "UtilizationSampler",
+    "best_of",
+    "format_pct",
+    "format_series",
+    "format_table",
+    "improvement",
+    "render_gantt",
+]

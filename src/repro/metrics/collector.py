@@ -1,0 +1,176 @@
+"""Per-task and per-experiment measurement collection.
+
+The evaluation (§IV-B) studies: total workflow execution time, page-fault
+counts, batch makespan, data swapped to disk vs. moved to CXL, and startup
+time.  :class:`TaskMetrics` accumulates the per-task views;
+:class:`MetricsRegistry` aggregates them and snapshots node-level traffic
+counters into an experiment-level record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..memory.system import NodeMemorySystem
+from ..memory.tiers import CXL
+from ..util.validation import require
+
+__all__ = ["TaskMetrics", "MetricsRegistry"]
+
+
+@dataclass
+class TaskMetrics:
+    """Lifecycle timestamps and fault counters for one task instance."""
+
+    owner: str
+    wclass: str = "GENERIC"
+    submitted_at: float = 0.0
+    scheduled_at: Optional[float] = None
+    container_ready_at: Optional[float] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    failed: bool = False
+    failure_reason: str = ""
+    major_faults: int = 0
+    minor_faults: int = 0
+    phase_durations: list[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_wait(self) -> float:
+        require(self.scheduled_at is not None, f"{self.owner}: never scheduled")
+        return self.scheduled_at - self.submitted_at
+
+    @property
+    def startup_time(self) -> float:
+        """Container cold-start: scheduling to runnable (image ready)."""
+        require(self.container_ready_at is not None, f"{self.owner}: container never ready")
+        require(self.scheduled_at is not None, f"{self.owner}: never scheduled")
+        return self.container_ready_at - self.scheduled_at
+
+    @property
+    def execution_time(self) -> float:
+        """Start-of-execution to completion (the per-workflow Fig. 5 metric)."""
+        require(self.finished_at is not None, f"{self.owner}: never finished")
+        require(self.started_at is not None, f"{self.owner}: never started")
+        return self.finished_at - self.started_at
+
+    @property
+    def turnaround(self) -> float:
+        """Submission to completion, startup and queueing included."""
+        require(self.finished_at is not None, f"{self.owner}: never finished")
+        return self.finished_at - self.submitted_at
+
+    @property
+    def done(self) -> bool:
+        return self.finished_at is not None and not self.failed
+
+
+class MetricsRegistry:
+    """All task metrics of one experiment run, plus node-level roll-ups."""
+
+    def __init__(self) -> None:
+        self._tasks: dict[str, TaskMetrics] = {}
+
+    def task(self, owner: str, wclass: str = "GENERIC") -> TaskMetrics:
+        tm = self._tasks.get(owner)
+        if tm is None:
+            tm = TaskMetrics(owner=owner, wclass=wclass)
+            self._tasks[owner] = tm
+        return tm
+
+    def get(self, owner: str) -> TaskMetrics:
+        require(owner in self._tasks, f"no metrics for task {owner!r}")
+        return self._tasks[owner]
+
+    def tasks(self) -> Iterable[TaskMetrics]:
+        return self._tasks.values()
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    # ------------------------------------------------------------------ #
+    # aggregates
+    # ------------------------------------------------------------------ #
+    def completed(self) -> list[TaskMetrics]:
+        return [t for t in self._tasks.values() if t.done]
+
+    def failed(self) -> list[TaskMetrics]:
+        return [t for t in self._tasks.values() if t.failed]
+
+    def makespan(self) -> float:
+        """First submission to last completion across the batch."""
+        done = self.completed()
+        require(len(done) > 0, "no completed tasks")
+        start = min(t.submitted_at for t in done)
+        end = max(t.finished_at for t in done)  # type: ignore[arg-type]
+        return end - start
+
+    def mean_execution_time(self, wclass: Optional[str] = None) -> float:
+        pool = [
+            t.execution_time
+            for t in self.completed()
+            if wclass is None or t.wclass == wclass
+        ]
+        require(len(pool) > 0, f"no completed tasks for class {wclass!r}")
+        return float(np.mean(pool))
+
+    def total_faults(self, wclass: Optional[str] = None) -> tuple[int, int]:
+        majors = sum(
+            t.major_faults for t in self._tasks.values() if wclass is None or t.wclass == wclass
+        )
+        minors = sum(
+            t.minor_faults for t in self._tasks.values() if wclass is None or t.wclass == wclass
+        )
+        return majors, minors
+
+    def mean_startup_time(self) -> float:
+        pool = [t.startup_time for t in self.completed()]
+        require(len(pool) > 0, "no completed tasks")
+        return float(np.mean(pool))
+
+    def to_rows(self) -> list[dict[str, object]]:
+        """Flat per-task export for spreadsheets / dataframes."""
+        rows: list[dict[str, object]] = []
+        for t in self._tasks.values():
+            rows.append(
+                {
+                    "owner": t.owner,
+                    "class": t.wclass,
+                    "submitted_at": t.submitted_at,
+                    "started_at": t.started_at,
+                    "finished_at": t.finished_at,
+                    "execution_time": t.execution_time if t.done else None,
+                    "turnaround": t.turnaround if t.finished_at is not None else None,
+                    "failed": t.failed,
+                    "failure_reason": t.failure_reason,
+                    "major_faults": t.major_faults,
+                    "minor_faults": t.minor_faults,
+                    "phases": len(t.phase_durations),
+                }
+            )
+        return rows
+
+    @staticmethod
+    def node_traffic(nodes: Iterable[NodeMemorySystem]) -> dict[str, int]:
+        """Cluster-wide data-movement roll-up (Fig. 9's swap/CXL series)."""
+        out = {
+            "swapped_out_bytes": 0,
+            "swapped_in_bytes": 0,
+            "migrated_to_cxl_bytes": 0,
+            "total_migrated_bytes": 0,
+            "page_cache_inserts": 0,
+            "compactions": 0,
+        }
+        for node in nodes:
+            s = node.stats
+            out["swapped_out_bytes"] += s.swapped_out_bytes
+            out["swapped_in_bytes"] += s.swapped_in_bytes
+            out["migrated_to_cxl_bytes"] += int(s.migrated_bytes[:, int(CXL)].sum())
+            out["total_migrated_bytes"] += s.total_migrated_bytes
+            out["page_cache_inserts"] += s.page_cache_inserts
+            out["compactions"] += s.compactions
+        return out

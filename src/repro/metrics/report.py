@@ -1,0 +1,99 @@
+"""Plain-text reporting helpers.
+
+Benchmark harnesses print the same rows/series the paper's figures plot;
+these helpers keep that output aligned and consistent without pulling in a
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "improvement",
+    "format_pct",
+    "render_gantt",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str = "",
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render an aligned monospace table."""
+    rendered: list[list[str]] = []
+    for row in rows:
+        rendered.append(
+            [float_fmt.format(c) if isinstance(c, float) else str(c) for c in row]
+        )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float]) -> str:
+    """One figure series as ``name: x=y, x=y, ...``."""
+    pairs = ", ".join(f"{x}={y:.2f}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def improvement(baseline: float, ours: float) -> float:
+    """Relative reduction of ``ours`` vs ``baseline`` (the paper's
+    "reduces execution time by X%" convention).  Positive = we are faster."""
+    if baseline <= 0:
+        return 0.0
+    return (baseline - ours) / baseline
+
+
+def format_pct(frac: float) -> str:
+    return f"{100.0 * frac:.1f}%"
+
+
+def best_of(results: Mapping[str, float]) -> str:
+    """Name of the smallest value (who wins)."""
+    return min(results, key=results.get)  # type: ignore[arg-type]
+
+
+def render_gantt(
+    rows: Sequence[tuple[str, float, float]],
+    *,
+    width: int = 60,
+    end: "float | None" = None,
+) -> str:
+    """ASCII Gantt chart of ``(label, start, finish)`` intervals.
+
+    Queue/startup time shows as leading whitespace; the bar covers the
+    execution interval.  Used by examples and debugging sessions to see a
+    batch's shape at a glance.
+
+    >>> print(render_gantt([("a", 0, 5), ("b", 2, 8)], width=8))
+    a |#####   | 0.0-5.0
+    b |  ######| 2.0-8.0
+    """
+    if not rows:
+        return "(no tasks)"
+    horizon = end if end is not None else max(f for _, _, f in rows)
+    horizon = max(horizon, 1e-12)
+    label_w = max(len(label) for label, _, _ in rows)
+    lines = []
+    for label, start, finish in rows:
+        a = int(round(width * max(0.0, start) / horizon))
+        b = int(round(width * min(horizon, finish) / horizon))
+        b = max(b, a + 1)
+        bar = " " * a + "#" * (b - a) + " " * (width - b)
+        lines.append(f"{label.ljust(label_w)} |{bar[:width]}| {start:.1f}-{finish:.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Baseline memory-management policies and the policy interface."""
+
+from .autonuma import AutoNumaPolicy
+from .base import (
+    AllocationRequest,
+    MemoryPolicy,
+    PolicyContext,
+    cascade_place,
+    stripe_assignment,
+)
+from .interleave import DefaultAllocationPolicy, UniformInterleavePolicy
+from .linux import LinuxSwapPolicy, global_coldest
+from .tpp import TieredDemandPolicy
+
+__all__ = [
+    "AllocationRequest",
+    "MemoryPolicy",
+    "PolicyContext",
+    "cascade_place",
+    "stripe_assignment",
+    "AutoNumaPolicy",
+    "DefaultAllocationPolicy",
+    "UniformInterleavePolicy",
+    "LinuxSwapPolicy",
+    "global_coldest",
+    "TieredDemandPolicy",
+]

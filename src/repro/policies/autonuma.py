@@ -1,0 +1,109 @@
+"""AutoNUMA-style baseline (§II: "approaches, such as AutoNUMA, TPP,
+weighted interleaving, etc. [are] sub-optimal on a tiered memory system").
+
+Models kernel NUMA balancing applied to a CXL-as-NUMA-node system:
+
+* demand allocation falling through the tiers,
+* *sampled* hint-fault promotion — each scan period only a fraction of a
+  task's slow-tier pages are unmapped for hint faults, so only sampled
+  pages can prove their heat and migrate (promotion is slower and noisier
+  than TPP's temperature scan),
+* no tier-aware demotion: under DRAM pressure the kernel reclaims to
+  **swap** (historic AutoNUMA predates demotion paths) — the behaviour
+  that makes it strictly worse than TPP on tiered memory.
+"""
+
+from __future__ import annotations
+
+from ..memory.pageset import UNMAPPED, PageSet
+from ..memory.tiers import CXL, DRAM, PMEM, TierKind
+from ..util.validation import check_fraction, require
+from .base import AllocationRequest, MemoryPolicy, PolicyContext, cascade_place
+from .linux import global_coldest
+
+__all__ = ["AutoNumaPolicy"]
+
+
+class AutoNumaPolicy(MemoryPolicy):
+    """NUMA-balancing promotion over demand placement, swap-only reclaim."""
+
+    name = "autonuma"
+
+    def __init__(
+        self,
+        alloc_order: tuple[TierKind, ...] = (DRAM, CXL, PMEM),
+        *,
+        sample_fraction: float = 0.10,
+        promote_threshold: float = 0.05,
+        high_watermark: float = 0.96,
+        low_watermark: float = 0.90,
+        scan_noise: float = 0.35,
+    ) -> None:
+        require(len(alloc_order) > 0, "alloc_order must name at least one tier")
+        check_fraction(sample_fraction, "sample_fraction")
+        check_fraction(high_watermark, "high_watermark")
+        check_fraction(low_watermark, "low_watermark")
+        require(low_watermark <= high_watermark, "low watermark above high")
+        check_fraction(scan_noise, "scan_noise")
+        self.alloc_order = tuple(alloc_order)
+        self.sample_fraction = sample_fraction
+        self.promote_threshold = promote_threshold
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.scan_noise = scan_noise
+
+    # ------------------------------------------------------------------ #
+    def place(self, ctx: PolicyContext, ps: PageSet, request: AllocationRequest) -> None:
+        idx = ctx.region_chunks(ps, request.region)
+        unmapped = idx[ps.tier[idx] == UNMAPPED]
+        if unmapped.size:
+            cascade_place(ctx, ps, unmapped, self.alloc_order)
+
+    def tick(self, ctx: PolicyContext) -> None:
+        self._scan_and_promote(ctx)
+        self._reclaim_under_pressure(ctx)
+
+    def _scan_and_promote(self, ctx: PolicyContext) -> None:
+        """Hint-fault sampling: a random slice of each task's slow-tier
+        pages is checked; hot sampled pages migrate to DRAM if room."""
+        mem = ctx.memory
+        for ps in list(mem.pagesets()):
+            room = max(0, mem.free(DRAM)) // ps.chunk_size
+            if room <= 0:
+                return
+            for tier in (CXL, PMEM):
+                cand = ps.chunks_in(tier)
+                if cand.size == 0:
+                    continue
+                n_sample = max(1, int(cand.size * self.sample_fraction))
+                sampled = ctx.rng.choice(cand, size=min(n_sample, cand.size), replace=False)
+                hot = sampled[ps.temperature[sampled] >= self.promote_threshold]
+                take = hot[: int(room)]
+                if take.size:
+                    mem.migrate(ps, take, DRAM)
+                    # hint faults are minor faults
+                    ctx.record_minor(ps.owner, int(take.size))
+                    room -= take.size
+                if room <= 0:
+                    return
+
+    def _reclaim_under_pressure(self, ctx: PolicyContext) -> None:
+        mem = ctx.memory
+        cap = mem.capacity(DRAM)
+        if cap <= 0 or mem.rss(DRAM) <= self.high_watermark * cap:
+            return
+        self.make_room(ctx, int(mem.rss(DRAM) - self.low_watermark * cap))
+
+    def make_room(self, ctx: PolicyContext, nbytes: int, protect=None) -> int:
+        """Kernel reclaim without demotion: victims go straight to swap."""
+        if nbytes <= 0:
+            return 0
+        mem = ctx.memory
+        any_ps = next(iter(mem.pagesets()), None)
+        if any_ps is None:
+            return 0
+        need_chunks = -(-nbytes // any_ps.chunk_size)
+        freed = 0
+        for ps, idx in global_coldest(ctx, DRAM, need_chunks, scan_noise=self.scan_noise):
+            freed += mem.swap_out(ps, idx)
+        return freed

@@ -1,0 +1,105 @@
+"""Interleaving allocation baselines (Fig. 7's comparison policies).
+
+* :class:`UniformInterleavePolicy` — deal chunks round-robin across the
+  byte-addressable tiers regardless of workflow characteristics (the
+  kernel's ``MPOL_INTERLEAVE`` over NUMA nodes, §II's "interleaving").
+* Weighted interleave (``weights=...``) — the ``MPOL_WEIGHTED_INTERLEAVE``
+  variant the paper notes "does not consider the characteristic for all
+  workflow types".
+* :class:`DefaultAllocationPolicy` — Fig. 7's "Default Allocation":
+  system memory first, then CXL, "based on demand without catering to the
+  class it belongs to".
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..memory.pageset import UNMAPPED, PageSet
+from ..memory.tiers import CXL, DRAM, MEMORY_TIERS, TierKind
+from ..util.validation import check_non_negative, require
+from .base import (
+    AllocationRequest,
+    MemoryPolicy,
+    PolicyContext,
+    cascade_place,
+    stripe_assignment,
+)
+
+__all__ = ["UniformInterleavePolicy", "DefaultAllocationPolicy"]
+
+
+class UniformInterleavePolicy(MemoryPolicy):
+    """Round-robin chunk placement across tiers, optionally weighted.
+
+    With ``weights=None`` every byte-addressable tier with capacity gets
+    an equal share of each allocation; with weights, shares are
+    proportional.  Placement is static — there is no movement daemon —
+    which is what makes it workflow-oblivious.
+    """
+
+    name = "uniform-interleave"
+
+    def __init__(self, weights: Optional[Mapping[TierKind, float]] = None) -> None:
+        if weights is not None:
+            for t, w in weights.items():
+                check_non_negative(w, f"weight[{t.name}]")
+            require(sum(weights.values()) > 0, "at least one interleave weight must be positive")
+            self.weights = dict(weights)
+            self.name = "weighted-interleave"
+        else:
+            self.weights = None
+
+    def place(self, ctx: PolicyContext, ps: PageSet, request: AllocationRequest) -> None:
+        idx = ctx.region_chunks(ps, request.region)
+        unmapped = idx[ps.tier[idx] == UNMAPPED]
+        if unmapped.size == 0:
+            return
+        mem = ctx.memory
+        tiers = [t for t in MEMORY_TIERS if mem.capacity(t) > 0]
+        if self.weights is not None:
+            tiers = [t for t in tiers if self.weights.get(t, 0.0) > 0]
+        require(len(tiers) > 0, "no byte-addressable tier has capacity")
+        if self.weights is None:
+            w = np.full(len(tiers), 1.0 / len(tiers))
+        else:
+            raw = np.array([self.weights.get(t, 0.0) for t in tiers], dtype=np.float64)
+            w = raw / raw.sum()
+        # exact proportional counts (largest remainder), spread evenly so
+        # each tier's share interleaves across the footprint rather than
+        # forming contiguous blocks
+        raw_counts = w * unmapped.size
+        counts = np.floor(raw_counts).astype(np.int64)
+        for k in np.argsort(raw_counts - counts)[::-1][: unmapped.size - int(counts.sum())]:
+            counts[k] += 1
+        assignment = stripe_assignment(list(counts))
+        for k, tier in enumerate(tiers):
+            mine = unmapped[assignment == k]
+            if mine.size == 0:
+                continue
+            room = max(0, mem.free(tier)) // ps.chunk_size
+            head, overflow = mine[: int(room)], mine[int(min(room, mine.size)):]
+            if head.size:
+                mem.place(ps, head, tier)
+            if overflow.size:
+                fallback = tuple(t for t in tiers if t != tier)
+                cascade_place(ctx, ps, overflow, fallback)
+
+
+class DefaultAllocationPolicy(MemoryPolicy):
+    """Fig. 7's "Default Allocation": DRAM on demand, then CXL, oblivious
+    to workflow class.  No movement daemon."""
+
+    name = "default-alloc"
+
+    def __init__(self, order: tuple[TierKind, ...] = (DRAM, CXL)) -> None:
+        require(len(order) > 0, "order must name at least one tier")
+        self.order = tuple(order)
+
+    def place(self, ctx: PolicyContext, ps: PageSet, request: AllocationRequest) -> None:
+        idx = ctx.region_chunks(ps, request.region)
+        unmapped = idx[ps.tier[idx] == UNMAPPED]
+        if unmapped.size:
+            cascade_place(ctx, ps, unmapped, self.order)

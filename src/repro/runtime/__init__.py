@@ -1,0 +1,22 @@
+"""Node-level runtime: task execution, rate model, node agents."""
+
+from .execution import TaskExecution, TaskState
+from .node_agent import NodeAgent
+from .rates import (
+    RateModelConfig,
+    loaded_latency_factor,
+    phase_slowdown,
+    tier_access_profile,
+    tier_demand,
+)
+
+__all__ = [
+    "TaskExecution",
+    "TaskState",
+    "NodeAgent",
+    "RateModelConfig",
+    "loaded_latency_factor",
+    "phase_slowdown",
+    "tier_access_profile",
+    "tier_demand",
+]

@@ -1,0 +1,285 @@
+"""Task execution: drives one containerized task through its phases.
+
+A :class:`TaskExecution` owns the task's :class:`PageSet`, issues its
+allocation requests through the Table-I client, installs each phase's
+access distribution, triggers fault-in of touched swap pages, and tracks
+progress with a :class:`~repro.sim.process.RateTracker` whose rate the
+node agent updates on every contention/placement change.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+from ..containers.cgroup import MemoryCgroup, OomKill
+from ..core.api import RegionHandle, TieredMemoryClient
+from ..core.flags import MemFlag
+from ..memory.pageset import PageSet
+from ..memory.tiers import CXL, SWAP
+from ..metrics.collector import TaskMetrics
+from ..sim.events import Event
+from ..sim.process import RateTracker
+from ..util.errors import AllocationError
+from ..util.validation import require
+from ..workflows.task import TaskSpec
+from .rates import tier_demand
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .node_agent import NodeAgent
+
+__all__ = ["TaskState", "TaskExecution"]
+
+
+class TaskState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class TaskExecution:
+    """One task instance running on one node."""
+
+    def __init__(
+        self,
+        spec: TaskSpec,
+        agent: "NodeAgent",
+        metrics: TaskMetrics,
+        *,
+        flags: Optional[MemFlag] = None,
+        on_finish: Optional[Callable[["TaskExecution"], None]] = None,
+    ) -> None:
+        self.spec = spec
+        self.agent = agent
+        self.metrics = metrics
+        self.on_finish = on_finish
+        #: flags passed with the initial allocation; ``None`` selects the
+        #: spec's effective flags, ``MemFlag.NONE`` forces the predictor path.
+        self.flags = spec.effective_flags if flags is None else flags
+        # one chunk of slack per allocation call: each request rounds its
+        # size up to whole chunks independently
+        n_allocs = (
+            1
+            + len(spec.shared_inputs)
+            + sum(1 for p in spec.phases if p.allocate is not None)
+        )
+        self.pageset = PageSet(
+            spec.name, spec.max_footprint + n_allocs * agent.chunk_size, agent.chunk_size
+        )
+        self.client: Optional[TieredMemoryClient] = None
+        self.state = TaskState.PENDING
+        self.phase_index = -1
+        self.tracker: Optional[RateTracker] = None
+        self.current_rate = 0.0
+        self._completion: Optional[Event] = None
+        self._phase_started_at = 0.0
+        self._attached_shared: list[str] = []
+        #: cgroup memory.max enforcement (None limit = uncapped)
+        self.cgroup = MemoryCgroup(spec.name, spec.memory_limit)
+        self._region_charges: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Register memory, perform the initial allocation, begin phase 0."""
+        require(self.state is TaskState.PENDING, f"{self.spec.name}: already started")
+        agent = self.agent
+        now = agent.engine.now
+        self.metrics.started_at = now
+        agent.memory.register(self.pageset)
+        self.client = TieredMemoryClient(agent.context, agent.policy, self.pageset)
+        try:
+            self._tm_allocate(self.spec.footprint, self.flags)
+            self._acquire_shared_inputs()
+        except (AllocationError, OomKill) as exc:
+            self._fail(str(exc))
+            return
+        self.state = TaskState.RUNNING
+        self._begin_phase(0)
+
+    def _tm_allocate(self, nbytes: int, flags: Optional[MemFlag]) -> RegionHandle:
+        """``allocate_TM`` with cgroup charging.
+
+        Bytes the policy backed with CXL are tiered *expansion* memory
+        attached through the manager's APIs and live outside the
+        container's fixed allocation; everything else (DRAM/PMem/swap)
+        is charged against ``memory.max``.
+        """
+        assert self.client is not None
+        handle = self.client.allocate_TM(nbytes, flags)
+        ps = self.pageset
+        idx = np.flatnonzero(ps.region == handle.region)
+        charged = int(np.count_nonzero(ps.tier[idx] != int(CXL))) * ps.chunk_size
+        try:
+            self.cgroup.charge(charged)
+        except OomKill:
+            self.client.free_TM(handle)
+            raise
+        self._region_charges[handle.region] = charged
+        return handle
+
+    def _tm_free_region(self, region: int) -> None:
+        assert self.client is not None
+        self.client.free_region(region)
+        self.cgroup.uncharge(self._region_charges.pop(region, 0))
+
+    def _acquire_shared_inputs(self) -> None:
+        """§III-C5 strategy 1: attach shared read-only inputs.
+
+        With a shared-memory manager (IMME), the region is staged once in
+        cluster-shared CXL and merely referenced; otherwise the task must
+        allocate a private copy, inflating its own footprint.
+        """
+        agent = self.agent
+        assert self.client is not None
+        for shared in self.spec.shared_inputs:
+            shm = agent.shared_memory
+            if shm is not None:
+                if shm.pool.contains(shared.name):
+                    shm.attach(self.spec.name, shared.name)
+                else:
+                    shm.stage(shared.name, shared.nbytes, owner=self.spec.name)
+                shm.note_access(agent.node_index, shared.name)
+                self._attached_shared.append(shared.name)
+            else:
+                self._tm_allocate(shared.nbytes, MemFlag.CAP)
+
+    def _release_shared_inputs(self) -> None:
+        shm = self.agent.shared_memory
+        if shm is None:
+            return
+        for name in self._attached_shared:
+            shm.detach(self.spec.name, name)
+        self._attached_shared.clear()
+
+    def _begin_phase(self, index: int) -> None:
+        spec = self.spec
+        phase = spec.phases[index]
+        self.phase_index = index
+        self._phase_started_at = self.agent.engine.now
+        assert self.client is not None
+        if phase.release_region is not None:
+            self._tm_free_region(phase.release_region)
+        if phase.allocate is not None:
+            try:
+                self._tm_allocate(phase.allocate.nbytes, phase.allocate.flags)
+            except (AllocationError, OomKill) as exc:
+                self._fail(str(exc))
+                return
+        self._install_access_weights(phase, index)
+        self._fault_in_touched(phase)
+        self.tracker = RateTracker(phase.base_time)
+        self.agent.trace(
+            "phase", spec.name, event="begin", phase=phase.name, index=index
+        )
+        self.agent.on_task_change(self)
+
+    def _install_access_weights(self, phase, index: int) -> None:
+        ps = self.pageset
+        mapped = np.flatnonzero(ps.mapped_mask)
+        weights = np.zeros(ps.n_chunks, dtype=np.float32)
+        if mapped.size:
+            w = phase.pattern.weights(mapped.size, index)
+            if phase.touched_fraction < 1.0:
+                # restrict to the hottest `touched_fraction` of chunks
+                keep = max(1, int(round(mapped.size * phase.touched_fraction)))
+                order = np.argsort(-w, kind="stable")
+                mask = np.zeros(mapped.size, dtype=bool)
+                mask[order[:keep]] = True
+                w = np.where(mask, w, 0.0)
+                total = w.sum()
+                if total > 0:
+                    w = w / total
+            weights[mapped] = w.astype(np.float32)
+        ps.set_access_weights(weights)
+
+    def _fault_in_touched(self, phase) -> None:
+        """Touching the phase's working set faults in swap-resident chunks."""
+        ps = self.pageset
+        touched = np.flatnonzero(ps.access_weight > 0)
+        swapped = touched[ps.tier[touched] == int(SWAP)]
+        if swapped.size:
+            self.agent.policy.fault_in(self.agent.context, ps, swapped)
+
+    def _on_phase_complete(self) -> None:
+        now = self.agent.engine.now
+        self.metrics.phase_durations.append(now - self._phase_started_at)
+        nxt = self.phase_index + 1
+        if nxt < len(self.spec.phases):
+            self._begin_phase(nxt)
+        else:
+            self._finish()
+
+    def _finish(self) -> None:
+        agent = self.agent
+        now = agent.engine.now
+        self.state = TaskState.DONE
+        self.metrics.finished_at = now
+        self.pageset.clear_access_weights()
+        self._cancel_completion()
+        policy = agent.policy
+        if hasattr(policy, "finish_workflow"):
+            policy.finish_workflow(self.spec.name, self.pageset, self.metrics.execution_time)
+        self._release_shared_inputs()
+        agent.memory.unregister(self.pageset)
+        agent.task_finished(self)
+        if self.on_finish is not None:
+            self.on_finish(self)
+
+    def _fail(self, reason: str) -> None:
+        agent = self.agent
+        self.state = TaskState.FAILED
+        self.metrics.failed = True
+        self.metrics.failure_reason = reason
+        self.metrics.finished_at = agent.engine.now
+        self._cancel_completion()
+        self._release_shared_inputs()
+        if agent.memory.get_pageset(self.pageset.owner) is not None:
+            agent.memory.unregister(self.pageset)
+        agent.task_finished(self)
+        if self.on_finish is not None:
+            self.on_finish(self)
+
+    # ------------------------------------------------------------------ #
+    # rate control (called by the node agent)
+    # ------------------------------------------------------------------ #
+    def update_rate(self, rate: float) -> None:
+        """Install a new progress rate and reschedule phase completion."""
+        if self.state is not TaskState.RUNNING or self.tracker is None:
+            return
+        engine = self.agent.engine
+        self.tracker.set_rate(engine.now, rate)
+        self.current_rate = rate
+        self._cancel_completion()
+        eta = self.tracker.projected_finish(engine.now)
+        if eta is not None:
+            self._completion = engine.schedule_at(
+                eta, self._on_phase_complete, f"{self.spec.name}.phase{self.phase_index}"
+            )
+
+    def _cancel_completion(self) -> None:
+        self.agent.engine.cancel(self._completion)
+        self._completion = None
+
+    # ------------------------------------------------------------------ #
+    # queries for the agent's contention model
+    # ------------------------------------------------------------------ #
+    @property
+    def phase(self):
+        return self.spec.phases[self.phase_index]
+
+    def demand_vector(self) -> np.ndarray:
+        """Current per-tier bandwidth demand (bytes/s)."""
+        if self.state is not TaskState.RUNNING:
+            return np.zeros(4)
+        return tier_demand(self.pageset, self.phase.demand_bandwidth)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<TaskExecution {self.spec.name} {self.state.value} "
+            f"phase={self.phase_index}/{len(self.spec.phases)}>"
+        )

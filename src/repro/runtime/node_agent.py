@@ -1,0 +1,234 @@
+"""The per-node runtime agent.
+
+One :class:`NodeAgent` per cluster node ties everything together: the
+node's memory system, the environment's memory policy, the running task
+set, the memory-management daemon (heatmap advance + policy tick), and
+the contention-aware rate recomputation that keeps every running task's
+completion event consistent with current placement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.flags import MemFlag
+from ..core.heatmap import HeatmapConfig, PageHeatmap
+from ..memory.system import NodeMemorySystem
+from ..memory.tiers import DRAM, NUM_TIERS, TierKind
+from ..metrics.collector import MetricsRegistry
+from ..memory.contention import allocate_bandwidth
+from ..policies.base import MemoryPolicy, PolicyContext
+from ..sim.engine import SimulationEngine
+from ..sim.process import PeriodicProcess
+from ..util.validation import check_positive, require
+from ..workflows.task import TaskSpec
+from .execution import TaskExecution, TaskState
+from .rates import RateModelConfig, phase_slowdown
+
+__all__ = ["NodeAgent"]
+
+
+class NodeAgent:
+    """Runtime agent for one node: running set, daemon, rate model."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        memory: NodeMemorySystem,
+        policy: MemoryPolicy,
+        metrics: MetricsRegistry,
+        *,
+        cores: int = 32,
+        daemon_interval: float = 1.0,
+        rate_config: Optional[RateModelConfig] = None,
+        heatmap_config: Optional[HeatmapConfig] = None,
+        chunk_size: Optional[int] = None,
+        validate_invariants: bool = False,
+        shared_memory=None,
+        node_index: int = 0,
+        tracer=None,
+    ) -> None:
+        check_positive(cores, "cores")
+        self.engine = engine
+        self.memory = memory
+        self.policy = policy
+        self.metrics = metrics
+        #: optional :class:`repro.sim.trace.Tracer` for structured events
+        self.tracer = tracer
+        #: cluster-shared CXL manager (IMME only) and this node's index,
+        #: used for §III-C5 shared read-only inputs
+        self.shared_memory = shared_memory
+        self.node_index = int(node_index)
+        self.cores = int(cores)
+        self.cores_used = 0
+        self.daemon_interval = float(daemon_interval)
+        self.rate_config = rate_config if rate_config is not None else RateModelConfig()
+        self.heatmap = PageHeatmap(heatmap_config)
+        from ..memory.pageset import DEFAULT_CHUNK_SIZE
+
+        self.chunk_size = int(chunk_size) if chunk_size else DEFAULT_CHUNK_SIZE
+        self.validate_invariants = validate_invariants
+        self.running: dict[str, TaskExecution] = {}
+        from ..util.rng import derive_seed
+
+        self.context = PolicyContext(
+            memory=memory,
+            now=lambda: self.engine.now,
+            record_major=self._record_major,
+            record_minor=self._record_minor,
+            rng=np.random.default_rng(derive_seed(0, f"policy.{memory.node_id}")),
+        )
+        self._bw_capacities = np.array(
+            [memory.specs[TierKind(t)].bandwidth for t in range(NUM_TIERS)], dtype=np.float64
+        )
+        self._daemon = PeriodicProcess(
+            engine, self.daemon_interval, self._daemon_tick, f"daemon.{memory.node_id}"
+        )
+        self._daemon_started = False
+        self._last_penalty_sample = 0.0
+        self._traced_migrated_bytes = 0
+        #: callbacks fired when a task releases its cores (scheduler pump)
+        self.on_capacity_freed: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # fault accounting (wired into the PolicyContext)
+    # ------------------------------------------------------------------ #
+    def _record_major(self, owner: str, n: int) -> None:
+        self.metrics.task(owner).major_faults += int(n)
+
+    def _record_minor(self, owner: str, n: int) -> None:
+        self.metrics.task(owner).minor_faults += int(n)
+
+    # ------------------------------------------------------------------ #
+    # task lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def cores_free(self) -> int:
+        return self.cores - self.cores_used
+
+    def can_host(self, spec: TaskSpec) -> bool:
+        return self.cores_free >= spec.cores
+
+    def start_task(
+        self,
+        spec: TaskSpec,
+        *,
+        flags: Optional[MemFlag] = None,
+        on_finish: Optional[Callable[[TaskExecution], None]] = None,
+    ) -> TaskExecution:
+        """Admit and immediately start ``spec`` on this node."""
+        require(self.can_host(spec), f"node {self.memory.node_id}: no cores for {spec.name}")
+        require(spec.name not in self.running, f"duplicate task name {spec.name!r}")
+        if not self._daemon_started:
+            self._daemon.start()
+            self._daemon_started = True
+        tm = self.metrics.task(spec.name, spec.wclass.name)
+        te = TaskExecution(spec, self, tm, flags=flags, on_finish=on_finish)
+        self.cores_used += spec.cores
+        self.running[spec.name] = te
+        self.context.active_owners.add(spec.name)
+        self.trace("task", spec.name, event="started", node=self.memory.node_id)
+        te.start()
+        return te
+
+    def trace(self, category: str, subject: str, **data) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(self.engine.now, category, subject, **data)
+
+    def task_finished(self, te: TaskExecution) -> None:
+        if te.spec.name in self.running:
+            del self.running[te.spec.name]
+            self.cores_used -= te.spec.cores
+            self.context.active_owners.discard(te.spec.name)
+            self.trace(
+                "task",
+                te.spec.name,
+                event="failed" if te.metrics.failed else "finished",
+                node=self.memory.node_id,
+            )
+            self.recompute_rates()
+            for cb in list(self.on_capacity_freed):
+                cb()
+
+    def on_task_change(self, te: TaskExecution) -> None:
+        """A task changed phase/placement — refresh everyone's rates."""
+        self.recompute_rates()
+
+    # ------------------------------------------------------------------ #
+    # rate model
+    # ------------------------------------------------------------------ #
+    def recompute_rates(self) -> None:
+        tasks = [te for te in self.running.values() if te.state is TaskState.RUNNING]
+        if not tasks:
+            self.memory.migration_bytes_window = 0
+            return
+        demands = np.stack([te.demand_vector() for te in tasks])
+        achieved = allocate_bandwidth(self._bw_capacities, demands)
+        per_task_bw = achieved.sum(axis=1)
+        penalty = self._migration_penalty()
+        utilization = None
+        if self.rate_config.loaded_latency:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                utilization = np.where(
+                    self._bw_capacities > 0, achieved.sum(axis=0) / self._bw_capacities, 0.0
+                )
+        for te, bw in zip(tasks, per_task_bw):
+            slowdown = phase_slowdown(
+                te.phase,
+                te.pageset,
+                self.memory.specs,
+                float(bw),
+                migration_penalty=penalty,
+                config=self.rate_config,
+                tier_bw_utilization=utilization,
+            )
+            te.update_rate(1.0 / slowdown)
+
+    def _migration_penalty(self) -> float:
+        """Charge recent daemon data movement against task progress."""
+        window = self.memory.migration_bytes_window
+        self.memory.migration_bytes_window = 0
+        if window <= 0:
+            return 0.0
+        dram_bw = self.memory.specs[DRAM].bandwidth
+        interval = max(self.daemon_interval, 1e-6)
+        return self.rate_config.migration_overhead_coeff * window / (dram_bw * interval)
+
+    # ------------------------------------------------------------------ #
+    # daemon
+    # ------------------------------------------------------------------ #
+    def _daemon_tick(self, now: float) -> None:
+        rates = {
+            owner: te.current_rate
+            for owner, te in self.running.items()
+            if te.state is TaskState.RUNNING
+        }
+        self.heatmap.advance_node(self.memory, self.daemon_interval, rates)
+        self.policy.tick(self.context)
+        if self.tracer is not None and self.tracer.wants("daemon"):
+            total = self.memory.stats.total_migrated_bytes
+            self.trace(
+                "daemon",
+                self.memory.node_id,
+                event="tick",
+                migrated_bytes=total - self._traced_migrated_bytes,
+                running=len(self.running),
+                dram_rss=self.memory.rss(DRAM),
+            )
+            self._traced_migrated_bytes = total
+        if self.validate_invariants:
+            self.memory.validate()
+        self.recompute_rates()
+
+    def stop(self) -> None:
+        if self._daemon_started:
+            self._daemon.stop()
+            self._daemon_started = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<NodeAgent {self.memory.node_id} running={len(self.running)} "
+            f"cores={self.cores_used}/{self.cores}>"
+        )

@@ -1,0 +1,165 @@
+"""The fluid progress-rate model (DESIGN.md §4).
+
+A running phase advances at rate ``1/slowdown`` where the slowdown blends
+three placement-dependent terms using the phase's sensitivity mix:
+
+* the **latency** term compares the access-weighted mean latency of the
+  task's pages against pure DRAM (swap-resident pages pay an amortised
+  major-fault penalty; page-cache-shadowed pages pay ~DRAM),
+* the **bandwidth** term compares demanded against achieved throughput
+  (achieved sums fair-share bandwidth over *every* tier the pages span —
+  multi-path aggregation, the paper's BW-flag payoff),
+* a **migration overhead** term charges for daemon data movement
+  (the ≈4 % runtime overhead reported in §IV-D4).
+
+All functions are pure and vectorised; the node agent calls them on every
+contention or placement change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..memory.pageset import PageSet
+from ..memory.tiers import DRAM, NUM_TIERS, SWAP, TierKind, TierSpec
+from ..util.units import ns, us
+from ..util.validation import check_non_negative, check_positive
+from ..workflows.task import TaskPhase
+
+__all__ = [
+    "RateModelConfig",
+    "tier_access_profile",
+    "tier_demand",
+    "phase_slowdown",
+    "loaded_latency_factor",
+]
+
+
+@dataclass(frozen=True)
+class RateModelConfig:
+    """Tuning constants for the progress model.
+
+    ``swap_access_latency`` is the *amortised* per-access cost of a
+    swap-resident page: a 4 KiB-page major fault costs ~tens of µs of
+    fault handling plus the read, amortised over the accesses a page
+    serves before being evicted again under thrash.  The default keeps
+    the DRAM:swap effective-latency ratio at ~125x, which reproduces the
+    order-of-magnitude collapse of Fig. 1's swap-constrained bars without
+    overstating it (the paper's worst CBE:IMME ratio is ~8x).
+    """
+
+    swap_access_latency: float = us(10.0)
+    shadow_access_latency: float = ns(150.0)
+    migration_overhead_coeff: float = 0.25
+    migration_overhead_cap: float = 0.08
+    max_slowdown: float = 1e5
+    #: model *loaded latency*: a tier's effective access latency rises as
+    #: its bandwidth utilisation approaches saturation (the paper's §VI
+    #: future-work item "support variable latency and bandwidth").
+    loaded_latency: bool = False
+    #: latency multiplier at 100% bandwidth utilisation (quadratic ramp).
+    loaded_latency_max_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.swap_access_latency, "swap_access_latency")
+        check_positive(self.shadow_access_latency, "shadow_access_latency")
+        check_non_negative(self.migration_overhead_coeff, "migration_overhead_coeff")
+        check_non_negative(self.migration_overhead_cap, "migration_overhead_cap")
+        check_positive(self.max_slowdown, "max_slowdown")
+        if self.loaded_latency_max_factor < 1.0:
+            raise ValueError("loaded_latency_max_factor must be >= 1")
+
+
+def loaded_latency_factor(utilization: float, max_factor: float) -> float:
+    """Quadratic loaded-latency ramp: 1x when idle, ``max_factor`` at
+    saturation — the shape of measured DRAM/CXL loaded-latency curves."""
+    rho = min(max(float(utilization), 0.0), 1.0)
+    return 1.0 + (max_factor - 1.0) * rho * rho
+
+
+def tier_access_profile(ps: PageSet) -> tuple[np.ndarray, float]:
+    """Split the phase's access distribution by *service point*.
+
+    Returns ``(weights[NUM_TIERS], shadow_weight)`` where ``weights[t]``
+    is the fraction of accesses served by tier ``t`` directly and
+    ``shadow_weight`` the fraction served from DRAM page-cache shadows.
+    Weights are normalised over mapped chunks; all-zero when idle.
+    """
+    mask = ps.mapped_mask
+    w = ps.access_weight
+    total = float(w[mask].sum())
+    out = np.zeros(NUM_TIERS, dtype=np.float64)
+    if total <= 0:
+        return out, 0.0
+    shadow = mask & ps.in_page_cache
+    direct = mask & ~ps.in_page_cache
+    if direct.any():
+        np.add.at(out, ps.tier[direct].astype(np.int64), w[direct].astype(np.float64))
+    shadow_weight = float(w[shadow].sum()) / total
+    out /= total
+    return out, shadow_weight
+
+
+def tier_demand(ps: PageSet, demand_bandwidth: float) -> np.ndarray:
+    """Per-tier throughput demand (bytes/s) for the bandwidth-contention
+    matrix.  Shadowed accesses demand DRAM (the copy they read is there)."""
+    check_non_negative(demand_bandwidth, "demand_bandwidth")
+    weights, shadow_weight = tier_access_profile(ps)
+    demand = weights * demand_bandwidth
+    demand[int(DRAM)] += shadow_weight * demand_bandwidth
+    return demand
+
+
+def phase_slowdown(
+    phase: TaskPhase,
+    ps: PageSet,
+    specs: Mapping[TierKind, TierSpec],
+    achieved_bandwidth: float,
+    *,
+    migration_penalty: float = 0.0,
+    config: RateModelConfig = RateModelConfig(),
+    tier_bw_utilization: "np.ndarray | None" = None,
+) -> float:
+    """Instantaneous slowdown of ``phase`` under the current placement.
+
+    ``achieved_bandwidth`` is the task's summed fair-share throughput
+    across tiers (from :func:`repro.memory.contention.allocate_bandwidth`).
+    With ``config.loaded_latency`` set, ``tier_bw_utilization`` (the
+    node-wide per-tier bandwidth utilisation) inflates each tier's
+    effective latency along the loaded-latency curve.  Returns a value
+    >= ``compute_frac`` (never faster than pure compute), clamped at
+    ``config.max_slowdown``.
+    """
+    weights, shadow_weight = tier_access_profile(ps)
+    dram_lat = specs[DRAM].latency
+    if weights.sum() + shadow_weight <= 0:
+        lat_mult = 1.0  # idle / not yet weighted: treat as DRAM-resident
+    else:
+        def eff_latency(t: TierKind) -> float:
+            base = specs[t].latency
+            if config.loaded_latency and tier_bw_utilization is not None:
+                base *= loaded_latency_factor(
+                    float(tier_bw_utilization[int(t)]), config.loaded_latency_max_factor
+                )
+            return base
+
+        lat = shadow_weight * config.shadow_access_latency
+        for t in (TierKind.DRAM, TierKind.PMEM, TierKind.CXL):
+            lat += weights[int(t)] * eff_latency(t)
+        lat += weights[int(SWAP)] * config.swap_access_latency
+        lat_mult = lat / dram_lat
+    if phase.demand_bandwidth > 0 and phase.bw_frac > 0:
+        bw_mult = phase.demand_bandwidth / max(achieved_bandwidth, 1e-9)
+        bw_mult = max(1.0, bw_mult)
+    else:
+        bw_mult = 1.0
+    slowdown = (
+        phase.compute_frac
+        + phase.lat_frac * lat_mult
+        + phase.bw_frac * bw_mult
+        + min(config.migration_overhead_cap, max(0.0, migration_penalty))
+    )
+    return float(min(max(slowdown, phase.compute_frac), config.max_slowdown))

@@ -1,0 +1,6 @@
+"""SLURM-like batch scheduling substrate."""
+
+from .job import Job, JobState
+from .slurm import SlurmScheduler
+
+__all__ = ["Job", "JobState", "SlurmScheduler"]

@@ -1,0 +1,69 @@
+"""Job objects for the batch scheduler.
+
+A job wraps one task spec plus the submission-side metadata the paper's
+modified SLURM carries: the Table-I memory flags embedded in the job
+script ("we modify SLURM to support the required flags along with the job
+script", §IV-A).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..core.flags import MemFlag
+from ..workflows.task import TaskSpec
+
+__all__ = ["JobState", "Job"]
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"       # queued, awaiting resources
+    STARTING = "starting"     # resources allocated, container preparing
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One scheduler entry."""
+
+    job_id: int
+    spec: TaskSpec
+    #: flags from the job script; ``None`` defers to the spec's own flags,
+    #: ``MemFlag.NONE`` explicitly requests predictor-driven allocation.
+    flags: Optional[MemFlag] = None
+    #: scheduling priority (higher runs first; FIFO within a priority)
+    priority: int = 0
+    #: traditional bare-metal HPC allocation: the job gets a whole node to
+    #: itself and runs without a container (§II-B "the basic allocation
+    #: unit for HPC jobs is a compute node")
+    exclusive: bool = False
+    submitted_at: float = 0.0
+    state: JobState = JobState.PENDING
+    node_index: Optional[int] = None
+    on_done: Optional[Callable[["Job"], None]] = None
+    _listeners: list[Callable[["Job"], None]] = field(default_factory=list)
+    #: cores held beyond spec.cores while an exclusive job runs
+    _exclusive_hold: int = 0
+    #: cores reserved between dispatch and start
+    _reserved: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def add_listener(self, fn: Callable[["Job"], None]) -> None:
+        self._listeners.append(fn)
+
+    def notify_done(self) -> None:
+        if self.on_done is not None:
+            self.on_done(self)
+        for fn in self._listeners:
+            fn(self)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (JobState.DONE, JobState.FAILED)

@@ -1,0 +1,248 @@
+"""SLURM-like batch scheduler with colocation and backfill.
+
+The scheduler owns the job queue and the placement decision (which node a
+container lands on); memory placement *within* a node is the memory
+policy's job.  Placement is least-loaded-first over nodes with enough free
+cores, FIFO with backfill: if the queue head does not fit anywhere, later
+jobs that do fit may start (§II-B's node-level colocation of deconstructed
+workflows is the normal case here — many containers share each node).
+
+Container preparation (image pull / CXL read / cache hit) happens between
+resource allocation and task start, so large launches expose the paper's
+cold-start bottleneck faithfully.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..containers.runtime import ContainerRuntime
+from ..core.flags import MemFlag
+from ..memory.tiers import MEMORY_TIERS
+from ..metrics.collector import MetricsRegistry
+from ..runtime.execution import TaskExecution, TaskState
+from ..runtime.node_agent import NodeAgent
+from ..sim.engine import SimulationEngine
+from ..util.errors import SchedulingError
+from ..util.validation import require
+from ..workflows.task import TaskSpec
+from .job import Job, JobState
+
+__all__ = ["SlurmScheduler"]
+
+
+class SlurmScheduler:
+    """Queue, placement and lifecycle management for batch jobs."""
+
+    #: placement strategies: most free cores, or most free DRAM (the
+    #: memory-aware scheduling modern WMSs lack, §II-A)
+    PLACEMENTS = ("least-loaded", "memory-aware")
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        agents: Sequence[NodeAgent],
+        containers: ContainerRuntime,
+        metrics: MetricsRegistry,
+        *,
+        backfill: bool = True,
+        placement: str = "least-loaded",
+    ) -> None:
+        require(len(agents) > 0, "scheduler needs at least one node")
+        require(placement in self.PLACEMENTS, f"placement must be one of {self.PLACEMENTS}")
+        self.engine = engine
+        self.agents = list(agents)
+        self.containers = containers
+        self.metrics = metrics
+        self.backfill = backfill
+        self.placement = placement
+        self.queue: deque[Job] = deque()
+        self.jobs: dict[int, Job] = {}
+        self._next_job_id = 1
+        self._reserved_cores = [0] * len(agents)
+        self._pumping = False
+        for agent in self.agents:
+            agent.on_capacity_freed.append(self._pump)
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        spec: TaskSpec,
+        *,
+        flags: Optional[MemFlag] = None,
+        priority: int = 0,
+        exclusive: bool = False,
+        on_done: Optional[Callable[[Job], None]] = None,
+    ) -> Job:
+        """Enqueue one job; placement is attempted immediately.
+
+        Higher ``priority`` jobs are considered first; within a priority
+        level the queue stays FIFO.  ``exclusive`` selects the traditional
+        bare-metal model: a whole node, no container, no colocation.
+        """
+        job = Job(
+            job_id=self._next_job_id,
+            spec=spec,
+            flags=flags,
+            priority=priority,
+            exclusive=exclusive,
+            submitted_at=self.engine.now,
+            on_done=on_done,
+        )
+        self._next_job_id += 1
+        self.jobs[job.job_id] = job
+        tm = self.metrics.task(spec.name, spec.wclass.name)
+        tm.submitted_at = self.engine.now
+        self.queue.append(job)
+        if priority:
+            self.queue = deque(
+                sorted(self.queue, key=lambda j: (-j.priority, j.job_id))
+            )
+        self._pump()
+        return job
+
+    def submit_batch(
+        self,
+        specs: Iterable[TaskSpec],
+        *,
+        flags: Optional[MemFlag] = None,
+        exclusive: bool = False,
+    ) -> list[Job]:
+        return [self.submit(spec, flags=flags, exclusive=exclusive) for spec in specs]
+
+    # ------------------------------------------------------------------ #
+    # placement
+    # ------------------------------------------------------------------ #
+    def _free_cores(self, i: int) -> int:
+        return self.agents[i].cores_free - self._reserved_cores[i]
+
+    def _pick_node(self, spec: TaskSpec) -> Optional[int]:
+        """Choose a node with enough cores by the configured strategy:
+        ``least-loaded`` maximises free cores; ``memory-aware`` maximises
+        free byte-addressable memory (DRAM + PMem + CXL)."""
+        best, best_score = None, None
+        for i in range(len(self.agents)):
+            if self._free_cores(i) < spec.cores:
+                continue
+            if self.placement == "memory-aware":
+                mem = self.agents[i].memory
+                score = sum(mem.free(t) for t in MEMORY_TIERS)
+            else:
+                score = self._free_cores(i)
+            if best_score is None or score > best_score:
+                best, best_score = i, score
+        return best
+
+    def _pump(self) -> None:
+        """Dispatch every queued job that fits somewhere (FIFO + backfill)."""
+        if self._pumping:
+            return
+        self._pumping = True
+        try:
+            scanned: deque[Job] = deque()
+            while self.queue:
+                job = self.queue.popleft()
+                node = (
+                    self._pick_exclusive_node(job.spec)
+                    if job.exclusive
+                    else self._pick_node(job.spec)
+                )
+                if node is None:
+                    scanned.append(job)
+                    if not self.backfill:
+                        break
+                    continue
+                self._dispatch(job, node)
+            scanned.extend(self.queue)
+            self.queue = scanned
+        finally:
+            self._pumping = False
+
+    def _pick_exclusive_node(self, spec: TaskSpec) -> Optional[int]:
+        """A bare-metal job needs a completely idle node."""
+        for i, agent in enumerate(self.agents):
+            if agent.cores_used == 0 and self._reserved_cores[i] == 0:
+                if agent.cores >= spec.cores:
+                    return i
+        return None
+
+    def _dispatch(self, job: Job, node_index: int) -> None:
+        job.state = JobState.STARTING
+        job.node_index = node_index
+        job._reserved = self.agents[node_index].cores if job.exclusive else job.spec.cores
+        self._reserved_cores[node_index] += job._reserved
+        tm = self.metrics.get(job.spec.name)
+        tm.scheduled_at = self.engine.now
+        if job.exclusive:
+            # bare metal: no container image, no instantiation delay
+            self._container_ready(job)
+        else:
+            self.containers.prepare(
+                node_index, job.spec.image, lambda: self._container_ready(job)
+            )
+
+    def _container_ready(self, job: Job) -> None:
+        assert job.node_index is not None
+        agent = self.agents[job.node_index]
+        tm = self.metrics.get(job.spec.name)
+        tm.container_ready_at = self.engine.now
+        self._reserved_cores[job.node_index] -= job._reserved
+        job.state = JobState.RUNNING
+        try:
+            agent.start_task(
+                job.spec, flags=job.flags, on_finish=lambda te: self._task_done(job, te)
+            )
+        except SchedulingError:
+            # the reservation guaranteed cores; anything else is a bug
+            raise
+        if job.exclusive:
+            # hold the node's remaining cores for the job's lifetime
+            job._exclusive_hold = agent.cores_free
+            agent.cores_used += job._exclusive_hold
+
+    def _task_done(self, job: Job, te: TaskExecution) -> None:
+        if job._exclusive_hold:
+            self.agents[job.node_index].cores_used -= job._exclusive_hold
+            job._exclusive_hold = 0
+        job.state = JobState.FAILED if te.state is TaskState.FAILED else JobState.DONE
+        job.notify_done()
+        self._pump()
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def pending_count(self) -> int:
+        return len(self.queue)
+
+    def queue_snapshot(self) -> list[dict[str, object]]:
+        """``squeue``-style view of pending jobs, in dispatch order."""
+        now = self.engine.now
+        return [
+            {
+                "job_id": j.job_id,
+                "name": j.name,
+                "cores": j.spec.cores,
+                "priority": j.priority,
+                "exclusive": j.exclusive,
+                "waiting": now - j.submitted_at,
+            }
+            for j in self.queue
+        ]
+
+    @property
+    def all_done(self) -> bool:
+        return not self.queue and all(j.finished for j in self.jobs.values())
+
+    def run_to_completion(self, max_time: float = 1e9) -> None:
+        """Drive the engine until every submitted job finishes."""
+        while not self.all_done:
+            if not self.engine.step():
+                raise SchedulingError(
+                    f"deadlock: {self.pending_count} jobs queued, no events pending"
+                )
+            if self.engine.now > max_time:
+                raise SchedulingError(f"jobs still unfinished at t={self.engine.now}")

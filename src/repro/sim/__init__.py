@@ -1,0 +1,15 @@
+"""Discrete-event simulation core: engine, events, process helpers, tracing."""
+
+from .engine import SimulationEngine
+from .events import Event
+from .process import PeriodicProcess, RateTracker
+from .trace import TraceEvent, Tracer
+
+__all__ = [
+    "SimulationEngine",
+    "Event",
+    "PeriodicProcess",
+    "RateTracker",
+    "TraceEvent",
+    "Tracer",
+]

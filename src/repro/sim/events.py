@@ -1,0 +1,55 @@
+"""Event objects for the discrete-event engine.
+
+Events are *cancellable*: rather than remove entries from the middle of the
+heap (O(n)), cancellation marks the event and the engine discards it lazily
+when it reaches the top.  This is the standard lazy-deletion pattern and is
+what lets the rate-based progress model cheaply reschedule thousands of
+task-completion events as contention changes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["Event"]
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulated time the event fires at.
+    seq:
+        Monotonic tie-breaker; events at equal times fire in scheduling order.
+    fn:
+        Zero-argument callable invoked when the event fires.
+    cancelled:
+        True once :meth:`cancel` has been called; the engine skips it.
+    label:
+        Optional human-readable tag for tracing and error messages.
+    """
+
+    __slots__ = ("time", "seq", "fn", "cancelled", "label")
+
+    def __init__(self, time: float, seq: int, fn: Callable[[], Any], label: str = "") -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Mark the event so the engine never fires it."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "cancelled" if self.cancelled else "pending"
+        tag = f" {self.label!r}" if self.label else ""
+        return f"<Event t={self.time:.6f} #{self.seq}{tag} {state}>"

@@ -1,0 +1,128 @@
+"""Process helpers layered on the event engine.
+
+:class:`PeriodicProcess` models daemons (the per-node memory-management
+daemon, metric samplers) that tick at a fixed simulated interval.
+:class:`RateTracker` implements the fluid progress model described in
+DESIGN.md §4: an amount of *work* drains at a *rate* that the surrounding
+system may change at any event; the tracker converts between remaining work
+and projected completion time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..util.errors import SimulationError
+from ..util.validation import check_non_negative, check_positive
+from .engine import SimulationEngine
+from .events import Event
+
+__all__ = ["PeriodicProcess", "RateTracker"]
+
+
+class PeriodicProcess:
+    """Invoke a callback every ``interval`` simulated seconds until stopped.
+
+    The callback receives the engine's current time.  The first tick fires
+    ``interval`` after :meth:`start` (daemons observe a full interval of
+    activity before acting, as kswapd-style scanners do).
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        interval: float,
+        fn: Callable[[float], Any],
+        label: str = "periodic",
+    ) -> None:
+        check_positive(interval, "interval")
+        self.engine = engine
+        self.interval = float(interval)
+        self.fn = fn
+        self.label = label
+        self._event: Optional[Event] = None
+        self._stopped = True
+        self.ticks: int = 0
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def start(self) -> None:
+        if self.running:
+            raise SimulationError(f"periodic process {self.label!r} already started")
+        self._stopped = False
+        self._event = self.engine.schedule(self.interval, self._tick, self.label)
+
+    def stop(self) -> None:
+        self._stopped = True
+        self.engine.cancel(self._event)
+        self._event = None
+
+    def _tick(self) -> None:
+        self.ticks += 1
+        self.fn(self.engine.now)
+        if self._stopped:  # the callback may have stopped us
+            return
+        self._event = self.engine.schedule(self.interval, self._tick, self.label)
+
+
+class RateTracker:
+    """Track draining work under a piecewise-constant rate.
+
+    The canonical usage pattern, from a task-execution object::
+
+        tracker = RateTracker(total_work)
+        tracker.set_rate(now, rate)          # when placement/contention known
+        eta = tracker.projected_finish(now)  # schedule completion event here
+        ...
+        tracker.set_rate(now2, new_rate)     # on any contention change
+        eta = tracker.projected_finish(now2) # reschedule
+
+    Work is measured in "ideal seconds" (the phase's duration at rate 1).
+    """
+
+    __slots__ = ("remaining", "rate", "_last_update")
+
+    def __init__(self, work: float) -> None:
+        check_non_negative(work, "work")
+        self.remaining = float(work)
+        self.rate = 0.0
+        self._last_update: Optional[float] = None
+
+    def set_rate(self, now: float, rate: float) -> None:
+        """Account progress up to ``now`` at the old rate, then switch rates."""
+        check_non_negative(rate, "rate")
+        self._advance(now)
+        self.rate = float(rate)
+        self._last_update = now
+
+    def _advance(self, now: float) -> None:
+        if self._last_update is None:
+            self._last_update = now
+            return
+        dt = now - self._last_update
+        if dt < -1e-9:
+            raise SimulationError(f"RateTracker time went backwards ({dt} s)")
+        if dt > 0 and self.rate > 0:
+            self.remaining = max(0.0, self.remaining - dt * self.rate)
+        self._last_update = now
+
+    def progress_to(self, now: float) -> float:
+        """Advance the account to ``now`` and return remaining work."""
+        self._advance(now)
+        return self.remaining
+
+    def projected_finish(self, now: float) -> Optional[float]:
+        """Absolute time the work drains at the current rate, or ``None``
+        if the rate is zero (stalled)."""
+        self._advance(now)
+        if self.remaining <= 0:
+            return now
+        if self.rate <= 0:
+            return None
+        return now + self.remaining / self.rate
+
+    @property
+    def done(self) -> bool:
+        return self.remaining <= 1e-12

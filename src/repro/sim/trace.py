@@ -1,0 +1,90 @@
+"""Structured simulation tracing.
+
+A :class:`Tracer` records typed events (task lifecycle, phase boundaries,
+daemon activity) with their simulated timestamps, for debugging policies
+and building timelines.  Tracing is opt-in — the runtime takes an optional
+tracer and emits nothing when absent, so the hot path stays clean.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence."""
+
+    time: float
+    category: str
+    subject: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"t": self.time, "cat": self.category, "subj": self.subject, **self.data},
+            sort_keys=True,
+        )
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records, optionally filtered by category.
+
+    Parameters
+    ----------
+    categories:
+        When given, only these categories are recorded; everything else is
+        dropped at emit time (cheap filtering for long runs).
+    capacity:
+        Ring-buffer bound; the oldest events are discarded beyond it.
+    """
+
+    def __init__(
+        self, categories: Optional[Iterable[str]] = None, capacity: int = 1_000_000
+    ) -> None:
+        self._categories = frozenset(categories) if categories is not None else None
+        self.capacity = int(capacity)
+        self._events: list[TraceEvent] = []
+        self.dropped = 0
+
+    def wants(self, category: str) -> bool:
+        return self._categories is None or category in self._categories
+
+    def emit(self, time: float, category: str, subject: str, **data: Any) -> None:
+        if not self.wants(category):
+            return
+        if len(self._events) >= self.capacity:
+            self._events.pop(0)
+            self.dropped += 1
+        self._events.append(TraceEvent(float(time), category, subject, data))
+
+    # ------------------------------------------------------------------ #
+    def events(
+        self, category: Optional[str] = None, subject: Optional[str] = None
+    ) -> list[TraceEvent]:
+        out = self._events
+        if category is not None:
+            out = [e for e in out if e.category == category]
+        if subject is not None:
+            out = [e for e in out if e.subject == subject]
+        return list(out)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    def to_jsonl(self) -> str:
+        """Serialise every recorded event as JSON lines."""
+        return "\n".join(e.to_json() for e in self._events)
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+            fh.write("\n")

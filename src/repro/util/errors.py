@@ -1,0 +1,56 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "AllocationError",
+    "OutOfMemoryError",
+    "SchedulingError",
+    "SimulationError",
+    "WorkflowError",
+    "ContainerError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with invalid or inconsistent parameters."""
+
+
+class AllocationError(ReproError):
+    """A tiered-memory allocation request could not be satisfied."""
+
+
+class OutOfMemoryError(AllocationError):
+    """No tier (including swap) can hold the requested pages.
+
+    Mirrors the workflow-failure mode the paper attributes to memory
+    exhaustion on constrained nodes (§I, §III-A objective 1).
+    """
+
+
+class SchedulingError(ReproError):
+    """The scheduler was asked to do something impossible (e.g. a job that
+    can never fit on any node of the cluster)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an inconsistency (e.g. an event
+    scheduled in the past)."""
+
+
+class WorkflowError(ReproError):
+    """A workflow DAG is malformed (cycle, missing dependency, bad phase)."""
+
+
+class ContainerError(ReproError):
+    """Container image or runtime failure (unknown image, bad registry)."""

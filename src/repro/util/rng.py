@@ -1,0 +1,74 @@
+"""Deterministic random-number stream management.
+
+Experiments in the paper are averaged over ten runs with <5 % variance
+(§IV-B).  To make our reproduction exactly repeatable we derive every
+random stream from a single experiment seed using
+:func:`numpy.random.SeedSequence.spawn`-style key derivation: each consumer
+asks for a named child stream, so adding a new consumer never perturbs the
+draws seen by existing ones.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["RngFactory", "derive_seed"]
+
+
+def derive_seed(base_seed: int, name: str) -> int:
+    """Derive a child seed from ``base_seed`` and a stream ``name``.
+
+    Uses CRC32 over the name mixed into the base seed; stable across runs
+    and Python versions (unlike ``hash``).
+    """
+    return (int(base_seed) * 0x9E3779B1 + zlib.crc32(name.encode("utf-8"))) % (2**63)
+
+
+class RngFactory:
+    """Factory producing independent, named :class:`numpy.random.Generator` streams.
+
+    Parameters
+    ----------
+    seed:
+        The experiment-level seed.  Two factories built with the same seed
+        hand out identical streams for identical names, regardless of the
+        order streams are requested in.
+
+    Examples
+    --------
+    >>> f = RngFactory(42)
+    >>> a = f.stream("workload.dl.0")
+    >>> b = f.stream("workload.dm.0")
+    >>> a is not b
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use."""
+        gen = self._streams.get(name)
+        if gen is None:
+            gen = np.random.default_rng(derive_seed(self.seed, name))
+            self._streams[name] = gen
+        return gen
+
+    def fresh(self, name: str) -> np.random.Generator:
+        """Return a brand-new generator for ``name`` (ignores the cache).
+
+        Useful when a component needs to re-play its stream from the start.
+        """
+        return np.random.default_rng(derive_seed(self.seed, name))
+
+    def spawn(self, prefix: str, n: int) -> Iterator[np.random.Generator]:
+        """Yield ``n`` fresh streams named ``{prefix}.{i}``."""
+        for i in range(n):
+            yield self.stream(f"{prefix}.{i}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"RngFactory(seed={self.seed}, streams={len(self._streams)})"

@@ -1,0 +1,134 @@
+"""Unit helpers for memory sizes, time, and bandwidth.
+
+All internal accounting in :mod:`repro` uses SI base units:
+
+* memory sizes in **bytes** (``int``),
+* time in **seconds** (``float``, simulated time),
+* bandwidth in **bytes per second** (``float``),
+* latency in **seconds** (``float``).
+
+These helpers exist so that configuration code reads like the paper's
+testbed description (``GiB(512)``, ``ns(80)``, ``GBps(100)``) instead of
+opaque exponents.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "ns",
+    "us",
+    "ms",
+    "seconds",
+    "GBps",
+    "MBps",
+    "bytes_to_human",
+    "time_to_human",
+]
+
+_KIB = 1024
+_MIB = 1024**2
+_GIB = 1024**3
+_TIB = 1024**4
+
+
+def KiB(n: float) -> int:
+    """``n`` kibibytes as an integer byte count."""
+    return int(n * _KIB)
+
+
+def MiB(n: float) -> int:
+    """``n`` mebibytes as an integer byte count."""
+    return int(n * _MIB)
+
+
+def GiB(n: float) -> int:
+    """``n`` gibibytes as an integer byte count."""
+    return int(n * _GIB)
+
+
+def TiB(n: float) -> int:
+    """``n`` tebibytes as an integer byte count."""
+    return int(n * _TIB)
+
+
+def KB(n: float) -> int:
+    """``n`` kilobytes (decimal) as an integer byte count."""
+    return int(n * 1_000)
+
+
+def MB(n: float) -> int:
+    """``n`` megabytes (decimal) as an integer byte count."""
+    return int(n * 1_000_000)
+
+
+def GB(n: float) -> int:
+    """``n`` gigabytes (decimal) as an integer byte count."""
+    return int(n * 1_000_000_000)
+
+
+def TB(n: float) -> int:
+    """``n`` terabytes (decimal) as an integer byte count."""
+    return int(n * 1_000_000_000_000)
+
+
+def ns(n: float) -> float:
+    """``n`` nanoseconds in seconds."""
+    return n * 1e-9
+
+
+def us(n: float) -> float:
+    """``n`` microseconds in seconds."""
+    return n * 1e-6
+
+
+def ms(n: float) -> float:
+    """``n`` milliseconds in seconds."""
+    return n * 1e-3
+
+
+def seconds(n: float) -> float:
+    """Identity helper for symmetry when building configs."""
+    return float(n)
+
+
+def GBps(n: float) -> float:
+    """``n`` gigabytes per second as bytes per second."""
+    return n * 1e9
+
+
+def MBps(n: float) -> float:
+    """``n`` megabytes per second as bytes per second."""
+    return n * 1e6
+
+
+def bytes_to_human(n: float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``512.0 GiB``."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for suffix, scale in (("TiB", _TIB), ("GiB", _GIB), ("MiB", _MIB), ("KiB", _KIB)):
+        if n >= scale:
+            return f"{sign}{n / scale:.1f} {suffix}"
+    return f"{sign}{n:.0f} B"
+
+
+def time_to_human(t: float) -> str:
+    """Render a duration in the most natural unit, e.g. ``1.25 ms``."""
+    t = float(t)
+    sign = "-" if t < 0 else ""
+    t = abs(t)
+    if t >= 1.0:
+        return f"{sign}{t:.2f} s"
+    if t >= 1e-3:
+        return f"{sign}{t * 1e3:.2f} ms"
+    if t >= 1e-6:
+        return f"{sign}{t * 1e6:.2f} us"
+    return f"{sign}{t * 1e9:.1f} ns"

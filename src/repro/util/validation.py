@@ -1,0 +1,69 @@
+"""Small argument-validation helpers.
+
+These raise :class:`~repro.util.errors.ConfigurationError` with readable
+messages; they keep constructor bodies terse while still failing fast on
+nonsense configurations (negative capacities, fractions outside [0, 1], ...).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TypeVar
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "require",
+    "check_positive",
+    "check_non_negative",
+    "check_fraction",
+    "check_in",
+    "check_probabilities",
+]
+
+T = TypeVar("T")
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate ``value > 0`` and return it."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate ``value >= 0`` and return it."""
+    if not value >= 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate ``0 <= value <= 1`` and return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in(value: T, allowed: Iterable[T], name: str) -> T:
+    """Validate ``value`` is one of ``allowed`` and return it."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ConfigurationError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value
+
+
+def check_probabilities(values: Iterable[float], name: str, tol: float = 1e-9) -> tuple[float, ...]:
+    """Validate a probability vector (non-negative, sums to 1) and return it."""
+    vec = tuple(float(v) for v in values)
+    if any(v < 0 for v in vec):
+        raise ConfigurationError(f"{name} must be non-negative, got {vec!r}")
+    total = sum(vec)
+    if abs(total - 1.0) > tol:
+        raise ConfigurationError(f"{name} must sum to 1 (got {total!r})")
+    return vec

@@ -1,0 +1,11 @@
+"""Pegasus-like workflow management system."""
+
+from .decompose import decompose_task, decomposed_footprint
+from .planner import WorkflowExecution, WorkflowManager
+
+__all__ = [
+    "decompose_task",
+    "decomposed_footprint",
+    "WorkflowExecution",
+    "WorkflowManager",
+]

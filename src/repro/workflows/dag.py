@@ -1,0 +1,159 @@
+"""Workflow DAGs.
+
+HPC jobs arrive as workflows: DAGs of tasks where edges are
+producer→consumer dependencies (§I).  :class:`Workflow` wraps a
+:class:`networkx.DiGraph` whose nodes are task ids and carry
+:class:`~repro.workflows.task.TaskSpec` payloads, with the validation and
+traversal helpers the WMS planner needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+import networkx as nx
+
+from ..util.errors import WorkflowError
+from .task import TaskSpec
+
+__all__ = ["Workflow", "chain_workflow", "fan_out_workflow", "diamond_workflow"]
+
+
+class Workflow:
+    """A named DAG of tasks.
+
+    Examples
+    --------
+    >>> wf = Workflow("demo")
+    >>> _ = wf.add_task(pre);  _ = wf.add_task(sim, after=[pre.name])
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.graph = nx.DiGraph()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_task(self, spec: TaskSpec, after: Iterable[str] = ()) -> str:
+        """Add ``spec`` (keyed by its name), depending on tasks ``after``."""
+        if spec.name in self.graph:
+            raise WorkflowError(f"duplicate task {spec.name!r} in workflow {self.name!r}")
+        self.graph.add_node(spec.name, spec=spec)
+        for dep in after:
+            if dep not in self.graph:
+                raise WorkflowError(f"dependency {dep!r} not in workflow {self.name!r}")
+            self.graph.add_edge(dep, spec.name)
+        if not nx.is_directed_acyclic_graph(self.graph):
+            self.graph.remove_node(spec.name)
+            raise WorkflowError(f"adding {spec.name!r} would create a cycle")
+        return spec.name
+
+    def add_dependency(self, producer: str, consumer: str) -> None:
+        for t in (producer, consumer):
+            if t not in self.graph:
+                raise WorkflowError(f"unknown task {t!r}")
+        self.graph.add_edge(producer, consumer)
+        if not nx.is_directed_acyclic_graph(self.graph):
+            self.graph.remove_edge(producer, consumer)
+            raise WorkflowError(f"{producer!r}->{consumer!r} would create a cycle")
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def spec(self, task_id: str) -> TaskSpec:
+        try:
+            return self.graph.nodes[task_id]["spec"]
+        except KeyError:
+            raise WorkflowError(f"unknown task {task_id!r} in workflow {self.name!r}") from None
+
+    def tasks(self) -> Iterator[TaskSpec]:
+        for tid in self.graph.nodes:
+            yield self.graph.nodes[tid]["spec"]
+
+    def __len__(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self.graph
+
+    def dependencies(self, task_id: str) -> tuple[str, ...]:
+        return tuple(self.graph.predecessors(task_id))
+
+    def dependents(self, task_id: str) -> tuple[str, ...]:
+        return tuple(self.graph.successors(task_id))
+
+    def roots(self) -> tuple[str, ...]:
+        return tuple(t for t in self.graph.nodes if self.graph.in_degree(t) == 0)
+
+    def topological_order(self) -> list[str]:
+        return list(nx.topological_sort(self.graph))
+
+    def stages(self) -> list[list[str]]:
+        """Antichain decomposition: tasks grouped by dependency depth —
+        everything in a stage may run concurrently."""
+        return [sorted(gen) for gen in nx.topological_generations(self.graph)]
+
+    def critical_path_time(self) -> float:
+        """Lower bound on makespan: longest ideal-duration path."""
+        best: dict[str, float] = {}
+        for tid in self.topological_order():
+            spec = self.spec(tid)
+            preds = self.dependencies(tid)
+            start = max((best[p] for p in preds), default=0.0)
+            best[tid] = start + spec.ideal_duration
+        return max(best.values(), default=0.0)
+
+    @property
+    def total_footprint(self) -> int:
+        return sum(s.footprint for s in self.tasks())
+
+    def validate(self) -> None:
+        if len(self) == 0:
+            raise WorkflowError(f"workflow {self.name!r} is empty")
+        if not nx.is_directed_acyclic_graph(self.graph):  # pragma: no cover - guarded above
+            raise WorkflowError(f"workflow {self.name!r} has a cycle")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<Workflow {self.name!r} tasks={len(self)} "
+            f"edges={self.graph.number_of_edges()}>"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# shape helpers for tests / examples
+# --------------------------------------------------------------------------- #
+
+def chain_workflow(name: str, specs: Iterable[TaskSpec]) -> Workflow:
+    """Linear pipeline: each task consumes its predecessor's output."""
+    wf = Workflow(name)
+    prev: Optional[str] = None
+    for spec in specs:
+        wf.add_task(spec, after=[prev] if prev else [])
+        prev = spec.name
+    wf.validate()
+    return wf
+
+
+def fan_out_workflow(name: str, source: TaskSpec, members: Iterable[TaskSpec]) -> Workflow:
+    """One producer feeding an ensemble of parallel consumers."""
+    wf = Workflow(name)
+    wf.add_task(source)
+    for spec in members:
+        wf.add_task(spec, after=[source.name])
+    wf.validate()
+    return wf
+
+
+def diamond_workflow(
+    name: str, pre: TaskSpec, branches: Iterable[TaskSpec], post: TaskSpec
+) -> Workflow:
+    """Pre-process → parallel branches → post-process (the classic
+    simulate/analyse shape from the paper's intro)."""
+    wf = Workflow(name)
+    wf.add_task(pre)
+    branch_ids = [wf.add_task(spec, after=[pre.name]) for spec in branches]
+    wf.add_task(post, after=branch_ids)
+    wf.validate()
+    return wf

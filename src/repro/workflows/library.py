@@ -1,0 +1,301 @@
+"""The paper's four evaluation workloads (§IV-C2), as parameterised specs.
+
+* **DL** — BERT fine-tuning over IMDB for 5 epochs: data- and
+  bandwidth-intensive; a hot model/optimizer set over a streamed dataset.
+* **DM** — Spark ETL over US-census data computing a diversity index:
+  latency-sensitive and short-lived.
+* **DC** — Zip compression of a 50 GB input set: compute- and
+  data-intensive sequential streaming.
+* **SC** — BFS over a large binary tree with igraph: capacity-intensive
+  with shallow-skew access.
+
+Durations are ideal-environment baselines; memory sizes default to the
+paper's (tens of GiB) and every builder takes a ``scale`` so experiments
+can run laptop-sized instances with identical *shape* (the environments
+scale node capacities by the same factor, so all capacity ratios — the
+thing the policies react to — are preserved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.flags import MemFlag
+from ..util.units import GBps, GiB
+from ..util.validation import check_positive, require
+from .patterns import HotColdPattern, StreamingPattern, ZipfPattern
+from .task import DynamicRequest, SharedInput, TaskPhase, TaskSpec, WorkloadClass
+
+__all__ = [
+    "deep_learning_task",
+    "data_mining_task",
+    "data_compression_task",
+    "scientific_task",
+    "checkpointing_task",
+    "with_shared_input",
+    "paper_workload_suite",
+    "PAPER_MIX_FIG10",
+]
+
+#: Fig. 10's 2000-instance mix: 150 DL, 1100 DM, 150 DC, 600 SC.
+PAPER_MIX_FIG10: dict[WorkloadClass, int] = {
+    WorkloadClass.DL: 150,
+    WorkloadClass.DM: 1100,
+    WorkloadClass.DC: 150,
+    WorkloadClass.SC: 600,
+}
+
+
+def deep_learning_task(name: str = "dl", scale: float = 1.0, epochs: int = 5) -> TaskSpec:
+    """BERT/IMDB training: load the dataset, then ``epochs`` passes.
+
+    The first ~120 s touch only a quarter to a half of the allocation —
+    reproducing the §II-C observation that 55–80 % of BERT's memory is
+    idle early on (the cold-page experiment measures exactly this).
+    """
+    check_positive(scale, "scale")
+    footprint = max(1, int(GiB(40) * scale))
+    load = TaskPhase(
+        name="load-dataset",
+        base_time=20.0,
+        compute_frac=0.20,
+        lat_frac=0.10,
+        bw_frac=0.70,
+        demand_bandwidth=GBps(8.0),
+        pattern=StreamingPattern(window_frac=0.25),
+        touched_fraction=0.25,
+    )
+    epochs_phases = tuple(
+        TaskPhase(
+            name=f"epoch-{i}",
+            base_time=60.0,
+            compute_frac=0.35,
+            lat_frac=0.10,
+            bw_frac=0.55,
+            demand_bandwidth=GBps(20.0),
+            pattern=HotColdPattern(hot_fraction=0.15, hot_share=0.70),
+            touched_fraction=0.45,
+        )
+        for i in range(1, epochs + 1)
+    )
+    return TaskSpec(
+        name=name,
+        wclass=WorkloadClass.DL,
+        footprint=footprint,
+        wss=int(footprint * 0.60),
+        phases=(load,) + epochs_phases,
+        flags=MemFlag.BW | MemFlag.CAP,
+        image="dl-bert.sif",
+        cores=4,
+    )
+
+
+def data_mining_task(name: str = "dm", scale: float = 1.0) -> TaskSpec:
+    """Spark ETL over census data: short-lived and latency-sensitive."""
+    check_positive(scale, "scale")
+    footprint = max(1, int(GiB(8) * scale))
+    phases = (
+        TaskPhase(
+            name="load",
+            base_time=3.0,
+            compute_frac=0.30,
+            lat_frac=0.20,
+            bw_frac=0.50,
+            demand_bandwidth=GBps(4.0),
+            pattern=StreamingPattern(window_frac=0.5),
+            touched_fraction=0.60,
+        ),
+        TaskPhase(
+            name="etl",
+            base_time=10.0,
+            compute_frac=0.30,
+            lat_frac=0.65,
+            bw_frac=0.05,
+            demand_bandwidth=GBps(2.0),
+            pattern=HotColdPattern(hot_fraction=0.40, hot_share=0.85),
+            touched_fraction=0.90,
+        ),
+        TaskPhase(
+            name="diversity-index",
+            base_time=2.0,
+            compute_frac=0.50,
+            lat_frac=0.45,
+            bw_frac=0.05,
+            demand_bandwidth=GBps(1.0),
+            pattern=HotColdPattern(hot_fraction=0.25, hot_share=0.90),
+            touched_fraction=0.40,
+        ),
+    )
+    return TaskSpec(
+        name=name,
+        wclass=WorkloadClass.DM,
+        footprint=footprint,
+        wss=int(footprint * 0.75),
+        phases=phases,
+        flags=MemFlag.LAT | MemFlag.SHL,
+        image="dm-spark.sif",
+        cores=2,
+    )
+
+
+def data_compression_task(name: str = "dc", scale: float = 1.0, passes: int = 4) -> TaskSpec:
+    """Zip compression over a 50 GB input: streaming compute."""
+    check_positive(scale, "scale")
+    footprint = max(1, int(GiB(50) * scale))
+    phases = tuple(
+        TaskPhase(
+            name=f"compress-{i}",
+            base_time=25.0,
+            compute_frac=0.55,
+            lat_frac=0.05,
+            bw_frac=0.40,
+            demand_bandwidth=GBps(6.0),
+            pattern=StreamingPattern(window_frac=1.0 / passes),
+            touched_fraction=1.0 / passes,
+        )
+        for i in range(passes)
+    )
+    return TaskSpec(
+        name=name,
+        wclass=WorkloadClass.DC,
+        footprint=footprint,
+        wss=int(footprint * 0.30),
+        phases=phases,
+        flags=MemFlag.BW | MemFlag.CAP,
+        image="dc-zip.sif",
+        cores=2,
+    )
+
+
+def scientific_task(name: str = "sc", scale: float = 1.0, request_extra: bool = False) -> TaskSpec:
+    """BFS over a binary tree (igraph): capacity-intensive.
+
+    With ``request_extra`` the traversal phase issues a mid-run
+    ``allocate_TM(CAP)`` for frontier storage — the paper's dynamic
+    memory-expansion scenario ("workflows that require additional memory
+    continue to execute by expanding their footprint on the tiered
+    memory", §IV-D1).
+    """
+    check_positive(scale, "scale")
+    footprint = max(1, int(GiB(64) * scale))
+    extra = DynamicRequest(max(1, int(footprint * 0.25)), MemFlag.CAP) if request_extra else None
+    phases = (
+        TaskPhase(
+            name="build-tree",
+            base_time=30.0,
+            compute_frac=0.40,
+            lat_frac=0.10,
+            bw_frac=0.50,
+            demand_bandwidth=GBps(5.0),
+            pattern=StreamingPattern(window_frac=0.34),
+            touched_fraction=1.0,
+        ),
+        TaskPhase(
+            name="bfs",
+            base_time=90.0,
+            compute_frac=0.55,
+            lat_frac=0.35,
+            bw_frac=0.10,
+            demand_bandwidth=GBps(3.0),
+            pattern=ZipfPattern(alpha=0.7),
+            touched_fraction=0.95,
+            allocate=extra,
+        ),
+    )
+    return TaskSpec(
+        name=name,
+        wclass=WorkloadClass.SC,
+        footprint=footprint,
+        wss=int(footprint * 0.75),
+        phases=phases,
+        flags=MemFlag.CAP,
+        image="sc-igraph.sif",
+        cores=2,
+    )
+
+
+def checkpointing_task(
+    name: str = "ckpt", scale: float = 1.0, checkpoints: int = 3
+) -> TaskSpec:
+    """A checkpointing workflow (§II-A pattern 5): compute phases
+    interleaved with CAP-flagged checkpoint bursts.
+
+    Each checkpoint phase ``allocate_TM``s a buffer with the CAP flag (the
+    paper's example of "data structures that need to be retained"), writes
+    it out, and the following compute phase frees it again — exercising
+    the dynamic allocate/free path end-to-end.
+    """
+    check_positive(scale, "scale")
+    require(checkpoints >= 1, "need at least one checkpoint")
+    footprint = max(1, int(GiB(16) * scale))
+    ckpt_bytes = max(1, int(footprint * 0.25))
+    phases: list[TaskPhase] = []
+    for i in range(checkpoints):
+        phases.append(
+            TaskPhase(
+                name=f"compute-{i}",
+                base_time=20.0,
+                compute_frac=0.60,
+                lat_frac=0.25,
+                bw_frac=0.15,
+                demand_bandwidth=GBps(3.0),
+                pattern=HotColdPattern(hot_fraction=0.2, hot_share=0.8),
+                touched_fraction=0.8,
+                # free the previous checkpoint buffer (region ids are
+                # assigned in allocation order: 0 is the initial footprint,
+                # so checkpoint k's buffer is region k+1)
+                release_region=i if i >= 1 else None,
+            )
+        )
+        phases.append(
+            TaskPhase(
+                name=f"checkpoint-{i}",
+                base_time=5.0,
+                compute_frac=0.20,
+                lat_frac=0.05,
+                bw_frac=0.75,
+                demand_bandwidth=GBps(8.0),
+                pattern=StreamingPattern(window_frac=0.5),
+                touched_fraction=0.5,
+                allocate=DynamicRequest(ckpt_bytes, MemFlag.CAP),
+            )
+        )
+    return TaskSpec(
+        name=name,
+        wclass=WorkloadClass.SC,
+        footprint=footprint,
+        wss=int(footprint * 0.5),
+        phases=tuple(phases),
+        flags=MemFlag.CAP,
+        image="sc-igraph.sif",
+        cores=2,
+        # checkpoints are freed before the next is taken, but size the
+        # address space for the worst case anyway
+        dynamic_headroom=ckpt_bytes,
+    )
+
+
+def with_shared_input(spec: TaskSpec, name: str, nbytes: int) -> TaskSpec:
+    """Attach a shared read-only input region to a task spec (§III-C5).
+
+    Every instance referencing the same ``name`` shares one staged copy on
+    an IMME cluster; elsewhere each instance carries a private copy.
+    """
+    check_positive(nbytes, "nbytes")
+    return replace(spec, shared_inputs=spec.shared_inputs + (SharedInput(name, int(nbytes)),))
+
+
+_BUILDERS = {
+    WorkloadClass.DL: deep_learning_task,
+    WorkloadClass.DM: data_mining_task,
+    WorkloadClass.DC: data_compression_task,
+    WorkloadClass.SC: scientific_task,
+}
+
+
+def paper_workload_suite(scale: float = 1.0) -> dict[WorkloadClass, TaskSpec]:
+    """All four studied workflows at ``scale``, keyed by class."""
+    return {
+        cls: builder(name=cls.name.lower(), scale=scale)
+        for cls, builder in _BUILDERS.items()
+    }

@@ -1,0 +1,189 @@
+"""Memory access-pattern models.
+
+Each pattern turns "this phase touches its footprint like *that*" into a
+per-chunk access-probability vector (see
+:meth:`repro.memory.pageset.PageSet.set_access_weights`).  The four paper
+workloads compose these: BERT training is a hot model/batch set over a
+streamed dataset, Spark ETL is a small intensely-hot set, Zip is a moving
+sequential window, BFS is a shallow-skew sweep over a huge footprint.
+
+By convention weights are generated **hot-first** (descending with chunk
+index) unless a permutation is requested: allocation policies may then
+align "first chunks → fastest tier" without peeking at future accesses,
+and the movement policies still get exercised by the permuted variants.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..util.validation import check_fraction, check_positive
+
+__all__ = [
+    "AccessPattern",
+    "HotColdPattern",
+    "ZipfPattern",
+    "StreamingPattern",
+    "UniformPattern",
+    "DriftingHotSpotPattern",
+    "hot_cold_weights",
+    "zipf_weights",
+    "streaming_weights",
+]
+
+
+def hot_cold_weights(n: int, hot_fraction: float, hot_share: float) -> np.ndarray:
+    """Weights where the first ``hot_fraction`` of chunks absorb
+    ``hot_share`` of all accesses (e.g. 512 MB getting 80 % of accesses in
+    a 40 GB allocation, the paper's §III-C2 heuristic example)."""
+    check_positive(n, "n")
+    check_fraction(hot_fraction, "hot_fraction")
+    check_fraction(hot_share, "hot_share")
+    n_hot = max(1, int(round(n * hot_fraction))) if hot_fraction > 0 else 0
+    n_hot = min(n_hot, n)
+    w = np.zeros(n, dtype=np.float64)
+    if n_hot == 0:
+        w[:] = 1.0 / n
+        return w
+    if n_hot == n:
+        w[:] = 1.0 / n
+        return w
+    w[:n_hot] = hot_share / n_hot
+    w[n_hot:] = (1.0 - hot_share) / (n - n_hot)
+    return w
+
+
+def zipf_weights(n: int, alpha: float) -> np.ndarray:
+    """Zipf(``alpha``) rank-frequency weights over ``n`` chunks, hot-first."""
+    check_positive(n, "n")
+    check_positive(alpha, "alpha")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    w = ranks ** (-alpha)
+    return w / w.sum()
+
+
+def streaming_weights(n: int, window_frac: float, position: float) -> np.ndarray:
+    """A sequential window of ``window_frac`` of the footprint centred at
+    relative ``position`` in [0, 1) (Zip-style streaming compression)."""
+    check_positive(n, "n")
+    check_fraction(window_frac, "window_frac")
+    check_fraction(position, "position")
+    width = max(1, int(round(n * max(window_frac, 1.0 / n))))
+    start = int(round(position * n)) % n
+    w = np.zeros(n, dtype=np.float64)
+    idx = (start + np.arange(width)) % n
+    w[idx] = 1.0 / width
+    return w
+
+
+class AccessPattern(ABC):
+    """Produces the access-weight vector for a phase over ``n`` chunks."""
+
+    @abstractmethod
+    def weights(
+        self, n: int, phase_index: int = 0, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Return a length-``n`` probability vector (sums to 1)."""
+
+    def permuted(self, seed: int) -> "PermutedPattern":
+        """Wrap this pattern so hot chunks land at random indices —
+        exercises movement policies that cannot rely on hot-first layout."""
+        return PermutedPattern(self, seed)
+
+
+@dataclass(frozen=True)
+class HotColdPattern(AccessPattern):
+    """``hot_share`` of accesses hit the first ``hot_fraction`` of chunks."""
+
+    hot_fraction: float = 0.1
+    hot_share: float = 0.9
+
+    def weights(self, n, phase_index=0, rng=None):
+        return hot_cold_weights(n, self.hot_fraction, self.hot_share)
+
+
+@dataclass(frozen=True)
+class ZipfPattern(AccessPattern):
+    """Zipf-distributed chunk popularity (graph/BFS-style skew)."""
+
+    alpha: float = 0.9
+
+    def weights(self, n, phase_index=0, rng=None):
+        return zipf_weights(n, self.alpha)
+
+
+@dataclass(frozen=True)
+class StreamingPattern(AccessPattern):
+    """Sequential window advancing one window-width per phase index."""
+
+    window_frac: float = 0.1
+
+    def weights(self, n, phase_index=0, rng=None):
+        pos = (phase_index * self.window_frac) % 1.0
+        return streaming_weights(n, self.window_frac, pos)
+
+
+@dataclass(frozen=True)
+class UniformPattern(AccessPattern):
+    """Every chunk equally likely (worst case for any placement policy)."""
+
+    def weights(self, n, phase_index=0, rng=None):
+        check_positive(n, "n")
+        return np.full(n, 1.0 / n, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class DriftingHotSpotPattern(AccessPattern):
+    """A Gaussian hot spot whose centre drifts across the footprint.
+
+    Models iterative solvers and time-stepped simulations whose working
+    set slides through a large state array: the hot region is genuinely
+    hot (unlike streaming's uniform window) but *moves*, forcing movement
+    policies to keep re-identifying it.
+
+    Parameters
+    ----------
+    width_frac:
+        Standard deviation of the hot spot as a fraction of the footprint.
+    drift_per_phase:
+        How far the centre moves per phase index (fraction of footprint,
+        wraps around).
+    """
+
+    width_frac: float = 0.10
+    drift_per_phase: float = 0.20
+
+    def __post_init__(self) -> None:
+        check_fraction(self.width_frac, "width_frac")
+        check_fraction(self.drift_per_phase, "drift_per_phase")
+
+    def weights(self, n, phase_index=0, rng=None):
+        check_positive(n, "n")
+        centre = (phase_index * self.drift_per_phase) % 1.0
+        width = max(self.width_frac, 1.0 / n)
+        pos = (np.arange(n, dtype=np.float64) + 0.5) / n
+        # circular distance so the spot wraps like the streaming window
+        dist = np.abs(pos - centre)
+        dist = np.minimum(dist, 1.0 - dist)
+        w = np.exp(-0.5 * (dist / width) ** 2)
+        return w / w.sum()
+
+
+class PermutedPattern(AccessPattern):
+    """Deterministic random permutation of an inner pattern's weights."""
+
+    def __init__(self, inner: AccessPattern, seed: int) -> None:
+        self.inner = inner
+        self.seed = int(seed)
+
+    def weights(self, n, phase_index=0, rng=None):
+        base = self.inner.weights(n, phase_index, rng)
+        perm = np.random.default_rng(self.seed).permutation(n)
+        return base[perm]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PermutedPattern({self.inner!r}, seed={self.seed})"

@@ -1,0 +1,72 @@
+"""Human-readable workload profiles.
+
+:func:`describe` renders what the simulator will *see* of a task spec —
+per-phase sensitivity, expected placement pressure, flag hints — the
+first thing to check when authoring a new workload (docs/workloads.md).
+"""
+
+from __future__ import annotations
+
+from ..metrics.report import format_table
+from ..util.units import bytes_to_human
+from .task import TaskSpec
+
+__all__ = ["describe", "expected_touched_bytes"]
+
+
+def expected_touched_bytes(spec: TaskSpec) -> int:
+    """Upper bound on bytes the task ever touches (max phase coverage)."""
+    touched = max(p.touched_fraction for p in spec.phases)
+    return int(spec.footprint * touched)
+
+
+def describe(spec: TaskSpec) -> str:
+    """A printable profile of one task spec."""
+    header = (
+        f"{spec.name} [{spec.wclass.name}]  footprint {bytes_to_human(spec.footprint)}"
+        f", wss {bytes_to_human(spec.wss)}, flags {spec.effective_flags.label}, "
+        f"{spec.cores} core(s), image {spec.image}"
+    )
+    extras = []
+    if spec.memory_limit is not None:
+        extras.append(f"memory.max {bytes_to_human(spec.memory_limit)}")
+    if spec.shared_inputs:
+        shared = ", ".join(
+            f"{s.name} ({bytes_to_human(s.nbytes)})" for s in spec.shared_inputs
+        )
+        extras.append(f"shared inputs: {shared}")
+    if spec.max_footprint > spec.footprint:
+        extras.append(
+            f"max footprint {bytes_to_human(spec.max_footprint)} (dynamic growth)"
+        )
+    rows = []
+    for i, p in enumerate(spec.phases):
+        dyn = ""
+        if p.allocate is not None:
+            dyn = f"+{bytes_to_human(p.allocate.nbytes)} {p.allocate.flags.label}"
+        if p.release_region is not None:
+            dyn = (dyn + " " if dyn else "") + f"free r{p.release_region}"
+        rows.append(
+            [
+                i,
+                p.name,
+                p.base_time,
+                f"{p.compute_frac:.2f}/{p.lat_frac:.2f}/{p.bw_frac:.2f}",
+                p.demand_bandwidth / 1e9,
+                f"{100 * p.touched_fraction:.0f}%",
+                type(p.pattern).__name__.replace("Pattern", ""),
+                dyn,
+            ]
+        )
+    table = format_table(
+        ["#", "phase", "base (s)", "c/l/b", "bw (GB/s)", "touched", "pattern", "dynamic"],
+        rows,
+    )
+    lines = [header]
+    lines.extend(f"  {e}" for e in extras)
+    lines.append(table)
+    lines.append(
+        f"ideal duration {spec.ideal_duration:.1f}s; touches up to "
+        f"{bytes_to_human(expected_touched_bytes(spec))}"
+    )
+    return "\n".join(lines)

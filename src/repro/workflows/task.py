@@ -1,0 +1,216 @@
+"""Task and phase specifications.
+
+A *task* is one containerized workflow step (the paper's unit of
+colocation: "hosting one workflow per container", §IV-A).  Its execution
+behaviour is a sequence of :class:`TaskPhase` objects, each describing how
+long the phase runs on an ideal all-DRAM node, how sensitive it is to
+latency vs. bandwidth vs. pure compute, and how it touches memory.
+
+Specs are pure data — execution lives in :mod:`repro.runtime`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from ..core.flags import MemFlag, normalize_flags
+from ..util.units import GiB
+from ..util.validation import check_fraction, check_non_negative, check_positive, require
+from .patterns import AccessPattern, HotColdPattern
+
+__all__ = ["WorkloadClass", "TaskPhase", "DynamicRequest", "SharedInput", "TaskSpec"]
+
+
+class WorkloadClass(enum.Enum):
+    """The paper's workflow taxonomy (§IV-C2)."""
+
+    DL = "deep-learning"         # data + bandwidth-intensive (BERT training)
+    DM = "data-mining"           # latency-sensitive, short-lived (Spark ETL)
+    DC = "data-compression"      # compute + data-intensive (Zip, 50 GB)
+    SC = "scientific-computing"  # capacity-intensive (igraph BFS)
+    GENERIC = "generic"
+
+    @property
+    def default_flags(self) -> MemFlag:
+        """The advisory flags each class passes through SLURM in the
+        evaluation (the paper's flag substitution methodology, §IV-B)."""
+        return {
+            WorkloadClass.DL: MemFlag.BW | MemFlag.CAP,
+            WorkloadClass.DM: MemFlag.LAT | MemFlag.SHL,
+            WorkloadClass.DC: MemFlag.BW | MemFlag.CAP,
+            WorkloadClass.SC: MemFlag.CAP,
+            WorkloadClass.GENERIC: MemFlag.NONE,
+        }[self]
+
+
+@dataclass(frozen=True)
+class DynamicRequest:
+    """A mid-execution ``allocate_TM`` call issued at a phase boundary
+    (§IV-B: randomly selected workflows "request additional memory during
+    execution using our APIs")."""
+
+    nbytes: int
+    flags: MemFlag = MemFlag.NONE
+
+    def __post_init__(self) -> None:
+        check_positive(self.nbytes, "nbytes")
+
+
+@dataclass(frozen=True)
+class SharedInput:
+    """Read-only data shared between workflows (§III-C5 strategy 1).
+
+    On an IMME cluster the region is staged once in cluster-shared CXL and
+    attached by every instance; elsewhere each task must hold a private
+    copy, inflating its footprint — exactly the duplication the paper's
+    shared-memory management removes.
+    """
+
+    name: str
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        check_positive(self.nbytes, "nbytes")
+
+
+@dataclass(frozen=True)
+class TaskPhase:
+    """One execution phase of a task.
+
+    Parameters
+    ----------
+    name:
+        Human-readable phase label ("epoch-3", "scan").
+    base_time:
+        Duration in seconds with an all-DRAM, contention-free placement.
+    compute_frac / lat_frac / bw_frac:
+        How the phase's critical path divides between pure compute,
+        latency-bound pointer chasing, and bandwidth-bound streaming.
+        Must sum to 1; the rate model blends slowdown terms with them.
+    demand_bandwidth:
+        Aggregate memory throughput (bytes/s) the phase pushes when not
+        stalled — its fair-share bandwidth demand.
+    pattern:
+        Access distribution over the mapped footprint during this phase.
+    touched_fraction:
+        Fraction of mapped chunks the phase actually visits (for fault
+        accounting at phase start).
+    allocate / release_region:
+        Optional dynamic allocation executed when the phase begins, and/or
+        a region id (from a previous phase's allocation) to free.
+    """
+
+    name: str
+    base_time: float
+    compute_frac: float
+    lat_frac: float
+    bw_frac: float
+    demand_bandwidth: float = 0.0
+    pattern: AccessPattern = field(default_factory=HotColdPattern)
+    touched_fraction: float = 1.0
+    allocate: Optional[DynamicRequest] = None
+    release_region: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.base_time, "base_time")
+        check_fraction(self.compute_frac, "compute_frac")
+        check_fraction(self.lat_frac, "lat_frac")
+        check_fraction(self.bw_frac, "bw_frac")
+        total = self.compute_frac + self.lat_frac + self.bw_frac
+        require(abs(total - 1.0) < 1e-9, f"phase fractions must sum to 1, got {total}")
+        check_non_negative(self.demand_bandwidth, "demand_bandwidth")
+        check_fraction(self.touched_fraction, "touched_fraction")
+
+    @property
+    def ideal_time(self) -> float:
+        return self.base_time
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Static description of one containerized workflow task."""
+
+    name: str
+    wclass: WorkloadClass
+    footprint: int
+    wss: int
+    phases: tuple[TaskPhase, ...]
+    flags: MemFlag = MemFlag.NONE
+    image: str = "default.sif"
+    cores: int = 1
+    #: extra headroom chunks for dynamic allocations, bytes
+    dynamic_headroom: int = 0
+    #: read-only inputs shared across instances (§III-C5 strategy 1)
+    shared_inputs: tuple[SharedInput, ...] = ()
+    #: fixed container memory allocation (cgroup ``memory.max``); ``None``
+    #: leaves the container uncapped.  CXL expansion memory attached via
+    #: the tiered-memory APIs is outside the cap (§II-B / §IV-D1).
+    memory_limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.footprint, "footprint")
+        check_positive(self.wss, "wss")
+        require(self.wss <= self.footprint, "working set cannot exceed footprint")
+        require(len(self.phases) > 0, "a task needs at least one phase")
+        require(self.cores >= 1, "cores must be >= 1")
+        check_non_negative(self.dynamic_headroom, "dynamic_headroom")
+        if self.memory_limit is not None:
+            require(
+                self.memory_limit >= self.footprint,
+                "memory_limit cannot be below the initial footprint",
+            )
+        object.__setattr__(self, "flags", normalize_flags(self.flags))
+
+    @property
+    def max_footprint(self) -> int:
+        """Footprint plus room for every dynamic request and (when no
+        shared-memory manager exists) private copies of shared inputs —
+        this sizes the PageSet's address space."""
+        dyn = sum(p.allocate.nbytes for p in self.phases if p.allocate is not None)
+        shared = sum(s.nbytes for s in self.shared_inputs)
+        return self.footprint + dyn + self.dynamic_headroom + shared
+
+    @property
+    def ideal_duration(self) -> float:
+        """Total runtime on an unconstrained all-DRAM node."""
+        return sum(p.base_time for p in self.phases)
+
+    @property
+    def effective_flags(self) -> MemFlag:
+        """Explicit flags, falling back to the workload class defaults."""
+        return self.flags if self.flags is not MemFlag.NONE else self.wclass.default_flags
+
+    def with_name(self, name: str) -> "TaskSpec":
+        return replace(self, name=name)
+
+    def with_flags(self, flags: "MemFlag | Sequence[MemFlag] | None") -> "TaskSpec":
+        return replace(self, flags=normalize_flags(flags))
+
+    def scaled(self, factor: float) -> "TaskSpec":
+        """Uniformly scale the memory footprint (experiment sizing knob)."""
+        check_positive(factor, "factor")
+        return replace(
+            self,
+            footprint=max(1, int(self.footprint * factor)),
+            wss=max(1, int(self.wss * factor)),
+            dynamic_headroom=int(self.dynamic_headroom * factor),
+            phases=tuple(
+                replace(
+                    p,
+                    allocate=(
+                        DynamicRequest(max(1, int(p.allocate.nbytes * factor)), p.allocate.flags)
+                        if p.allocate is not None
+                        else None
+                    ),
+                )
+                for p in self.phases
+            ),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"TaskSpec({self.name}, {self.wclass.name}, "
+            f"footprint={self.footprint / GiB(1):.2f}GiB, phases={len(self.phases)})"
+        )

@@ -1,0 +1,166 @@
+"""Algorithm 1 tests: cascading LAT/SHL, proportional BW, CXL-direct CAP,
+flag decomposition, and global-map bookkeeping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.allocation import EvictableMap, TierAllocator, bandwidth_fractions
+from repro.core.flags import MemFlag
+from repro.core.predictor import ExecutionRecord, FlagPredictor
+from repro.memory.tiers import CXL, DRAM, PMEM
+from repro.util.units import MiB
+
+from conftest import small_specs
+
+
+def allocator(**kw):
+    return TierAllocator(small_specs(**kw) if kw else small_specs())
+
+
+def ev_map(dram=MiB(4), pmem=MiB(8), cxl=MiB(64)):
+    return EvictableMap({DRAM: dram, PMEM: pmem, CXL: cxl})
+
+
+class TestBandwidthFractions:
+    def test_proportional_to_throughput(self):
+        fr = bandwidth_fractions(small_specs())
+        assert sum(fr.values()) == pytest.approx(1.0)
+        assert fr[DRAM] > fr[CXL] > 0
+        assert fr[DRAM] > fr[PMEM] > 0
+
+    def test_zero_capacity_tier_excluded(self):
+        fr = bandwidth_fractions(small_specs(pmem=0))
+        assert PMEM not in fr
+
+
+class TestLatCascade:
+    def test_all_dram_when_room(self):
+        plan = allocator().tier_alloc("w", MiB(2), MemFlag.LAT, ev_map())
+        assert plan.per_flag[MemFlag.LAT] == {DRAM: MiB(2)}
+
+    def test_cascade_dram_pmem_cxl(self):
+        plan = allocator().tier_alloc(
+            "w", MiB(16), MemFlag.LAT, ev_map(dram=MiB(4), pmem=MiB(8))
+        )
+        tiers = plan.per_flag[MemFlag.LAT]
+        assert tiers[DRAM] == MiB(4)
+        assert tiers[PMEM] == MiB(8)
+        assert tiers[CXL] == MiB(4)
+
+    def test_cxl_is_unlimited(self):
+        plan = allocator().tier_alloc(
+            "w", MiB(100), MemFlag.SHL, ev_map(dram=0, pmem=0, cxl=0)
+        )
+        assert plan.per_flag[MemFlag.SHL][CXL] == MiB(100)
+
+    def test_ev_consumed(self):
+        ev = ev_map(dram=MiB(4))
+        allocator().tier_alloc("w", MiB(3), MemFlag.LAT, ev)
+        assert ev[DRAM] == MiB(1)
+
+
+class TestBandwidthSplit:
+    def test_multi_tier_split(self):
+        # roomy evictable map: the split is purely throughput-proportional
+        plan = allocator().tier_alloc(
+            "w", MiB(12), MemFlag.BW, ev_map(dram=MiB(16), pmem=MiB(16))
+        )
+        tiers = plan.per_flag[MemFlag.BW]
+        assert set(tiers) == {DRAM, PMEM, CXL}
+        assert plan.total_bytes == MiB(12)
+        # proportional to tier throughput: DRAM gets the lion's share
+        assert tiers[DRAM] > tiers[CXL]
+        assert tiers[DRAM] > tiers[PMEM]
+
+    def test_constrained_dram_rolls_to_next_tier(self):
+        # Alg. 1 lines 26-28: DRAM's unsatisfied share lands on PMem
+        plan = allocator().tier_alloc("w", MiB(12), MemFlag.BW, ev_map(dram=MiB(4)))
+        tiers = plan.per_flag[MemFlag.BW]
+        assert tiers[DRAM] == MiB(4)
+        assert tiers[PMEM] > tiers[CXL]
+        assert plan.total_bytes == MiB(12)
+
+    def test_contended_tier_remainder_rolls_forward(self):
+        plan = allocator().tier_alloc("w", MiB(12), MemFlag.BW, ev_map(dram=MiB(1)))
+        tiers = plan.per_flag[MemFlag.BW]
+        assert tiers[DRAM] == MiB(1)
+        assert plan.total_bytes == MiB(12)
+
+
+class TestCapacity:
+    def test_cap_goes_straight_to_cxl(self):
+        plan = allocator().tier_alloc("w", MiB(32), MemFlag.CAP, ev_map())
+        assert plan.per_flag[MemFlag.CAP] == {CXL: MiB(32)}
+
+
+class TestDecomposition:
+    def test_composite_flags_split_by_prediction(self):
+        predictor = FlagPredictor(default_lat_fraction=0.25)
+        alloc = TierAllocator(small_specs(), predictor)
+        plan = alloc.tier_alloc("w", MiB(8), MemFlag.LAT | MemFlag.CAP, ev_map())
+        assert plan.bytes_for(MemFlag.LAT) == MiB(2)
+        assert plan.bytes_for(MemFlag.CAP) == MiB(6)
+        assert plan.total_bytes == MiB(8)
+
+    def test_none_flags_invoke_predictor(self):
+        predictor = FlagPredictor()
+        predictor.store.record(ExecutionRecord("w", MiB(8), {MemFlag.BW: MiB(8)}))
+        alloc = TierAllocator(small_specs(), predictor)
+        plan = alloc.tier_alloc("w", MiB(8), MemFlag.NONE, ev_map())
+        assert MemFlag.BW in plan.per_flag
+
+    def test_history_drives_split(self):
+        predictor = FlagPredictor()
+        predictor.store.record(
+            ExecutionRecord("w", MiB(8), {MemFlag.LAT: MiB(2), MemFlag.CAP: MiB(6)})
+        )
+        alloc = TierAllocator(small_specs(), predictor)
+        plan = alloc.tier_alloc("w", MiB(16), MemFlag.LAT | MemFlag.CAP, ev_map())
+        assert plan.bytes_for(MemFlag.LAT) == pytest.approx(MiB(4), abs=1)
+
+
+class TestGlobalMaps:
+    def test_alloc_map_updated(self):
+        alloc = allocator()
+        alloc.tier_alloc("w", MiB(4), MemFlag.CAP, ev_map())
+        assert alloc.allocated_to("w")[int(CXL)] == MiB(4)
+
+    def test_alloc_map_accumulates(self):
+        alloc = allocator()
+        alloc.tier_alloc("w", MiB(4), MemFlag.CAP, ev_map())
+        alloc.tier_alloc("w", MiB(4), MemFlag.CAP, ev_map())
+        assert alloc.allocated_to("w")[int(CXL)] == MiB(8)
+
+    def test_forget(self):
+        alloc = allocator()
+        alloc.tier_alloc("w", MiB(4), MemFlag.CAP, ev_map())
+        alloc.forget("w")
+        assert alloc.allocated_to("w").sum() == 0
+
+
+class TestPlanTotalsProperty:
+    @given(
+        st.integers(min_value=1, max_value=2**28),
+        st.sampled_from(
+            [
+                MemFlag.LAT,
+                MemFlag.SHL,
+                MemFlag.BW,
+                MemFlag.CAP,
+                MemFlag.LAT | MemFlag.CAP,
+                MemFlag.BW | MemFlag.CAP,
+                MemFlag.LAT | MemFlag.BW | MemFlag.CAP,
+                MemFlag.NONE,
+            ]
+        ),
+        st.integers(min_value=0, max_value=2**24),
+        st.integers(min_value=0, max_value=2**24),
+    )
+    def test_plan_always_covers_request(self, nbytes, flags, dram_ev, pmem_ev):
+        """Whatever the flags and evictable state, Algorithm 1 plans
+        exactly the requested bytes (CXL absorbs any shortfall)."""
+        alloc = allocator()
+        ev = EvictableMap({DRAM: dram_ev, PMEM: pmem_ev, CXL: MiB(64)})
+        plan = alloc.tier_alloc("w", nbytes, flags, ev)
+        assert plan.total_bytes == nbytes
+        assert all(n >= 0 for tm in plan.per_flag.values() for n in tm.values())

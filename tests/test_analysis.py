@@ -1,0 +1,137 @@
+"""Analysis-subpackage tests: replication stats and sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import ReplicationResult, relative_improvement, replicate
+from repro.analysis.sweeps import makespan_metric, mean_exec_metric, sweep
+from repro.envs.environments import EnvKind, make_environment
+from repro.util.units import KiB, MiB
+
+from conftest import simple_task
+
+CHUNK = KiB(64)
+
+
+class TestReplicationResult:
+    def test_mean_std_cv(self):
+        r = ReplicationResult("x", (10.0, 12.0, 11.0, 9.0))
+        assert r.mean == pytest.approx(10.5)
+        assert r.std == pytest.approx(np.std([10, 12, 11, 9], ddof=1))
+        assert r.cv == pytest.approx(r.std / r.mean)
+
+    def test_single_value_degenerate(self):
+        r = ReplicationResult("x", (5.0,))
+        assert r.std == 0.0
+        assert r.cv == 0.0
+        assert r.ci95() == (5.0, 5.0)
+
+    def test_ci_contains_mean(self):
+        r = ReplicationResult("x", tuple(np.linspace(9, 11, 10)))
+        lo, hi = r.ci95()
+        assert lo < r.mean < hi
+        assert hi - lo < 2.0  # tight for low-variance data
+
+    def test_replicate_calls_each_seed(self):
+        seen = []
+
+        def fn(seed):
+            seen.append(seed)
+            return float(seed)
+
+        r = replicate(fn, seeds=(1, 2, 3), label="m")
+        assert seen == [1, 2, 3]
+        assert r.values == (1.0, 2.0, 3.0)
+
+    def test_relative_improvement(self):
+        base = ReplicationResult("b", (10.0, 10.0))
+        fast = ReplicationResult("f", (5.0, 5.0))
+        assert relative_improvement(base, fast) == pytest.approx(0.5)
+
+    def test_needs_a_seed(self):
+        with pytest.raises(Exception):
+            replicate(lambda s: 1.0, seeds=())
+
+
+class TestSweep:
+    def _build(self, kind, dram_mib):
+        return make_environment(kind, dram_capacity=MiB(dram_mib), chunk_size=CHUNK)
+
+    def test_grid_shape_and_values(self):
+        specs = [simple_task("t0", footprint=MiB(1), base_time=1.0)]
+        calls = []
+
+        def run(env, value):
+            calls.append((env.name, value))
+            return env.run_batch([simple_task(f"t-{env.name}-{value}", footprint=MiB(1), base_time=1.0)])
+
+        result = sweep(
+            name="demo",
+            description="demo sweep",
+            values=[8, 16],
+            kinds=[EnvKind.IE, EnvKind.IMME],
+            build=self._build,
+            run=run,
+        )
+        assert set(result.series) == {"IE", "IMME"}
+        assert result.xlabels == ["8", "16"]
+        assert len(calls) == 4
+        assert all(v > 0 for vals in result.series.values() for v in vals)
+
+    def test_mean_exec_metric_filters_class(self):
+        def run(env, value):
+            return env.run_batch(
+                [simple_task(f"m-{env.name}-{value}", footprint=MiB(1), base_time=2.0)]
+            )
+
+        result = sweep(
+            name="demo",
+            description="d",
+            values=[16],
+            kinds=[EnvKind.IE],
+            build=self._build,
+            run=run,
+            metric=mean_exec_metric("GENERIC"),
+        )
+        assert result.series["IE"][0] == pytest.approx(2.0, rel=0.1)
+
+    def test_custom_xlabel(self):
+        def run(env, value):
+            return env.run_batch(
+                [simple_task(f"x-{value}", footprint=MiB(1), base_time=1.0)]
+            )
+
+        result = sweep(
+            name="demo",
+            description="d",
+            values=[0.5],
+            kinds=[EnvKind.IE],
+            build=lambda k, v: self._build(k, 16),
+            run=run,
+            xlabel=lambda v: f"{int(v * 100)}%",
+        )
+        assert result.xlabels == ["50%"]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(Exception):
+            sweep(
+                name="x", description="d", values=[], kinds=[EnvKind.IE],
+                build=self._build, run=lambda e, v: None,
+            )
+
+
+class TestPaperVarianceClaim:
+    def test_cv_under_five_percent_across_seeds(self):
+        """§IV-B: <5% variance between executions of the same experiment."""
+        from repro.experiments.common import build_env, colocated_mix, run_and_collect
+        from repro.workflows import WorkloadClass
+
+        def measure(seed: int) -> float:
+            specs = colocated_mix(
+                {WorkloadClass.DM: 2, WorkloadClass.SC: 1}, scale=1 / 512, seed=seed
+            )
+            env = build_env(EnvKind.IMME, specs, dram_fraction=0.3, chunk_size=CHUNK)
+            return run_and_collect(env, specs).makespan()
+
+        r = replicate(measure, seeds=(0, 1, 2, 3), label="imme-makespan")
+        assert r.cv < 0.05

@@ -1,0 +1,114 @@
+"""Table I API tests: allocate_TM / free_TM lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import TieredMemoryClient
+from repro.core.flags import MemFlag
+from repro.memory.pageset import NO_REGION, PageSet
+from repro.memory.tiers import CXL, DRAM
+from repro.policies.linux import LinuxSwapPolicy
+from repro.util.errors import AllocationError
+from repro.util.units import MiB
+
+from conftest import CHUNK
+
+
+def client_for(node, ctx, footprint=MiB(2)):
+    ps = PageSet("task", footprint, CHUNK)
+    node.register(ps)
+    return TieredMemoryClient(ctx, LinuxSwapPolicy(scan_noise=0.0), ps), ps
+
+
+class TestAllocateTM:
+    def test_allocation_backs_chunks(self, node, ctx):
+        client, ps = client_for(node, ctx)
+        h = client.allocate_TM(MiB(1))
+        assert h.nbytes == MiB(1)
+        assert ps.bytes_in(DRAM) == MiB(1)
+        assert client.allocated_bytes == MiB(1)
+
+    def test_regions_are_disjoint(self, node, ctx):
+        client, ps = client_for(node, ctx)
+        h1 = client.allocate_TM(MiB(1))
+        h2 = client.allocate_TM(MiB(1))
+        assert h1.region != h2.region
+        r1 = np.flatnonzero(ps.region == h1.region)
+        r2 = np.flatnonzero(ps.region == h2.region)
+        assert not set(r1) & set(r2)
+
+    def test_flags_recorded_on_region(self, node, ctx):
+        client, ps = client_for(node, ctx)
+        h = client.allocate_TM(MiB(1), MemFlag.LAT)
+        assert ps.region_flags[h.region] is MemFlag.LAT
+        assert h.flags is MemFlag.LAT
+
+    def test_address_space_exhaustion(self, node, ctx):
+        client, ps = client_for(node, ctx, footprint=MiB(1))
+        client.allocate_TM(MiB(1))
+        with pytest.raises(AllocationError, match="address space"):
+            client.allocate_TM(CHUNK)
+
+    def test_failed_placement_rolls_back_region(self, node, ctx):
+        # a policy that always fails
+        class Exploding(LinuxSwapPolicy):
+            def place(self, ctx, ps, request):
+                raise AllocationError("no")
+
+        ps = PageSet("t2", MiB(1), CHUNK)
+        node.register(ps)
+        client = TieredMemoryClient(ctx, Exploding(scan_noise=0.0), ps)
+        with pytest.raises(AllocationError):
+            client.allocate_TM(MiB(1))
+        assert (ps.region == NO_REGION).all()
+        assert client.live_regions == ()
+
+    def test_zero_size_rejected(self, node, ctx):
+        client, _ = client_for(node, ctx)
+        with pytest.raises(Exception):
+            client.allocate_TM(0)
+
+
+class TestFreeTM:
+    def test_free_returns_memory(self, node, ctx):
+        client, ps = client_for(node, ctx)
+        h = client.allocate_TM(MiB(1))
+        client.free_TM(h)
+        assert node.used(DRAM) == 0
+        assert (ps.region == NO_REGION).all()
+        node.validate()
+
+    def test_double_free_rejected(self, node, ctx):
+        client, _ = client_for(node, ctx)
+        h = client.allocate_TM(MiB(1))
+        client.free_TM(h)
+        with pytest.raises(AllocationError, match="double free"):
+            client.free_TM(h)
+
+    def test_foreign_handle_rejected(self, node, ctx):
+        client, _ = client_for(node, ctx)
+        other_ps = PageSet("other", MiB(1), CHUNK)
+        node.register(other_ps)
+        other = TieredMemoryClient(ctx, LinuxSwapPolicy(scan_noise=0.0), other_ps)
+        h = other.allocate_TM(MiB(1))
+        with pytest.raises(Exception):
+            client.free_TM(h)
+
+    def test_free_region_by_id(self, node, ctx):
+        client, _ = client_for(node, ctx)
+        h = client.allocate_TM(MiB(1))
+        client.free_region(h.region)
+        assert client.live_regions == ()
+
+    def test_free_unknown_region_rejected(self, node, ctx):
+        client, _ = client_for(node, ctx)
+        with pytest.raises(Exception):
+            client.free_region(99)
+
+    def test_freed_space_is_reusable(self, node, ctx):
+        client, ps = client_for(node, ctx, footprint=MiB(1))
+        h = client.allocate_TM(MiB(1))
+        client.free_TM(h)
+        h2 = client.allocate_TM(MiB(1))  # same chunks, new region
+        assert h2.region != h.region
+        assert ps.mapped_bytes == MiB(1)

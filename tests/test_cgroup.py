@@ -1,0 +1,107 @@
+"""Container memory-cgroup tests: charging, OOM kills, CXL exemption."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.containers.cgroup import MemoryCgroup, OomKill
+from repro.core.flags import MemFlag
+from repro.envs.environments import EnvKind, make_environment
+from repro.util.units import KiB, MiB
+from repro.workflows.library import scientific_task
+from repro.workflows.task import TaskSpec, WorkloadClass
+
+from conftest import simple_task
+
+CHUNK = KiB(64)
+
+
+class TestMemoryCgroup:
+    def test_charge_within_limit(self):
+        cg = MemoryCgroup("c", limit=MiB(4))
+        cg.charge(MiB(3))
+        assert cg.charged == MiB(3)
+        assert cg.peak == MiB(3)
+        assert cg.headroom == MiB(1)
+
+    def test_overrun_raises_oom(self):
+        cg = MemoryCgroup("c", limit=MiB(4))
+        cg.charge(MiB(3))
+        with pytest.raises(OomKill, match="exceeded its memory limit"):
+            cg.charge(MiB(2))
+        assert cg.oom_kills == 1
+        assert cg.charged == MiB(3)  # the failing charge did not land
+
+    def test_uncharge(self):
+        cg = MemoryCgroup("c", limit=MiB(4))
+        cg.charge(MiB(4))
+        cg.uncharge(MiB(2))
+        cg.charge(MiB(2))  # fits again
+        assert cg.peak == MiB(4)
+
+    def test_uncapped(self):
+        cg = MemoryCgroup("c", limit=None)
+        cg.charge(MiB(1000))
+        assert cg.headroom is None
+
+    def test_uncharge_never_negative(self):
+        cg = MemoryCgroup("c")
+        cg.uncharge(MiB(1))
+        assert cg.charged == 0
+
+    def test_zero_charge_noop(self):
+        cg = MemoryCgroup("c", limit=MiB(1))
+        cg.charge(0)
+        assert cg.charged == 0
+
+    def test_invalid_limit(self):
+        with pytest.raises(Exception):
+            MemoryCgroup("c", limit=0)
+
+
+class TestSpecValidation:
+    def test_limit_below_footprint_rejected(self):
+        with pytest.raises(Exception, match="memory_limit"):
+            replace(simple_task(footprint=MiB(4)), memory_limit=MiB(1))
+
+    def test_limit_at_footprint_ok(self):
+        spec = replace(simple_task(footprint=MiB(4)), memory_limit=MiB(4))
+        assert spec.memory_limit == MiB(4)
+
+
+class TestEndToEndEnforcement:
+    def _capped_sc(self, margin: float) -> TaskSpec:
+        spec = scientific_task(scale=1 / 512, request_extra=True)
+        return replace(spec, memory_limit=int(spec.footprint * (1 + margin)))
+
+    def test_oom_kill_without_tiered_memory(self):
+        spec = self._capped_sc(margin=0.05)
+        env = make_environment(EnvKind.CBE, dram_capacity=spec.footprint * 2, chunk_size=CHUNK)
+        metrics = env.run_batch([spec], max_time=1e6)
+        tm = metrics.get(spec.name)
+        assert tm.failed
+        assert "memory limit" in tm.failure_reason
+        env.stop()
+
+    def test_cxl_expansion_escapes_the_cap(self):
+        spec = self._capped_sc(margin=0.05)
+        env = make_environment(EnvKind.IMME, dram_capacity=spec.footprint * 2, chunk_size=CHUNK)
+        metrics = env.run_batch([spec], max_time=1e6)
+        assert metrics.get(spec.name).done
+        env.stop()
+
+    def test_generous_limit_never_fires(self):
+        spec = self._capped_sc(margin=0.50)
+        env = make_environment(EnvKind.CBE, dram_capacity=spec.footprint * 2, chunk_size=CHUNK)
+        metrics = env.run_batch([spec], max_time=1e6)
+        assert metrics.get(spec.name).done
+        env.stop()
+
+    def test_memory_released_after_oom_kill(self):
+        spec = self._capped_sc(margin=0.05)
+        env = make_environment(EnvKind.CBE, dram_capacity=spec.footprint * 2, chunk_size=CHUNK)
+        env.run_batch([spec], max_time=1e6)
+        for node in env.topology.nodes:
+            node.validate()
+            assert node.rss(0) == 0  # everything returned after the kill
+        env.stop()

@@ -1,0 +1,104 @@
+"""Max-min fair bandwidth-sharing tests (with hypothesis properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.contention import allocate_bandwidth, fair_share
+
+
+class TestFairShare:
+    def test_undersubscribed_everyone_satisfied(self):
+        alloc = fair_share(100.0, np.array([10.0, 20.0, 30.0]))
+        assert np.allclose(alloc, [10, 20, 30])
+
+    def test_equal_demands_split_evenly(self):
+        alloc = fair_share(90.0, np.array([100.0, 100.0, 100.0]))
+        assert np.allclose(alloc, [30, 30, 30])
+
+    def test_small_demand_returns_surplus(self):
+        # classic max-min example: {2, 8} sharing 8 -> {2, 6}
+        alloc = fair_share(8.0, np.array([2.0, 8.0]))
+        assert np.allclose(alloc, [2, 6])
+
+    def test_three_level_waterfill(self):
+        alloc = fair_share(10.0, np.array([1.0, 3.0, 20.0]))
+        # 1 satisfied; 3 satisfied; 20 gets remainder 6
+        assert np.allclose(alloc, [1, 3, 6])
+
+    def test_zero_capacity(self):
+        alloc = fair_share(0.0, np.array([5.0, 5.0]))
+        assert np.allclose(alloc, 0)
+
+    def test_empty_demands(self):
+        assert fair_share(10.0, np.array([])).size == 0
+
+    def test_zero_demands_get_zero(self):
+        alloc = fair_share(10.0, np.array([0.0, 5.0]))
+        assert alloc[0] == 0
+        assert alloc[1] == 5
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(Exception):
+            fair_share(10.0, np.array([-1.0]))
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e6),
+        st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=32),
+    )
+    def test_maxmin_invariants(self, capacity, demands):
+        d = np.array(demands)
+        alloc = fair_share(capacity, d)
+        # never exceed demand, never exceed capacity
+        assert np.all(alloc <= d + 1e-9)
+        assert alloc.sum() <= capacity + 1e-6
+        # work-conserving: either all demand met or capacity exhausted
+        if d.sum() > capacity:
+            assert alloc.sum() == pytest.approx(capacity, rel=1e-6, abs=1e-6)
+        else:
+            assert np.allclose(alloc, d)
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e4),
+        st.lists(st.floats(min_value=0.1, max_value=1e3), min_size=2, max_size=16),
+    )
+    def test_maxmin_fairness_property(self, capacity, demands):
+        """No unsatisfied task receives less than any other task's allocation
+        unless that other task is fully satisfied (the max-min criterion)."""
+        d = np.array(demands)
+        alloc = fair_share(capacity, d)
+        unsat = alloc < d - 1e-9
+        if unsat.any():
+            floor = alloc[unsat].min()
+            # every allocation above the floor belongs to a satisfied task
+            above = alloc > floor + 1e-6
+            assert np.all(~unsat[above])
+
+
+class TestAllocateBandwidth:
+    def test_per_tier_independence(self):
+        caps = np.array([100.0, 50.0])
+        demands = np.array([[80.0, 0.0], [80.0, 40.0]])
+        out = allocate_bandwidth(caps, demands)
+        assert np.allclose(out[:, 0], [50, 50])  # DRAM split evenly
+        assert out[1, 1] == pytest.approx(40.0)  # tier 1 uncontended
+
+    def test_multi_tier_aggregation_beats_single(self):
+        """A task spreading demand over two tiers achieves more than one
+        stuck on a contended single tier — the BW-flag payoff."""
+        caps = np.array([100.0, 30.0])
+        single = np.array([[60.0, 0.0], [60.0, 0.0], [60.0, 0.0]])
+        spread = np.array([[40.0, 20.0], [60.0, 0.0], [60.0, 0.0]])
+        a_single = allocate_bandwidth(caps, single).sum(axis=1)
+        a_spread = allocate_bandwidth(caps, spread).sum(axis=1)
+        assert a_spread[0] > a_single[0]
+
+    def test_shape_validation(self):
+        with pytest.raises(Exception):
+            allocate_bandwidth(np.array([1.0]), np.array([[1.0, 2.0]]))
+        with pytest.raises(Exception):
+            allocate_bandwidth(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+
+    def test_zero_demand_matrix(self):
+        out = allocate_bandwidth(np.array([10.0, 10.0]), np.zeros((3, 2)))
+        assert np.allclose(out, 0)

@@ -1,0 +1,106 @@
+"""Workflow-DAG tests: construction, cycles, traversal, critical path."""
+
+import pytest
+
+from repro.util.errors import WorkflowError
+from repro.workflows.dag import (
+    Workflow,
+    chain_workflow,
+    diamond_workflow,
+    fan_out_workflow,
+)
+
+from conftest import simple_task
+
+
+class TestConstruction:
+    def test_add_tasks_with_dependencies(self):
+        wf = Workflow("w")
+        wf.add_task(simple_task("a"))
+        wf.add_task(simple_task("b"), after=["a"])
+        assert wf.dependencies("b") == ("a",)
+        assert wf.dependents("a") == ("b",)
+        assert len(wf) == 2
+
+    def test_duplicate_task_rejected(self):
+        wf = Workflow("w")
+        wf.add_task(simple_task("a"))
+        with pytest.raises(WorkflowError, match="duplicate"):
+            wf.add_task(simple_task("a"))
+
+    def test_unknown_dependency_rejected(self):
+        wf = Workflow("w")
+        with pytest.raises(WorkflowError):
+            wf.add_task(simple_task("b"), after=["ghost"])
+
+    def test_cycle_via_add_dependency_rejected(self):
+        wf = Workflow("w")
+        wf.add_task(simple_task("a"))
+        wf.add_task(simple_task("b"), after=["a"])
+        with pytest.raises(WorkflowError, match="cycle"):
+            wf.add_dependency("b", "a")
+        # graph unchanged after the failed edge
+        assert wf.dependencies("a") == ()
+
+    def test_contains_and_spec(self):
+        wf = Workflow("w")
+        spec = simple_task("a")
+        wf.add_task(spec)
+        assert "a" in wf
+        assert wf.spec("a") is spec
+        with pytest.raises(WorkflowError):
+            wf.spec("nope")
+
+    def test_empty_workflow_invalid(self):
+        with pytest.raises(WorkflowError):
+            Workflow("w").validate()
+
+
+class TestTraversal:
+    def build_diamond(self):
+        return diamond_workflow(
+            "d",
+            simple_task("pre"),
+            [simple_task("b1"), simple_task("b2")],
+            simple_task("post"),
+        )
+
+    def test_roots(self):
+        wf = self.build_diamond()
+        assert wf.roots() == ("pre",)
+
+    def test_topological_order_respects_edges(self):
+        wf = self.build_diamond()
+        order = wf.topological_order()
+        assert order.index("pre") < order.index("b1")
+        assert order.index("b2") < order.index("post")
+
+    def test_stages(self):
+        wf = self.build_diamond()
+        assert wf.stages() == [["pre"], ["b1", "b2"], ["post"]]
+
+    def test_critical_path(self):
+        wf = self.build_diamond()  # all tasks 10s
+        assert wf.critical_path_time() == pytest.approx(30.0)
+
+    def test_total_footprint(self):
+        wf = chain_workflow("c", [simple_task("a"), simple_task("b")])
+        assert wf.total_footprint == sum(s.footprint for s in wf.tasks())
+
+
+class TestShapeHelpers:
+    def test_chain(self):
+        wf = chain_workflow("c", [simple_task(f"t{i}") for i in range(4)])
+        assert wf.stages() == [["t0"], ["t1"], ["t2"], ["t3"]]
+
+    def test_fan_out(self):
+        wf = fan_out_workflow(
+            "f", simple_task("src"), [simple_task(f"m{i}") for i in range(3)]
+        )
+        assert wf.roots() == ("src",)
+        assert set(wf.dependents("src")) == {"m0", "m1", "m2"}
+
+    def test_chain_critical_path_is_sum(self):
+        specs = [simple_task(f"t{i}", base_time=5.0) for i in range(3)]
+        wf = chain_workflow("c", specs)
+        assert wf.critical_path_time() == pytest.approx(15.0)

@@ -1,0 +1,96 @@
+"""Workflow-deconstruction tests."""
+
+import pytest
+
+from repro.util.errors import WorkflowError
+from repro.util.units import KiB, MiB
+from repro.wms.decompose import decompose_task, decomposed_footprint
+from repro.workflows.library import checkpointing_task, deep_learning_task
+from repro.workflows.task import WorkloadClass
+
+from conftest import simple_task
+from test_scheduler import make_sched
+
+
+class TestDecomposeTask:
+    def test_chain_structure(self):
+        spec = deep_learning_task("dl", scale=1 / 512, epochs=2)  # 3 phases
+        wf = decompose_task(spec)
+        assert len(wf) == 3
+        assert wf.stages() == [["dl.s0"], ["dl.s1"], ["dl.s2"]]
+        assert [s.phases[0].name for s in (wf.spec(t) for t in wf.topological_order())] == [
+            "load-dataset", "epoch-1", "epoch-2",
+        ]
+
+    def test_grouping(self):
+        spec = deep_learning_task("dl", scale=1 / 512, epochs=3)  # 4 phases
+        wf = decompose_task(spec, group=2)
+        assert len(wf) == 2
+        assert len(wf.spec("dl.s0").phases) == 2
+
+    def test_footprints_shrink_to_touched(self):
+        spec = deep_learning_task("dl", scale=1 / 512)
+        wf = decompose_task(spec, handoff_fraction=0.10)
+        load = wf.spec("dl.s0")  # touches 25% + 10% handoff
+        assert load.footprint == pytest.approx(spec.footprint * 0.35, rel=0.02)
+        assert load.footprint < spec.footprint
+        assert load.wss <= load.footprint
+
+    def test_no_shrink_option(self):
+        spec = deep_learning_task("dl", scale=1 / 512)
+        wf = decompose_task(spec, shrink_footprint=False)
+        assert all(wf.spec(t).footprint == spec.footprint for t in wf.topological_order())
+
+    def test_total_ideal_duration_preserved(self):
+        spec = deep_learning_task("dl", scale=1 / 512)
+        wf = decompose_task(spec)
+        assert wf.critical_path_time() == pytest.approx(spec.ideal_duration)
+
+    def test_memory_limit_scaled(self):
+        from dataclasses import replace
+
+        spec = replace(
+            simple_task("t", footprint=MiB(4), n_phases=2), memory_limit=MiB(8)
+        )
+        wf = decompose_task(spec)
+        for t in wf.topological_order():
+            sub = wf.spec(t)
+            assert sub.memory_limit >= sub.footprint
+
+    def test_checkpoint_pairs_within_group_ok(self):
+        spec = checkpointing_task(scale=1 / 512, checkpoints=2)  # 4 phases
+        # grouping by whole (alloc ... release) cycles keeps regions local
+        wf = decompose_task(spec, group=4)
+        assert len(wf) == 1
+
+    def test_cross_subtask_release_rejected(self):
+        spec = checkpointing_task(scale=1 / 512, checkpoints=2)
+        # per-phase split separates checkpoint-0's allocation from
+        # compute-1's release of it
+        with pytest.raises(WorkflowError, match="releases a region"):
+            decompose_task(spec, group=1)
+
+    def test_decomposed_footprint_floor(self):
+        spec = simple_task("t", footprint=MiB(1))
+        fp = decomposed_footprint(spec, spec.phases, handoff_fraction=0.0)
+        assert 0 < fp <= spec.footprint
+
+
+class TestDecomposedExecution:
+    def test_chain_runs_end_to_end(self, engine, metrics):
+        from dataclasses import replace
+
+        sched, _ = make_sched(engine, metrics)
+        from repro.wms.planner import WorkflowExecution
+
+        spec = replace(
+            deep_learning_task("dl", scale=1 / 512, epochs=2), image="default.sif"
+        )
+        ex = WorkflowExecution(decompose_task(spec), sched)
+        ex.start()
+        sched.run_to_completion()
+        assert ex.succeeded
+        total_exec = sum(
+            metrics.get(f"dl.s{i}").execution_time for i in range(3)
+        )
+        assert total_exec == pytest.approx(spec.ideal_duration, rel=0.1)

@@ -1,0 +1,77 @@
+"""Ensemble and batch-construction tests."""
+
+import pytest
+
+from repro.util.rng import RngFactory
+from repro.workflows.ensembles import make_ensemble, paper_batch, scaled_mix
+from repro.workflows.library import PAPER_MIX_FIG10
+from repro.workflows.task import WorkloadClass
+
+from conftest import simple_task
+
+
+class TestMakeEnsemble:
+    def test_member_count_and_names(self):
+        members = make_ensemble(simple_task("base"), 5)
+        assert len(members) == 5
+        assert [m.name for m in members] == [f"base-{i}" for i in range(5)]
+
+    def test_jitter_within_bounds(self):
+        base = simple_task("base")
+        members = make_ensemble(base, 20, time_jitter=0.1, size_jitter=0.1)
+        for m in members:
+            assert 0.9 * base.footprint <= m.footprint <= 1.1 * base.footprint + 1
+            ratio = m.ideal_duration / base.ideal_duration
+            assert 0.9 <= ratio <= 1.1
+
+    def test_members_actually_vary(self):
+        members = make_ensemble(simple_task("base"), 10)
+        assert len({m.footprint for m in members}) > 1
+
+    def test_deterministic_given_factory_seed(self):
+        a = make_ensemble(simple_task("b"), 5, rng_factory=RngFactory(3))
+        b = make_ensemble(simple_task("b"), 5, rng_factory=RngFactory(3))
+        assert [m.footprint for m in a] == [m.footprint for m in b]
+
+    def test_zero_jitter_gives_clones(self):
+        members = make_ensemble(simple_task("b"), 3, time_jitter=0.0, size_jitter=0.0)
+        assert len({m.footprint for m in members}) == 1
+
+
+class TestScaledMix:
+    def test_preserves_ratio_roughly(self):
+        mix = scaled_mix(PAPER_MIX_FIG10, 40)
+        assert mix[WorkloadClass.DM] > mix[WorkloadClass.DL]
+        assert sum(mix.values()) == pytest.approx(40, abs=4)
+
+    def test_every_class_kept(self):
+        mix = scaled_mix(PAPER_MIX_FIG10, 4)
+        assert all(v >= 1 for v in mix.values())
+
+    def test_rejects_empty_mix(self):
+        with pytest.raises(Exception):
+            scaled_mix({}, 10)
+
+
+class TestPaperBatch:
+    def test_batch_size(self):
+        batch = paper_batch(24, scale=0.01)
+        assert len(batch) == pytest.approx(24, abs=3)
+
+    def test_names_unique(self):
+        batch = paper_batch(24, scale=0.01)
+        assert len({s.name for s in batch}) == len(batch)
+
+    def test_dm_dominates(self):
+        batch = paper_batch(40, scale=0.01)
+        counts = {}
+        for s in batch:
+            counts[s.wclass] = counts.get(s.wclass, 0) + 1
+        assert counts[WorkloadClass.DM] == max(counts.values())
+
+    def test_custom_mix(self):
+        batch = paper_batch(
+            10, scale=0.01, mix={WorkloadClass.DL: 1, WorkloadClass.SC: 1}
+        )
+        classes = {s.wclass for s in batch}
+        assert classes == {WorkloadClass.DL, WorkloadClass.SC}

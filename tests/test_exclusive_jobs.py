@@ -1,0 +1,82 @@
+"""Bare-metal exclusive-allocation tests."""
+
+import pytest
+
+from repro.scheduler.job import JobState
+from repro.util.units import MiB
+
+from conftest import simple_task
+from test_scheduler import make_sched
+
+
+class TestExclusiveScheduling:
+    def test_exclusive_job_holds_whole_node(self, engine, metrics):
+        sched, agents = make_sched(engine, metrics, n_nodes=1, cores=4)
+        job = sched.submit(
+            simple_task("bare", cores=1, base_time=3.0), exclusive=True
+        )
+        small = sched.submit(simple_task("other", cores=1, base_time=1.0))
+        engine.run(until=1.0)
+        # exclusive job runs; the 1-core job cannot colocate
+        assert job.state is JobState.RUNNING
+        assert agents[0].cores_free == 0
+        assert small.state is JobState.PENDING
+        sched.run_to_completion()
+        assert metrics.get("other").started_at >= metrics.get("bare").finished_at
+
+    def test_exclusive_waits_for_idle_node(self, engine, metrics):
+        sched, _ = make_sched(engine, metrics, n_nodes=1, cores=4)
+        sched.submit(simple_task("running", cores=1, base_time=2.0))
+        bare = sched.submit(simple_task("bare", cores=1, base_time=1.0), exclusive=True)
+        engine.run(until=1.0)
+        assert bare.state is JobState.PENDING  # node not idle
+        sched.run_to_completion()
+        assert bare.state is JobState.DONE
+        assert metrics.get("bare").started_at >= metrics.get("running").finished_at
+
+    def test_exclusive_skips_container_startup(self, engine, metrics):
+        sched, _ = make_sched(engine, metrics, n_nodes=1)
+        sched.submit(simple_task("bare", base_time=1.0), exclusive=True)
+        sched.run_to_completion()
+        tm = metrics.get("bare")
+        assert tm.startup_time == 0.0
+        assert sched.containers.network_pulls == 0
+
+    def test_cores_released_after_exclusive_finish(self, engine, metrics):
+        sched, agents = make_sched(engine, metrics, n_nodes=1, cores=4)
+        sched.submit(simple_task("bare", cores=2, base_time=1.0), exclusive=True)
+        sched.run_to_completion()
+        assert agents[0].cores_used == 0
+
+    def test_mixed_batch_completes(self, engine, metrics):
+        sched, _ = make_sched(engine, metrics, n_nodes=2, cores=4)
+        sched.submit(simple_task("bm0", base_time=1.0), exclusive=True)
+        sched.submit_batch(
+            [simple_task(f"c{i}", base_time=1.0) for i in range(4)]
+        )
+        sched.submit(simple_task("bm1", base_time=1.0), exclusive=True)
+        sched.run_to_completion()
+        assert len(metrics.completed()) == 6
+
+    def test_environment_run_batch_exclusive(self):
+        from repro.envs.environments import EnvKind, make_environment
+        from repro.util.units import KiB
+
+        env = make_environment(
+            EnvKind.IMME, n_nodes=2, dram_capacity=MiB(32),
+            chunk_size=KiB(64), cores_per_node=4,
+        )
+        specs = [simple_task(f"t{i}", footprint=MiB(1), base_time=1.0) for i in range(4)]
+        metrics = env.run_batch(specs, exclusive=True)
+        assert len(metrics.completed()) == 4
+        # never more than one job per node at a time: no two jobs on the
+        # same node may overlap in time
+        by_node = {}
+        for s in specs:
+            job = next(j for j in env.scheduler.jobs.values() if j.name == s.name)
+            by_node.setdefault(job.node_index, []).append(metrics.get(s.name))
+        for tasks in by_node.values():
+            tasks.sort(key=lambda t: t.started_at)
+            for a, b in zip(tasks, tasks[1:]):
+                assert b.started_at >= a.finished_at - 1e-9
+        env.stop()

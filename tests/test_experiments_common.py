@@ -1,0 +1,110 @@
+"""Tests for the experiment infrastructure itself: FigureResult, the
+workload builders, environment sizing, and the validation experiment."""
+
+import pytest
+
+from repro.envs.environments import EnvKind
+from repro.experiments.common import (
+    FigureResult,
+    build_env,
+    colocated_mix,
+    total_footprint,
+)
+from repro.experiments.validation import run_validation
+from repro.util.units import KiB, MiB
+from repro.workflows.task import WorkloadClass
+
+CHUNK = KiB(256)
+
+
+class TestFigureResult:
+    def test_add_series_length_checked(self):
+        r = FigureResult("f", "d", xlabels=["a", "b"])
+        with pytest.raises(Exception):
+            r.add_series("s", [1.0])
+
+    def test_value_lookup(self):
+        r = FigureResult("f", "d", xlabels=["a", "b"])
+        r.add_series("s", [1.0, 2.0])
+        assert r.value("s", "b") == 2.0
+        with pytest.raises(ValueError):
+            r.value("s", "zz")
+        with pytest.raises(KeyError):
+            r.value("nope", "a")
+
+    def test_table_contains_notes(self):
+        r = FigureResult("f", "desc", xlabels=["x"])
+        r.add_series("s", [1.0])
+        r.notes.append("hello note")
+        out = r.to_table()
+        assert "desc" in out and "hello note" in out
+
+
+class TestColocatedMix:
+    def test_int_count_applies_to_all_classes(self):
+        specs = colocated_mix(2, scale=1 / 512)
+        counts = {}
+        for s in specs:
+            counts[s.wclass] = counts.get(s.wclass, 0) + 1
+        assert all(v == 2 for v in counts.values())
+        assert len(counts) == 4
+
+    def test_mapping_counts(self):
+        specs = colocated_mix({WorkloadClass.DM: 3}, scale=1 / 512)
+        assert len(specs) == 3
+        assert all(s.wclass is WorkloadClass.DM for s in specs)
+
+    def test_submission_order_shuffled_deterministically(self):
+        a = colocated_mix(2, scale=1 / 512, seed=5)
+        b = colocated_mix(2, scale=1 / 512, seed=5)
+        c = colocated_mix(2, scale=1 / 512, seed=6)
+        assert [s.name for s in a] == [s.name for s in b]
+        assert [s.name for s in a] != [s.name for s in c]
+
+    def test_names_unique(self):
+        specs = colocated_mix(3, scale=1 / 512)
+        assert len({s.name for s in specs}) == len(specs)
+
+
+class TestBuildEnv:
+    def test_ie_gets_headroom(self):
+        specs = colocated_mix({WorkloadClass.DM: 2}, scale=1 / 512)
+        env = build_env(EnvKind.IE, specs, chunk_size=CHUNK, ideal_headroom=2.0)
+        assert env.topology.node(0).capacity(0) >= total_footprint(specs) * 2
+        env.stop()
+
+    def test_constrained_fraction(self):
+        specs = colocated_mix({WorkloadClass.DM: 2}, scale=1 / 512)
+        env = build_env(EnvKind.CBE, specs, dram_fraction=0.5, chunk_size=CHUNK)
+        assert env.topology.node(0).capacity(0) == pytest.approx(
+            total_footprint(specs) * 0.5, rel=0.01
+        )
+        env.stop()
+
+    def test_dram_per_node_override(self):
+        specs = colocated_mix({WorkloadClass.DM: 2}, scale=1 / 512)
+        env = build_env(
+            EnvKind.CBE, specs, n_nodes=2, chunk_size=CHUNK, dram_per_node=MiB(32)
+        )
+        for node in env.topology.nodes:
+            assert node.capacity(0) == MiB(32)
+        env.stop()
+
+    def test_minimum_dram_floor(self):
+        specs = colocated_mix({WorkloadClass.DM: 1}, scale=1 / 4096)
+        env = build_env(EnvKind.CBE, specs, dram_fraction=0.001, chunk_size=CHUNK)
+        assert env.topology.node(0).capacity(0) >= 16 * CHUNK
+        env.stop()
+
+
+class TestValidationExperiment:
+    def test_model_is_exact(self):
+        r = run_validation(chunk_size=CHUNK)
+        for tier, values in r.series.items():
+            for v in values:
+                assert v == pytest.approx(1.0, abs=0.02)
+
+    def test_covers_all_tiers_and_mixes(self):
+        r = run_validation(chunk_size=CHUNK)
+        assert set(r.series) == {"DRAM", "PMEM", "CXL"}
+        assert r.xlabels == ["compute", "latency", "bandwidth", "blend"]

@@ -1,0 +1,130 @@
+"""Smoke tests for every figure harness at miniature scale.
+
+These verify the harnesses run end-to-end, produce complete series, and
+hold the paper's *qualitative* orderings; the benchmarks run the full
+laptop-scale versions.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_cold_pages,
+    run_fig01,
+    run_fig05,
+    run_fig06,
+    run_fig07,
+    run_fig08,
+    run_fig09,
+    run_fig10,
+    run_fig11,
+)
+from repro.util.units import KiB
+from repro.workflows.task import WorkloadClass
+
+TINY = 1.0 / 512.0
+CHUNK = KiB(256)
+MIX1 = {
+    WorkloadClass.DL: 2,
+    WorkloadClass.DM: 2,
+    WorkloadClass.DC: 1,
+    WorkloadClass.SC: 1,
+}
+
+
+class TestFig01:
+    def test_swap_worst_migration_best(self):
+        r = run_fig01(scale=TINY, instances_per_class=MIX1, chunk_size=CHUNK)
+        for cls in ("DM", "SC"):
+            assert r.value("swap-constrained", cls) > r.value("tiered+migration", cls)
+
+
+class TestFig05:
+    def test_series_complete_and_ordered(self):
+        r = run_fig05(scale=TINY, instances_per_class=MIX1, chunk_size=CHUNK)
+        assert set(r.series) == {"IE", "CBE", "TME", "IMME"}
+        for env in r.series:
+            assert len(r.series[env]) == 4
+        # CBE is the disaster case for at least the capacity-bound class
+        assert r.value("CBE", "SC") > r.value("IMME", "SC")
+
+
+class TestFig06:
+    def test_imme_flat_tme_degrades(self):
+        r = run_fig06(
+            scale=TINY,
+            instances_per_class=MIX1,
+            fractions=(0.1, 0.5),
+            chunk_size=CHUNK,
+        )
+        assert r.series["TME"][-1] >= r.series["IMME"][-1] * 0.9
+
+
+class TestFig07:
+    def test_all_policies_reported(self):
+        r = run_fig07(scale=TINY, instances_per_class=MIX1, chunk_size=CHUNK)
+        assert set(r.series) == {
+            "default-alloc",
+            "uniform-interleave",
+            "weighted-interleave",
+            "ours-alg1",
+        }
+
+
+class TestFig08:
+    def test_ie_degrades_as_dram_shrinks(self):
+        r = run_fig08(
+            scale=TINY,
+            instances_per_class=1,
+            fractions=(0.25, 1.0),
+            chunk_size=CHUNK,
+            classes=(WorkloadClass.DM,),
+        )
+        assert r.series["IE:DM"][0] > r.series["IE:DM"][-1]
+        assert r.series["IMME:DM"][0] <= r.series["IE:DM"][0]
+
+
+class TestFig09:
+    def test_fault_conversion(self):
+        r = run_fig09(scale=TINY, instances_per_class=MIX1, chunk_size=CHUNK)
+        cbe_majors = sum(r.series["CBE:major"])
+        imme_majors = sum(r.series["IMME:major"])
+        imme_minors = sum(r.series["IMME:minor"])
+        assert cbe_majors > imme_majors
+        assert imme_minors > 0
+
+
+class TestFig10:
+    def test_imme_wins_at_scale(self):
+        r = run_fig10(
+            scale=TINY, total_instances=8, node_counts=(2, 4), chunk_size=CHUNK
+        )
+        assert r.series["IMME"][-1] <= r.series["CBE"][-1]
+        assert r.series["IMME"][-1] <= r.series["IE"][-1]
+
+
+class TestFig11:
+    def test_makespan_grows_with_concurrency(self):
+        r = run_fig11(
+            scale=TINY, instance_counts=(4, 12), n_nodes=2, chunk_size=CHUNK
+        )
+        for env in ("CBE", "IMME"):
+            assert r.series[env][-1] >= r.series[env][0] * 0.9
+
+
+class TestColdPages:
+    def test_idle_fraction_in_paper_band(self):
+        r = run_cold_pages(scale=TINY, chunk_size=CHUNK)
+        series = r.series["idle-fraction"]
+        assert all(0.4 <= v <= 0.9 for v in series)
+
+
+class TestFigureResultHelpers:
+    def test_to_table_renders(self):
+        r = run_fig01(scale=TINY, instances_per_class=MIX1, chunk_size=CHUNK)
+        table = r.to_table()
+        assert "fig01" in table
+        assert "DM" in table
+
+    def test_value_lookup(self):
+        r = run_fig01(scale=TINY, instances_per_class=MIX1, chunk_size=CHUNK)
+        assert r.value("tiered+migration", "DL") == r.series["tiered+migration"][0]

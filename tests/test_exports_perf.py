@@ -1,0 +1,89 @@
+"""Export helpers and vectorisation performance guards."""
+
+import csv
+import io
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import FigureResult
+from repro.memory.contention import fair_share
+from repro.memory.pageset import PageSet
+from repro.memory.tiers import DRAM
+from repro.util.units import KiB
+
+from conftest import simple_task
+from test_scheduler import make_sched
+
+CHUNK = KiB(64)
+
+
+class TestCsvExport:
+    def test_roundtrips_through_csv_reader(self):
+        r = FigureResult("f", "d", xlabels=["a", "b"])
+        r.add_series("IE", [1.5, 2.5])
+        r.add_series("IMME", [1.0, 2.0])
+        rows = list(csv.reader(io.StringIO(r.to_csv())))
+        assert rows[0] == ["f", "a", "b"]
+        assert rows[1] == ["IE", "1.5", "2.5"]
+        assert len(rows) == 3
+
+
+class TestMetricsRows:
+    def test_rows_cover_done_and_failed(self, engine, metrics):
+        sched, _ = make_sched(engine, metrics)
+        sched.submit(simple_task("ok", base_time=1.0))
+        sched.run_to_completion()
+        rows = metrics.to_rows()
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["owner"] == "ok"
+        assert row["failed"] is False
+        assert row["execution_time"] == pytest.approx(1.0, rel=0.1)
+        assert row["phases"] == 1
+
+
+class TestVectorisationGuards:
+    """The hpc-parallel guides' core demand: per-chunk work must be NumPy,
+    not Python loops.  These bound the big-array operations."""
+
+    def test_coldest_in_scales_to_100k_chunks(self):
+        ps = PageSet("big", 100_000 * CHUNK, CHUNK)
+        ps.tier[:] = int(DRAM)
+        ps.temperature[:] = np.random.default_rng(0).random(ps.n_chunks).astype(np.float32)
+        t0 = time.perf_counter()
+        for _ in range(10):
+            ps.coldest_in(DRAM, 1000)
+        elapsed = (time.perf_counter() - t0) / 10
+        assert elapsed < 0.05, f"coldest_in took {elapsed * 1e3:.1f} ms"
+
+    def test_weight_by_tier_scales(self):
+        ps = PageSet("big", 100_000 * CHUNK, CHUNK)
+        ps.tier[:] = int(DRAM)
+        ps.access_weight[:] = 1.0 / ps.n_chunks
+        t0 = time.perf_counter()
+        for _ in range(20):
+            ps.weight_by_tier()
+        elapsed = (time.perf_counter() - t0) / 20
+        assert elapsed < 0.05
+
+    def test_fair_share_scales_to_10k_tasks(self):
+        demands = np.random.default_rng(0).random(10_000) * 1e9
+        t0 = time.perf_counter()
+        for _ in range(10):
+            fair_share(1e12, demands)
+        elapsed = (time.perf_counter() - t0) / 10
+        assert elapsed < 0.05
+
+    def test_temperature_decay_vectorised(self):
+        from repro.core.heatmap import PageHeatmap
+
+        ps = PageSet("big", 200_000 * CHUNK, CHUNK)
+        ps.access_weight[:] = 1.0 / ps.n_chunks
+        hm = PageHeatmap()
+        t0 = time.perf_counter()
+        for _ in range(20):
+            hm.advance(ps, 1.0)
+        elapsed = (time.perf_counter() - t0) / 20
+        assert elapsed < 0.05

@@ -1,0 +1,195 @@
+"""Tests for the extension features: loaded latency (§VI future work),
+shared read-only inputs (§III-C5 strategy 1), and the checkpointing
+workload."""
+
+import numpy as np
+import pytest
+
+from repro.core.sharing import SharedMemoryManager
+from repro.envs.environments import EnvKind, EnvironmentConfig, Environment, make_environment
+from repro.memory.system import NodeMemorySystem
+from repro.memory.tiers import DRAM
+from repro.memory.topology import SharedCXLPool
+from repro.metrics.collector import MetricsRegistry
+from repro.policies.linux import LinuxSwapPolicy
+from repro.runtime.node_agent import NodeAgent
+from repro.runtime.rates import RateModelConfig, loaded_latency_factor, phase_slowdown
+from repro.util.units import GBps, KiB, MiB
+from repro.workflows.library import checkpointing_task, with_shared_input
+from repro.workflows.task import SharedInput
+
+from conftest import CHUNK, simple_task, small_specs
+from test_rates import phase, ps_with_weights, SPECS
+
+
+class TestLoadedLatencyFactor:
+    def test_idle_is_unity(self):
+        assert loaded_latency_factor(0.0, 4.0) == 1.0
+
+    def test_saturated_hits_max(self):
+        assert loaded_latency_factor(1.0, 4.0) == 4.0
+
+    def test_quadratic_midpoint(self):
+        assert loaded_latency_factor(0.5, 5.0) == pytest.approx(2.0)
+
+    def test_clamped_above_one(self):
+        assert loaded_latency_factor(3.0, 4.0) == 4.0
+
+    def test_invalid_max_factor(self):
+        with pytest.raises(ValueError):
+            RateModelConfig(loaded_latency_max_factor=0.5)
+
+
+class TestLoadedLatencySlowdown:
+    def test_disabled_by_default(self):
+        ps = ps_with_weights([DRAM], [1.0])
+        util = np.array([1.0, 0, 0, 0])
+        p = phase(compute=0.3, lat=0.7, bw=0.0, demand=0)
+        s = phase_slowdown(p, ps, SPECS, GBps(1), tier_bw_utilization=util)
+        assert s == pytest.approx(1.0)
+
+    def test_saturated_tier_inflates_latency(self):
+        ps = ps_with_weights([DRAM], [1.0])
+        cfg = RateModelConfig(loaded_latency=True, loaded_latency_max_factor=3.0)
+        util = np.array([1.0, 0, 0, 0])
+        p = phase(compute=0.3, lat=0.7, bw=0.0, demand=0)
+        s = phase_slowdown(p, ps, SPECS, GBps(1), config=cfg, tier_bw_utilization=util)
+        assert s == pytest.approx(0.3 + 0.7 * 3.0)
+
+    def test_idle_tier_unaffected(self):
+        ps = ps_with_weights([DRAM], [1.0])
+        cfg = RateModelConfig(loaded_latency=True)
+        util = np.zeros(4)
+        p = phase(compute=0.3, lat=0.7, bw=0.0, demand=0)
+        s = phase_slowdown(p, ps, SPECS, GBps(1), config=cfg, tier_bw_utilization=util)
+        assert s == pytest.approx(1.0)
+
+    def test_end_to_end_loaded_latency_slows_contended_node(self, engine, metrics):
+        def build(loaded):
+            eng_metrics = MetricsRegistry()
+            node = NodeMemorySystem(small_specs(dram=MiB(8)), f"n-{loaded}")
+            agent = NodeAgent(
+                engine,
+                node,
+                LinuxSwapPolicy(scan_noise=0.0),
+                eng_metrics,
+                cores=8,
+                chunk_size=CHUNK,
+                rate_config=RateModelConfig(loaded_latency=loaded),
+            )
+            for i in range(2):
+                agent.start_task(
+                    simple_task(
+                        f"t{i}-{loaded}", footprint=MiB(1), base_time=5.0,
+                        lat_frac=0.5, bw_frac=0.4, demand_bandwidth=GBps(60.0),
+                    )
+                )
+            return eng_metrics
+
+        plain = build(False)
+        loaded = build(True)
+        engine.run(until=500.0)
+        t_plain = plain.mean_execution_time()
+        t_loaded = loaded.mean_execution_time()
+        assert t_loaded > t_plain
+
+
+class TestSharedInputs:
+    def make_imme_agent(self, engine, metrics):
+        specs = small_specs(dram=MiB(16), cxl=MiB(256))
+        node = NodeMemorySystem(specs, "n0")
+        shm = SharedMemoryManager(SharedCXLPool(MiB(256)), n_nodes=1)
+        from repro.core.manager import TieredMemoryManager
+
+        agent = NodeAgent(
+            engine, node, TieredMemoryManager(specs), metrics,
+            cores=8, chunk_size=CHUNK, shared_memory=shm, node_index=0,
+        )
+        return agent, shm
+
+    def test_shared_input_staged_once(self, engine, metrics):
+        agent, shm = self.make_imme_agent(engine, metrics)
+        base = simple_task("a", footprint=MiB(1), base_time=2.0)
+        s1 = with_shared_input(base, "census", MiB(4))
+        s2 = with_shared_input(base.with_name("b"), "census", MiB(4))
+        agent.start_task(s1)
+        agent.start_task(s2)
+        assert shm.staged_bytes == MiB(4)  # one copy, two references
+        assert shm.pool.refcount("census") == 2
+        engine.run(until=100.0)
+        assert not shm.pool.contains("census")  # freed at last detach
+
+    def test_private_copy_without_shared_manager(self, engine, metrics):
+        specs = small_specs(dram=MiB(16))
+        node = NodeMemorySystem(specs, "n0")
+        agent = NodeAgent(
+            engine, node, LinuxSwapPolicy(scan_noise=0.0), metrics,
+            cores=8, chunk_size=CHUNK,
+        )
+        spec = with_shared_input(
+            simple_task("a", footprint=MiB(1), base_time=2.0), "census", MiB(4)
+        )
+        te = agent.start_task(spec)
+        # footprint inflated by the private copy
+        assert te.pageset.mapped_bytes == MiB(5)
+        engine.run(until=100.0)
+
+    def test_shared_inputs_grow_max_footprint(self):
+        spec = with_shared_input(simple_task("a", footprint=MiB(2)), "x", MiB(4))
+        assert spec.max_footprint == MiB(6)
+
+    def test_imme_environment_end_to_end(self):
+        base = simple_task("m", footprint=MiB(1), base_time=1.0)
+        specs = [
+            with_shared_input(base.with_name(f"m{i}"), "common-input", MiB(8))
+            for i in range(4)
+        ]
+        env = make_environment(EnvKind.IMME, dram_capacity=MiB(32), chunk_size=KiB(64))
+        metrics = env.run_batch(specs)
+        assert len(metrics.completed()) == 4
+        # exactly two fresh stagings: the container image + the input
+        # (four instances re-referenced the same staged input region)
+        assert env.shared_memory.stage_count == 2
+        env.stop()
+
+
+class TestCheckpointingWorkload:
+    def test_phase_structure(self):
+        spec = checkpointing_task(scale=0.01, checkpoints=3)
+        names = [p.name for p in spec.phases]
+        assert names == [
+            "compute-0", "checkpoint-0",
+            "compute-1", "checkpoint-1",
+            "compute-2", "checkpoint-2",
+        ]
+        assert spec.phases[1].allocate is not None
+        assert spec.phases[2].release_region == 1
+
+    def test_runs_end_to_end_with_dynamic_alloc_free(self):
+        spec = checkpointing_task(scale=1 / 256, checkpoints=2)
+        env = make_environment(
+            EnvKind.IMME, dram_capacity=spec.footprint, chunk_size=KiB(64)
+        )
+        metrics = env.run_batch([spec])
+        tm = metrics.get(spec.name)
+        assert tm.done
+        assert len(tm.phase_durations) == 4
+        env.stop()
+
+    def test_checkpoint_buffers_do_not_accumulate(self):
+        """Each checkpoint frees its predecessor: peak mapped bytes stay
+        bounded by footprint + one buffer."""
+        spec = checkpointing_task(scale=1 / 256, checkpoints=3)
+        env = make_environment(
+            EnvKind.IMME, dram_capacity=spec.footprint * 2, chunk_size=KiB(64)
+        )
+        env.scheduler.submit(spec)
+        peak = 0
+        while not env.scheduler.all_done:
+            env.engine.step()
+            ps = env.topology.node(0).get_pageset(spec.name)
+            if ps is not None:
+                peak = max(peak, ps.mapped_bytes)
+        limit = spec.footprint + int(spec.footprint * 0.25) + 2 * KiB(64)
+        assert peak <= limit
+        env.stop()

@@ -1,0 +1,88 @@
+"""Tiny-scale smoke tests for the extension experiments (the benchmarks
+run them at full laptop scale)."""
+
+import pytest
+
+from repro.experiments import (
+    run_ablations,
+    run_colocation,
+    run_decomposition,
+    run_failures,
+    run_open_system,
+    run_predictor_learning,
+    run_shared_inputs,
+    run_validation,
+)
+from repro.util.units import KiB
+
+TINY = 1.0 / 512.0
+CHUNK = KiB(256)
+
+
+class TestSharedInputsSmoke:
+    def test_one_staged_copy(self):
+        r = run_shared_inputs(scale=TINY, instances=3, chunk_size=CHUNK)
+        assert r.value("IMME", "staged copies") == 1.0
+        assert r.value("TME", "staged copies") == 3.0
+
+
+class TestFailuresSmoke:
+    def test_imme_survives(self):
+        r = run_failures(scale=TINY, instances=3, chunk_size=CHUNK)
+        assert r.value("IMME", "oom-killed") == 0.0
+        assert r.value("CBE", "oom-killed") == 3.0
+
+
+class TestOpenSystemSmoke:
+    def test_imme_flatter(self):
+        r = run_open_system(
+            scale=TINY, rates=(0.05, 0.2), stream_length=4, chunk_size=CHUNK
+        )
+        assert r.series["IMME"][-1] < r.series["CBE"][-1]
+
+
+class TestColocationSmoke:
+    def test_colocation_wins(self):
+        r = run_colocation(
+            scale=TINY, total_instances=8, n_nodes=2, chunk_size=CHUNK
+        )
+        assert (
+            r.value("containerized", "makespan (s)")
+            <= r.value("bare-metal", "makespan (s)")
+        )
+
+
+class TestPredictorSmoke:
+    def test_learning_improves(self):
+        r = run_predictor_learning(scale=TINY, runs=2, chunk_size=CHUNK)
+        series = r.series["IMME(no flags)"]
+        assert series[1] <= series[0]
+
+
+class TestDecompositionSmoke:
+    def test_unstrands_memory(self):
+        r = run_decomposition(scale=TINY, dm_instances=2, chunk_size=CHUNK)
+        assert (
+            r.value("deconstructed", "peak big-job bytes (MiB)")
+            < r.value("monolithic", "peak big-job bytes (MiB)")
+        )
+
+
+class TestValidationSmoke:
+    def test_exact(self):
+        r = run_validation(chunk_size=CHUNK)
+        assert all(
+            v == pytest.approx(1.0, abs=0.02)
+            for vals in r.series.values()
+            for v in vals
+        )
+
+
+class TestAblationsSmoke:
+    def test_structure_and_signals(self):
+        r = run_ablations(scale=TINY, chunk_size=CHUNK)
+        assert set(r.series) == {
+            "full-imme", "no-proactive", "no-pinning", "no-staging", "no-striping",
+        }
+        # staging is the unambiguous signal at any scale
+        assert r.value("no-staging", "startup (s)") > r.value("full-imme", "startup (s)")

@@ -1,0 +1,71 @@
+"""MemFlag parsing and decomposition tests (Table I semantics)."""
+
+import pytest
+
+from repro.core.flags import MemFlag, normalize_flags, parse_flags
+
+
+class TestAtoms:
+    def test_single_flag_atoms(self):
+        assert MemFlag.LAT.atoms() == (MemFlag.LAT,)
+
+    def test_composite_atoms_in_priority_order(self):
+        combo = MemFlag.CAP | MemFlag.LAT | MemFlag.BW
+        assert combo.atoms() == (MemFlag.LAT, MemFlag.BW, MemFlag.CAP)
+
+    def test_none_has_no_atoms(self):
+        assert MemFlag.NONE.atoms() == ()
+
+    def test_shl_precedes_bw(self):
+        combo = MemFlag.BW | MemFlag.SHL
+        assert combo.atoms() == (MemFlag.SHL, MemFlag.BW)
+
+
+class TestLabel:
+    def test_single(self):
+        assert MemFlag.LAT.label == "LAT"
+
+    def test_composite(self):
+        assert (MemFlag.LAT | MemFlag.SHL).label == "LAT|SHL"
+
+    def test_none(self):
+        assert MemFlag.NONE.label == "NONE"
+
+
+class TestNormalize:
+    def test_none_maps_to_none_flag(self):
+        assert normalize_flags(None) is MemFlag.NONE
+
+    def test_single_passthrough(self):
+        assert normalize_flags(MemFlag.BW) is MemFlag.BW
+
+    def test_iterable_combines(self):
+        assert normalize_flags([MemFlag.LAT, MemFlag.CAP]) == MemFlag.LAT | MemFlag.CAP
+
+    def test_rejects_non_flag(self):
+        with pytest.raises(TypeError):
+            normalize_flags(["LAT"])  # strings need parse_flags
+
+
+class TestParse:
+    def test_pipe_syntax(self):
+        assert parse_flags("LAT|SHL") == MemFlag.LAT | MemFlag.SHL
+
+    def test_comma_syntax(self):
+        assert parse_flags("BW,CAP") == MemFlag.BW | MemFlag.CAP
+
+    def test_list_syntax(self):
+        assert parse_flags(["lat", "cap"]) == MemFlag.LAT | MemFlag.CAP
+
+    def test_case_insensitive(self):
+        assert parse_flags("bw") is MemFlag.BW
+
+    def test_empty_string(self):
+        assert parse_flags("") is MemFlag.NONE
+
+    def test_none_token(self):
+        assert parse_flags("NONE") is MemFlag.NONE
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown memory flag"):
+            parse_flags("FAST")

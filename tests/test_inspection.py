@@ -1,0 +1,104 @@
+"""Inspection-API tests: meminfo, placement summaries, statistical compare."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import Comparison, ReplicationResult, compare
+from repro.memory.tiers import CXL, DRAM, SWAP
+from repro.util.units import MiB
+
+from conftest import CHUNK, make_pageset
+
+
+class TestMeminfo:
+    def test_snapshot_fields(self, node):
+        ps = make_pageset(node, "a", MiB(2))
+        node.place(ps, np.arange(ps.n_chunks), DRAM)
+        info = node.meminfo()
+        assert info["dram_total"] == node.capacity(DRAM)
+        assert info["dram_used"] == MiB(2)
+        assert info["dram_free"] == node.capacity(DRAM) - MiB(2)
+        assert info["dram_rss"] == MiB(2)
+        assert info["pagesets"] == 1
+        assert info["page_cache"] == 0
+
+    def test_page_cache_reported(self, node):
+        ps = make_pageset(node, "a", MiB(1))
+        node.place(ps, np.arange(ps.n_chunks), CXL)
+        node.add_page_cache_shadow(ps, np.arange(ps.n_chunks))
+        info = node.meminfo()
+        assert info["page_cache"] == MiB(1)
+        assert info["dram_rss"] == 0
+        assert info["dram_used"] == MiB(1)  # shadows occupy DRAM
+
+    def test_covers_every_tier(self, node):
+        info = node.meminfo()
+        for tier in ("dram", "pmem", "cxl", "swap"):
+            assert f"{tier}_total" in info
+            assert f"{tier}_free" in info
+
+
+class TestPlacementSummary:
+    def test_per_region_breakdown(self, node):
+        ps = make_pageset(node, "a", MiB(2))
+        ps.region[: ps.n_chunks // 2] = 0
+        ps.region[ps.n_chunks // 2:] = 1
+        node.place(ps, np.arange(ps.n_chunks // 2), DRAM)
+        node.place(ps, np.arange(ps.n_chunks // 2, ps.n_chunks), CXL)
+        ps.pinned[:2] = True
+        summary = ps.placement_summary()
+        assert summary[0]["dram"] == ps.n_chunks // 2
+        assert summary[0]["pinned"] == 2
+        assert summary[1]["cxl"] == ps.n_chunks // 2
+        assert summary[1]["pinned"] == 0
+
+    def test_shadow_counts(self, node):
+        ps = make_pageset(node, "a", MiB(1))
+        node.place(ps, np.arange(ps.n_chunks), DRAM)
+        node.swap_out(ps, np.arange(4))
+        node.add_page_cache_shadow(ps, np.arange(4))
+        summary = ps.placement_summary()
+        assert summary[0]["shadowed"] == 4
+        assert summary[0]["swap"] == 4
+
+    def test_unregioned_chunks_excluded(self, node):
+        ps = make_pageset(node, "a", MiB(1))
+        ps.region[:] = -1
+        assert ps.placement_summary() == {}
+
+
+class TestCompare:
+    def test_significant_difference(self):
+        base = ReplicationResult("b", (10.0, 10.1, 9.9, 10.0))
+        fast = ReplicationResult("f", (5.0, 5.1, 4.9, 5.0))
+        c = compare(base, fast)
+        assert isinstance(c, Comparison)
+        assert c.improvement == pytest.approx(0.5, abs=0.01)
+        assert c.significant
+        assert c.p_value < 0.001
+
+    def test_identical_samples_not_significant(self):
+        a = ReplicationResult("a", (10.0, 10.0, 10.0))
+        b = ReplicationResult("b", (10.0, 10.0, 10.0))
+        c = compare(a, b)
+        assert not c.significant
+        assert c.p_value == 1.0
+
+    def test_deterministic_zero_variance_difference(self):
+        a = ReplicationResult("a", (10.0, 10.0))
+        b = ReplicationResult("b", (8.0, 8.0))
+        c = compare(a, b)
+        assert c.significant
+        assert c.p_value == 0.0
+
+    def test_single_run_degenerate(self):
+        a = ReplicationResult("a", (10.0,))
+        b = ReplicationResult("b", (9.0,))
+        c = compare(a, b)
+        assert c.p_value in (0.0, 1.0)
+
+    def test_overlapping_noise_not_significant(self):
+        rng = np.random.default_rng(0)
+        a = ReplicationResult("a", tuple(10 + rng.normal(0, 1, 6)))
+        b = ReplicationResult("b", tuple(10 + rng.normal(0, 1, 6)))
+        assert not compare(a, b).significant

@@ -1,0 +1,109 @@
+"""Tests for the paper's four evaluation workloads."""
+
+import pytest
+
+from repro.core.flags import MemFlag
+from repro.util.units import GiB
+from repro.workflows.library import (
+    PAPER_MIX_FIG10,
+    data_compression_task,
+    data_mining_task,
+    deep_learning_task,
+    paper_workload_suite,
+    scientific_task,
+)
+from repro.workflows.task import WorkloadClass
+
+
+class TestDeepLearning:
+    def test_five_epochs_plus_load(self):
+        spec = deep_learning_task()
+        assert len(spec.phases) == 6
+        assert spec.phases[0].name == "load-dataset"
+
+    def test_paper_footprint(self):
+        assert deep_learning_task().footprint == GiB(40)
+
+    def test_bandwidth_heavy(self):
+        spec = deep_learning_task()
+        epoch = spec.phases[1]
+        assert epoch.bw_frac > epoch.lat_frac
+
+    def test_flags(self):
+        assert deep_learning_task().flags == MemFlag.BW | MemFlag.CAP
+
+    def test_early_phases_touch_minority(self):
+        """§II-C: most of the allocation idles early in training."""
+        spec = deep_learning_task()
+        assert spec.phases[0].touched_fraction <= 0.45
+        assert spec.phases[1].touched_fraction <= 0.45
+
+    def test_scale(self):
+        spec = deep_learning_task(scale=0.25)
+        assert spec.footprint == GiB(10)
+
+    def test_custom_epochs(self):
+        assert len(deep_learning_task(epochs=2).phases) == 3
+
+
+class TestDataMining:
+    def test_short_lived(self):
+        assert data_mining_task().ideal_duration <= 20.0
+
+    def test_latency_sensitive(self):
+        etl = data_mining_task().phases[1]
+        assert etl.lat_frac >= 0.5
+
+    def test_flags(self):
+        assert data_mining_task().flags == MemFlag.LAT | MemFlag.SHL
+
+
+class TestDataCompression:
+    def test_streaming_passes_cover_footprint(self):
+        spec = data_compression_task(passes=4)
+        assert len(spec.phases) == 4
+        assert spec.phases[0].touched_fraction == pytest.approx(0.25)
+
+    def test_paper_50gb_input(self):
+        assert data_compression_task().footprint == GiB(50)
+
+    def test_compute_heavy(self):
+        p = data_compression_task().phases[0]
+        assert p.compute_frac >= 0.5
+
+
+class TestScientific:
+    def test_capacity_flag(self):
+        assert scientific_task().flags == MemFlag.CAP
+
+    def test_biggest_footprint(self):
+        assert scientific_task().footprint == GiB(64)
+
+    def test_dynamic_expansion_variant(self):
+        spec = scientific_task(request_extra=True)
+        bfs = spec.phases[1]
+        assert bfs.allocate is not None
+        assert bfs.allocate.flags is MemFlag.CAP
+        assert spec.max_footprint > spec.footprint
+
+    def test_no_dynamic_by_default(self):
+        assert scientific_task().phases[1].allocate is None
+
+
+class TestSuite:
+    def test_all_four_classes(self):
+        suite = paper_workload_suite(0.1)
+        assert set(suite) == {
+            WorkloadClass.DL,
+            WorkloadClass.DM,
+            WorkloadClass.DC,
+            WorkloadClass.SC,
+        }
+
+    def test_scale_applied_to_all(self):
+        suite = paper_workload_suite(0.5)
+        assert suite[WorkloadClass.DL].footprint == GiB(20)
+
+    def test_fig10_mix_totals_2000(self):
+        assert sum(PAPER_MIX_FIG10.values()) == 2000
+        assert PAPER_MIX_FIG10[WorkloadClass.DM] == 1100

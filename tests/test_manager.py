@@ -1,0 +1,157 @@
+"""TieredMemoryManager tests: tier classification, Alg-1 realization onto
+chunks (pinning, striping, CXL-direct), evictable maps, staging buffers."""
+
+import numpy as np
+import pytest
+
+from repro.core.flags import MemFlag
+from repro.core.manager import TieredMemoryManager, classify_tiers
+from repro.memory.system import NodeMemorySystem
+from repro.memory.tiers import CXL, DRAM, PMEM, SWAP
+from repro.policies.base import AllocationRequest, PolicyContext
+from repro.util.units import MiB
+
+from conftest import CHUNK, make_pageset, small_specs
+
+
+def setup(**spec_kw):
+    specs = small_specs(**spec_kw)
+    node = NodeMemorySystem(specs, "n")
+    ctx = PolicyContext(memory=node, rng=np.random.default_rng(0))
+    mgr = TieredMemoryManager(specs)
+    return node, ctx, mgr
+
+
+def place(node, ctx, mgr, owner, nbytes, flags):
+    ps = make_pageset(node, owner, nbytes)
+    ps.region_flags[0] = flags
+    mgr.place(ctx, ps, AllocationRequest(owner, 0, nbytes, flags))
+    return ps
+
+
+class TestClassifyTiers:
+    def test_orders_by_latency(self):
+        assert classify_tiers(small_specs()) == (DRAM, CXL, PMEM)
+
+    def test_skips_empty_tiers(self):
+        assert classify_tiers(small_specs(pmem=0)) == (DRAM, CXL)
+
+    def test_requires_dram_primary(self):
+        with pytest.raises(Exception):
+            classify_tiers(small_specs(dram=0))
+
+
+class TestLatPlacement:
+    def test_lat_fills_dram_and_pins(self):
+        node, ctx, mgr = setup()
+        ps = place(node, ctx, mgr, "a", MiB(2), MemFlag.LAT)
+        assert ps.bytes_in(DRAM) > 0
+        assert ps.pinned.sum() > 0
+        # pinned fraction roughly honoured on the DRAM head
+        dram_chunks = ps.chunks_in(DRAM)
+        assert ps.pinned.sum() <= dram_chunks.size
+
+    def test_lat_prefaults_heat(self):
+        node, ctx, mgr = setup()
+        ps = place(node, ctx, mgr, "a", MiB(1), MemFlag.LAT)
+        assert (ps.temperature[ps.mapped_mask] > 0).all()
+
+    def test_lat_never_lands_in_swap(self):
+        node, ctx, mgr = setup()
+        ps = place(node, ctx, mgr, "a", MiB(32), MemFlag.LAT)
+        assert ps.bytes_in(SWAP) == 0
+        assert ps.mapped_bytes == ps.total_bytes
+
+
+class TestBwPlacement:
+    def test_striped_across_tiers(self):
+        node, ctx, mgr = setup()
+        ps = place(node, ctx, mgr, "a", MiB(3), MemFlag.BW)
+        used_tiers = {t for t in (DRAM, PMEM, CXL) if ps.bytes_in(t) > 0}
+        assert len(used_tiers) >= 2
+        # interleaved: the leading quarter of chunks spans several tiers
+        head = ps.tier[: ps.n_chunks // 4]
+        assert len(set(head.tolist())) >= 2
+
+    def test_bw_not_pinned(self):
+        node, ctx, mgr = setup()
+        ps = place(node, ctx, mgr, "a", MiB(2), MemFlag.BW)
+        assert ps.pinned.sum() == 0
+
+
+class TestCapPlacement:
+    def test_cap_goes_to_cxl(self):
+        node, ctx, mgr = setup()
+        ps = place(node, ctx, mgr, "a", MiB(2), MemFlag.CAP)
+        assert ps.bytes_in(CXL) == MiB(2)
+
+
+class TestCompositePlacement:
+    def test_lat_cap_split_hot_head_to_dram(self):
+        node, ctx, mgr = setup()
+        ps = place(node, ctx, mgr, "a", MiB(2), MemFlag.LAT | MemFlag.CAP)
+        # leading (hot-by-convention) chunks are the LAT slice in DRAM
+        assert ps.tier[0] == int(DRAM)
+        assert ps.bytes_in(CXL) > 0
+
+    def test_registered_flags_queryable(self):
+        node, ctx, mgr = setup()
+        place(node, ctx, mgr, "a", MiB(1), MemFlag.LAT | MemFlag.SHL)
+        assert mgr.flags_of("a") == MemFlag.LAT | MemFlag.SHL
+
+    def test_none_flags_go_through_predictor(self):
+        node, ctx, mgr = setup()
+        ps = place(node, ctx, mgr, "a", MiB(2), MemFlag.NONE)
+        assert ps.mapped_bytes == ps.total_bytes  # predictor LAT|CAP default
+        assert ps.bytes_in(CXL) > 0
+
+
+class TestEnsureRoom:
+    def test_lat_displaces_cold_unprotected_pages(self):
+        node, ctx, mgr = setup()
+        cap = place(node, ctx, mgr, "cap", MiB(4), MemFlag.CAP)
+        filler = place(node, ctx, mgr, "filler", MiB(4), MemFlag.LAT)  # fills DRAM
+        filler.pinned[:] = False
+        filler.temperature[:] = 0.0
+        mgr.register_workflow("filler", MemFlag.CAP)  # make it evictable
+        lat = place(node, ctx, mgr, "lat", MiB(2), MemFlag.LAT)
+        assert lat.bytes_in(DRAM) > 0
+        node.validate()
+
+
+class TestStagingBuffers:
+    def test_initial_fair_share(self):
+        _, _, mgr = setup()
+        assert mgr.staging_buffers[DRAM] == int(MiB(4) * mgr.staging_fraction)
+
+    def test_shrinks_under_pressure(self):
+        node, ctx, mgr = setup()
+        place(node, ctx, mgr, "a", MiB(4), MemFlag.LAT)  # DRAM ~full
+        mgr.tick(ctx)
+        assert mgr.staging_buffers[DRAM] <= int(MiB(4) * mgr.staging_fraction) // 4 + 1
+
+    def test_grows_when_idle(self):
+        node, ctx, mgr = setup()
+        mgr.tick(ctx)
+        assert mgr.staging_buffers[DRAM] == 2 * int(MiB(4) * mgr.staging_fraction)
+
+
+class TestFinishWorkflow:
+    def test_learns_and_forgets(self):
+        node, ctx, mgr = setup()
+        ps = place(node, ctx, mgr, "dl-0", MiB(2), MemFlag.BW | MemFlag.CAP)
+        ps.temperature[:4] = 10.0
+        mgr.finish_workflow("dl-0", ps, duration=42.0)
+        assert mgr.flags_of("dl-0") is MemFlag.NONE
+        assert mgr.predictor.store.get("dl-0") is not None
+        assert mgr.allocator.allocated_to("dl-0").sum() == 0
+
+    def test_make_room_uses_algorithm2(self):
+        node, ctx, mgr = setup()
+        cap = place(node, ctx, mgr, "cap", MiB(3), MemFlag.NONE)
+        freed = mgr.make_room(ctx, MiB(1))
+        assert freed >= 0  # smoke: routed through replacement without error
+
+    def test_fault_in_order_is_tier_order(self):
+        node, ctx, mgr = setup()
+        assert mgr.fault_in_order(ctx) == (DRAM, CXL, PMEM)

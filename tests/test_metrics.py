@@ -1,0 +1,112 @@
+"""Metrics collection and report-formatting tests."""
+
+import pytest
+
+from repro.metrics.collector import MetricsRegistry, TaskMetrics
+from repro.metrics.report import (
+    best_of,
+    format_pct,
+    format_series,
+    format_table,
+    improvement,
+)
+
+
+def done_task(reg, name, submitted=0.0, start=1.0, end=5.0, wclass="DL"):
+    tm = reg.task(name, wclass)
+    tm.submitted_at = submitted
+    tm.scheduled_at = submitted + 0.2
+    tm.container_ready_at = start
+    tm.started_at = start
+    tm.finished_at = end
+    return tm
+
+
+class TestTaskMetrics:
+    def test_durations(self):
+        reg = MetricsRegistry()
+        tm = done_task(reg, "t", submitted=0.0, start=2.0, end=7.0)
+        assert tm.execution_time == 5.0
+        assert tm.turnaround == 7.0
+        assert tm.queue_wait == pytest.approx(0.2)
+        assert tm.startup_time == pytest.approx(1.8)
+        assert tm.done
+
+    def test_unfinished_task_raises(self):
+        tm = TaskMetrics(owner="x")
+        with pytest.raises(Exception):
+            _ = tm.execution_time
+
+    def test_failed_not_done(self):
+        reg = MetricsRegistry()
+        tm = done_task(reg, "t")
+        tm.failed = True
+        assert not tm.done
+
+
+class TestRegistry:
+    def test_task_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.task("a") is reg.task("a")
+        assert len(reg) == 1
+
+    def test_makespan(self):
+        reg = MetricsRegistry()
+        done_task(reg, "a", submitted=0.0, end=5.0)
+        done_task(reg, "b", submitted=1.0, end=9.0)
+        assert reg.makespan() == 9.0
+
+    def test_makespan_requires_completions(self):
+        with pytest.raises(Exception):
+            MetricsRegistry().makespan()
+
+    def test_mean_execution_time_filters_class(self):
+        reg = MetricsRegistry()
+        done_task(reg, "a", start=0.0, end=10.0, wclass="DL")
+        done_task(reg, "b", start=0.0, end=20.0, wclass="DM")
+        assert reg.mean_execution_time("DL") == 10.0
+        assert reg.mean_execution_time() == 15.0
+
+    def test_total_faults(self):
+        reg = MetricsRegistry()
+        t = done_task(reg, "a", wclass="DL")
+        t.major_faults = 3
+        t.minor_faults = 7
+        assert reg.total_faults("DL") == (3, 7)
+        assert reg.total_faults("DM") == (0, 0)
+
+    def test_failed_listing(self):
+        reg = MetricsRegistry()
+        tm = done_task(reg, "a")
+        tm.failed = True
+        assert [t.owner for t in reg.failed()] == ["a"]
+        assert reg.completed() == []
+
+    def test_mean_startup(self):
+        reg = MetricsRegistry()
+        done_task(reg, "a", submitted=0.0, start=1.0)
+        assert reg.mean_startup_time() == pytest.approx(0.8)
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        out = format_table(["env", "DL"], [["IE", 1.5], ["CBE", 10.25]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("env")
+        assert "IE" in lines[3] and "1.50" in lines[3]
+        assert "10.25" in lines[4]
+
+    def test_format_series(self):
+        assert format_series("TME", ["10%", "20%"], [1.0, 2.0]) == "TME: 10%=1.00, 20%=2.00"
+
+    def test_improvement(self):
+        assert improvement(10.0, 5.0) == pytest.approx(0.5)
+        assert improvement(10.0, 12.0) == pytest.approx(-0.2)
+        assert improvement(0.0, 5.0) == 0.0
+
+    def test_format_pct(self):
+        assert format_pct(0.466) == "46.6%"
+
+    def test_best_of(self):
+        assert best_of({"IE": 2.0, "IMME": 1.0}) == "IMME"

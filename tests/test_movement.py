@@ -1,0 +1,152 @@
+"""Intelligent page-movement tests: promotion, exchange, proactive swap."""
+
+import numpy as np
+import pytest
+
+from repro.core.flags import MemFlag
+from repro.core.movement import IntelligentPageMovement, MovementConfig
+from repro.core.replacement import PageReplacementPolicy
+from repro.memory.system import NodeMemorySystem
+from repro.memory.tiers import CXL, DRAM, PMEM, SWAP
+from repro.policies.base import PolicyContext
+from repro.util.units import MiB
+
+from conftest import CHUNK, make_pageset, small_specs
+
+
+def setup(flags_map=None, config=None, **spec_kw):
+    flags_map = flags_map or {}
+    node = NodeMemorySystem(small_specs(**spec_kw), "n")
+    ctx = PolicyContext(memory=node, rng=np.random.default_rng(0))
+    owner_flags = lambda o: flags_map.get(o, MemFlag.NONE)
+    replacement = PageReplacementPolicy(owner_flags)
+    movement = IntelligentPageMovement(owner_flags, replacement, config)
+    return node, ctx, movement
+
+
+class TestConfig:
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(Exception):
+            MovementConfig(proactive_threshold=0.5, proactive_target=0.8)
+        with pytest.raises(Exception):
+            MovementConfig(high_watermark=0.5, low_watermark=0.8)
+
+
+class TestSwapPromotion:
+    def test_hot_swap_pages_promoted_first(self):
+        node, ctx, movement = setup()
+        ps = make_pageset(node, "a", MiB(1))
+        node.place(ps, np.arange(ps.n_chunks), SWAP)
+        ps.temperature[:4] = 1.0
+        movement.tick(ctx, promote_budget_bytes=MiB(1))
+        assert (ps.tier[:4] != int(SWAP)).all()
+        node.validate()
+
+    def test_promotion_counts_minor_faults(self):
+        node, ctx, movement = setup()
+        minors = []
+        ctx.record_minor = lambda owner, n: minors.append(n)
+        ps = make_pageset(node, "a", MiB(1))
+        node.place(ps, np.arange(ps.n_chunks), SWAP)
+        ps.temperature[:2] = 1.0
+        movement.tick(ctx, promote_budget_bytes=MiB(1))
+        assert sum(minors) >= 2
+
+    def test_budget_zero_promotes_nothing(self):
+        node, ctx, movement = setup()
+        ps = make_pageset(node, "a", MiB(1))
+        node.place(ps, np.arange(ps.n_chunks), SWAP)
+        ps.temperature[:] = 1.0
+        movement.tick(ctx, promote_budget_bytes=0)
+        assert ps.bytes_in(SWAP) == ps.total_bytes
+
+
+class TestTierPromotion:
+    def test_hot_cxl_pages_move_to_free_dram(self):
+        node, ctx, movement = setup()
+        ps = make_pageset(node, "a", MiB(1))
+        node.place(ps, np.arange(ps.n_chunks), CXL)
+        ps.temperature[:4] = 1.0
+        movement.tick(ctx, promote_budget_bytes=MiB(4))
+        assert set(np.flatnonzero(ps.tier == int(DRAM))) == {0, 1, 2, 3}
+
+    def test_exchange_promotion_displaces_cold_dram(self):
+        node, ctx, movement = setup()
+        cold = make_pageset(node, "cold", MiB(4))  # fills DRAM
+        node.place(cold, np.arange(cold.n_chunks), DRAM)
+        cold.temperature[:] = 0.0
+        hot = make_pageset(node, "hot", MiB(1))
+        node.place(hot, np.arange(hot.n_chunks), CXL)
+        hot.temperature[:] = 5.0  # above exchange threshold
+        movement.tick(ctx, promote_budget_bytes=MiB(4))
+        assert hot.bytes_in(DRAM) > 0
+        assert cold.bytes_in(DRAM) < MiB(4)
+        node.validate()
+
+    def test_lukewarm_pages_do_not_trigger_exchange(self):
+        node, ctx, movement = setup(
+            config=MovementConfig(promote_threshold=0.05, exchange_threshold=10.0)
+        )
+        cold = make_pageset(node, "cold", MiB(4))
+        node.place(cold, np.arange(cold.n_chunks), DRAM)
+        warm = make_pageset(node, "warm", MiB(1))
+        node.place(warm, np.arange(warm.n_chunks), CXL)
+        warm.temperature[:] = 1.0  # promotion-worthy but below exchange bar
+        movement.tick(ctx, promote_budget_bytes=MiB(4))
+        assert warm.bytes_in(DRAM) == 0
+
+
+class TestProactiveSwap:
+    def test_cold_unprotected_pages_move_to_cxl_with_shadows(self):
+        node, ctx, movement = setup(
+            config=MovementConfig(proactive_threshold=0.5, proactive_target=0.25)
+        )
+        ps = make_pageset(node, "a", MiB(3))
+        node.place(ps, np.arange(ps.n_chunks), DRAM)  # 75% of DRAM
+        movement.tick(ctx, promote_budget_bytes=0)
+        assert ps.bytes_in(CXL) > 0
+        assert ps.bytes_in(SWAP) == 0
+        assert ps.in_page_cache.sum() > 0  # shadows kept in free DRAM
+        node.validate()
+
+    def test_latency_sensitive_owners_skipped(self):
+        node, ctx, movement = setup(
+            flags_map={"lat": MemFlag.LAT},
+            config=MovementConfig(
+                proactive_threshold=0.5, proactive_target=0.25, high_watermark=0.99
+            ),
+        )
+        ps = make_pageset(node, "lat", MiB(3))
+        node.place(ps, np.arange(ps.n_chunks), DRAM)
+        movement.tick(ctx, promote_budget_bytes=0)
+        assert ps.bytes_in(DRAM) == MiB(3)
+
+    def test_below_threshold_no_movement(self):
+        node, ctx, movement = setup()
+        ps = make_pageset(node, "a", MiB(1))
+        node.place(ps, np.arange(ps.n_chunks), DRAM)  # 25% of DRAM
+        movement.tick(ctx, promote_budget_bytes=0)
+        assert ps.bytes_in(DRAM) == MiB(1)
+
+    def test_warm_pages_not_proactively_swapped(self):
+        node, ctx, movement = setup(
+            config=MovementConfig(proactive_threshold=0.5, proactive_target=0.25)
+        )
+        ps = make_pageset(node, "a", MiB(3))
+        node.place(ps, np.arange(ps.n_chunks), DRAM)
+        ps.temperature[:] = 1.0  # everything warm: nothing qualifies
+        movement.tick(ctx, promote_budget_bytes=0)
+        assert ps.bytes_in(CXL) == 0
+
+
+class TestCompaction:
+    def test_compaction_recorded_after_big_proactive_pass(self):
+        node, ctx, movement = setup(
+            config=MovementConfig(
+                proactive_threshold=0.5, proactive_target=0.1, compaction_min_chunks=2
+            )
+        )
+        ps = make_pageset(node, "a", MiB(3))
+        node.place(ps, np.arange(ps.n_chunks), DRAM)
+        movement.tick(ctx, promote_budget_bytes=0)
+        assert node.stats.compactions >= 1

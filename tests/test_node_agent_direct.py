@@ -1,0 +1,122 @@
+"""Direct NodeAgent tests: rate math, migration penalty, heatmap coupling,
+and the workload profile helper."""
+
+import numpy as np
+import pytest
+
+from repro.memory.system import NodeMemorySystem
+from repro.policies.linux import LinuxSwapPolicy
+from repro.runtime.execution import TaskState
+from repro.runtime.node_agent import NodeAgent
+from repro.runtime.rates import RateModelConfig
+from repro.util.units import GBps, MiB
+from repro.workflows.profiles import describe, expected_touched_bytes
+
+from conftest import CHUNK, simple_task, small_specs
+
+
+def make_agent(engine, metrics, **kw):
+    node = NodeMemorySystem(small_specs(dram=MiB(16), cxl=MiB(64)), "n0")
+    return NodeAgent(
+        engine, node, LinuxSwapPolicy(scan_noise=0.0), metrics,
+        cores=8, chunk_size=CHUNK, **kw,
+    )
+
+
+class TestMigrationPenalty:
+    def test_window_converts_to_penalty_and_resets(self, engine, metrics):
+        agent = make_agent(engine, metrics)
+        agent.memory.migration_bytes_window = int(
+            agent.memory.specs[list(agent.memory.specs)[0]].bandwidth
+        )  # one second of DRAM bandwidth worth of movement
+        penalty = agent._migration_penalty()
+        assert penalty == pytest.approx(agent.rate_config.migration_overhead_coeff)
+        assert agent.memory.migration_bytes_window == 0
+        assert agent._migration_penalty() == 0.0  # window consumed
+
+    def test_zero_window_zero_penalty(self, engine, metrics):
+        agent = make_agent(engine, metrics)
+        assert agent._migration_penalty() == 0.0
+
+
+class TestRecomputeRates:
+    def test_idle_node_clears_window(self, engine, metrics):
+        agent = make_agent(engine, metrics)
+        agent.memory.migration_bytes_window = 12345
+        agent.recompute_rates()
+        assert agent.memory.migration_bytes_window == 0
+
+    def test_rates_reflect_contention_instantly(self, engine, metrics):
+        agent = make_agent(engine, metrics)
+        t0 = agent.start_task(
+            simple_task("t0", footprint=MiB(1), base_time=10.0,
+                        lat_frac=0.0, bw_frac=0.9, demand_bandwidth=GBps(90)))
+        solo_rate = t0.current_rate
+        agent.start_task(
+            simple_task("t1", footprint=MiB(1), base_time=10.0,
+                        lat_frac=0.0, bw_frac=0.9, demand_bandwidth=GBps(90)))
+        assert t0.current_rate < solo_rate
+
+    def test_daemon_heats_only_running_tasks(self, engine, metrics):
+        agent = make_agent(engine, metrics)
+        te = agent.start_task(simple_task("t", footprint=MiB(1), base_time=5.0))
+        engine.run(until=2.5)
+        ps = agent.memory.get_pageset("t")
+        assert ps.temperature.max() > 0
+
+    def test_trace_hook_without_tracer_is_cheap(self, engine, metrics):
+        agent = make_agent(engine, metrics)
+        agent.trace("task", "x", event="whatever")  # no tracer: no-op
+
+
+class TestAgentBookkeeping:
+    def test_active_owners_follow_lifecycle(self, engine, metrics):
+        agent = make_agent(engine, metrics)
+        agent.start_task(simple_task("t", footprint=MiB(1), base_time=1.0))
+        assert "t" in agent.context.active_owners
+        engine.run(until=50.0)
+        assert "t" not in agent.context.active_owners
+
+    def test_capacity_freed_callbacks_fire(self, engine, metrics):
+        agent = make_agent(engine, metrics)
+        fired = []
+        agent.on_capacity_freed.append(lambda: fired.append(engine.now))
+        agent.start_task(simple_task("t", footprint=MiB(1), base_time=1.0))
+        engine.run(until=50.0)
+        assert len(fired) == 1
+
+    def test_stop_halts_daemon(self, engine, metrics):
+        agent = make_agent(engine, metrics)
+        agent.start_task(simple_task("t", footprint=MiB(1), base_time=1.0))
+        engine.run(until=5.0)
+        agent.stop()
+        pending_before = agent._daemon.ticks
+        engine.run(until=50.0)
+        assert agent._daemon.ticks == pending_before
+
+
+class TestProfiles:
+    def test_describe_renders_key_facts(self):
+        from repro.workflows.library import scientific_task
+
+        spec = scientific_task(scale=1 / 64, request_extra=True)
+        text = describe(spec)
+        assert "SC" in text
+        assert "build-tree" in text and "bfs" in text
+        assert "CAP" in text
+        assert "dynamic growth" in text
+
+    def test_expected_touched_bytes(self):
+        spec = simple_task("t", footprint=MiB(4))
+        assert expected_touched_bytes(spec) == MiB(4)  # touched_fraction = 1
+
+    def test_describe_shared_and_limit(self):
+        from dataclasses import replace
+
+        from repro.workflows.library import with_shared_input
+
+        spec = with_shared_input(simple_task("t", footprint=MiB(4)), "data", MiB(8))
+        spec = replace(spec, memory_limit=MiB(6))
+        text = describe(spec)
+        assert "memory.max" in text
+        assert "data" in text

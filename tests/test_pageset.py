@@ -1,0 +1,163 @@
+"""PageSet metadata tests, including hypothesis property checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.pageset import NO_REGION, UNMAPPED, PageSet
+from repro.memory.tiers import CXL, DRAM, NUM_TIERS, PMEM, SWAP
+from repro.util.units import KiB
+
+CHUNK = KiB(64)
+
+
+def ps_of(n_chunks: int, owner="t") -> PageSet:
+    return PageSet(owner, n_chunks * CHUNK, CHUNK)
+
+
+class TestConstruction:
+    def test_chunk_count_rounds_up(self):
+        ps = PageSet("t", CHUNK + 1, CHUNK)
+        assert ps.n_chunks == 2
+        assert ps.total_bytes == 2 * CHUNK
+
+    def test_initially_unmapped(self):
+        ps = ps_of(8)
+        assert not ps.mapped_mask.any()
+        assert ps.mapped_bytes == 0
+        assert (ps.region == NO_REGION).all()
+
+    def test_zero_bytes_rejected(self):
+        with pytest.raises(Exception):
+            PageSet("t", 0, CHUNK)
+
+
+class TestPlacementMetadata:
+    def test_assign_and_counts(self):
+        ps = ps_of(10)
+        ps.assign(np.arange(4), DRAM)
+        ps.assign(np.arange(4, 7), CXL)
+        counts = ps.counts_by_tier()
+        assert counts[int(DRAM)] == 4
+        assert counts[int(CXL)] == 3
+        assert counts.sum() == 7
+        assert ps.bytes_in(DRAM) == 4 * CHUNK
+
+    def test_chunks_in(self):
+        ps = ps_of(6)
+        ps.assign(np.array([1, 3, 5]), PMEM)
+        assert list(ps.chunks_in(PMEM)) == [1, 3, 5]
+
+    def test_unmap_subset(self):
+        ps = ps_of(4)
+        ps.assign(np.arange(4), DRAM)
+        ps.pinned[:2] = True
+        ps.unmap(np.array([0, 1]))
+        assert ps.counts_by_tier()[int(DRAM)] == 2
+        assert not ps.pinned[:2].any()
+
+    def test_unmap_all(self):
+        ps = ps_of(4)
+        ps.assign(np.arange(4), SWAP)
+        ps.in_page_cache[:] = True
+        ps.unmap()
+        assert not ps.mapped_mask.any()
+        assert not ps.in_page_cache.any()
+
+    def test_bytes_by_tier_matches_counts(self):
+        ps = ps_of(5)
+        ps.assign(np.arange(2), DRAM)
+        assert (ps.bytes_by_tier() == ps.counts_by_tier() * CHUNK).all()
+
+
+class TestVictimSelection:
+    def test_coldest_orders_by_temperature(self):
+        ps = ps_of(5)
+        ps.assign(np.arange(5), DRAM)
+        ps.temperature[:] = [5, 1, 3, 0, 2]
+        assert list(ps.coldest_in(DRAM, 3)) == [3, 1, 4]
+
+    def test_coldest_skips_pinned(self):
+        ps = ps_of(4)
+        ps.assign(np.arange(4), DRAM)
+        ps.pinned[0] = True
+        ps.temperature[:] = [0, 1, 2, 3]
+        assert 0 not in ps.coldest_in(DRAM, 4)
+        assert 0 in ps.coldest_in(DRAM, 4, include_pinned=True)
+
+    def test_coldest_excludes_regions(self):
+        ps = ps_of(4)
+        ps.assign(np.arange(4), DRAM)
+        ps.region[:2] = 7
+        got = ps.coldest_in(DRAM, 4, exclude_regions=[7])
+        assert set(got) == {2, 3}
+
+    def test_hottest(self):
+        ps = ps_of(4)
+        ps.assign(np.arange(4), CXL)
+        ps.temperature[:] = [0, 9, 4, 7]
+        assert list(ps.hottest_in(CXL, 2)) == [1, 3]
+
+    def test_empty_tier_returns_empty(self):
+        ps = ps_of(4)
+        assert ps.coldest_in(DRAM, 3).size == 0
+        assert ps.hottest_in(SWAP, 3).size == 0
+
+
+class TestAccessWeights:
+    def test_set_and_clear(self):
+        ps = ps_of(4)
+        w = np.array([0.5, 0.5, 0, 0], dtype=np.float32)
+        ps.set_access_weights(w)
+        assert ps.access_weight.sum() == pytest.approx(1.0)
+        ps.clear_access_weights()
+        assert ps.access_weight.sum() == 0
+
+    def test_wrong_shape_rejected(self):
+        ps = ps_of(4)
+        with pytest.raises(Exception):
+            ps.set_access_weights(np.ones(3, dtype=np.float32))
+
+    def test_negative_weights_rejected(self):
+        ps = ps_of(2)
+        with pytest.raises(Exception):
+            ps.set_access_weights(np.array([-0.1, 1.1], dtype=np.float32))
+
+    def test_weight_by_tier_normalised(self):
+        ps = ps_of(4)
+        ps.assign(np.array([0, 1]), DRAM)
+        ps.assign(np.array([2]), CXL)
+        ps.set_access_weights(np.array([0.3, 0.3, 0.4, 0.5], dtype=np.float32))
+        w = ps.weight_by_tier()
+        # chunk 3 is unmapped: its weight is excluded from the profile
+        assert w.sum() == pytest.approx(1.0)
+        assert w[int(DRAM)] == pytest.approx(0.6)
+        assert w[int(CXL)] == pytest.approx(0.4)
+
+    def test_weight_by_tier_idle(self):
+        ps = ps_of(4)
+        ps.assign(np.arange(4), DRAM)
+        assert ps.weight_by_tier().sum() == 0
+
+
+class TestProperties:
+    @given(st.integers(min_value=1, max_value=64), st.data())
+    def test_counts_always_sum_to_mapped(self, n, data):
+        ps = ps_of(n)
+        tiers = data.draw(
+            st.lists(
+                st.sampled_from([UNMAPPED, 0, 1, 2, 3]), min_size=n, max_size=n
+            )
+        )
+        ps.tier = np.array(tiers, dtype=np.int8)
+        mapped = int(np.count_nonzero(ps.tier != UNMAPPED))
+        assert int(ps.counts_by_tier().sum()) == mapped
+        assert ps.mapped_bytes == mapped * CHUNK
+
+    @given(st.integers(min_value=1, max_value=32), st.integers(min_value=0, max_value=40))
+    def test_coldest_never_exceeds_request(self, n, k):
+        ps = ps_of(n)
+        ps.assign(np.arange(n), DRAM)
+        got = ps.coldest_in(DRAM, k)
+        assert got.size <= min(n, k)
+        assert len(set(got.tolist())) == got.size  # no duplicates

@@ -1,0 +1,116 @@
+"""Access-pattern tests: every pattern yields a probability vector and the
+documented hot/cold/streaming structure (with hypothesis properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workflows.patterns import (
+    HotColdPattern,
+    StreamingPattern,
+    UniformPattern,
+    ZipfPattern,
+    hot_cold_weights,
+    streaming_weights,
+    zipf_weights,
+)
+
+ALL_PATTERNS = [
+    HotColdPattern(hot_fraction=0.2, hot_share=0.8),
+    ZipfPattern(alpha=0.9),
+    StreamingPattern(window_frac=0.25),
+    UniformPattern(),
+]
+
+
+class TestHotCold:
+    def test_hot_share_concentration(self):
+        w = hot_cold_weights(100, 0.1, 0.9)
+        assert w[:10].sum() == pytest.approx(0.9)
+        assert w[10:].sum() == pytest.approx(0.1)
+
+    def test_hot_first_ordering(self):
+        w = hot_cold_weights(100, 0.1, 0.9)
+        assert w[0] > w[-1]
+
+    def test_degenerate_all_hot(self):
+        w = hot_cold_weights(10, 1.0, 0.8)
+        assert np.allclose(w, 0.1)
+
+    def test_zero_hot_fraction_uniform(self):
+        w = hot_cold_weights(10, 0.0, 0.9)
+        assert np.allclose(w, 0.1)
+
+    def test_paper_example_shape(self):
+        """512 MB of a 40 GB job taking 80% of accesses (§III-C2)."""
+        n = 10240  # 40 GiB in 4 MiB chunks
+        w = hot_cold_weights(n, 512 / (40 * 1024), 0.8)
+        n_hot = round(n * 512 / (40 * 1024))
+        assert w[:n_hot].sum() == pytest.approx(0.8)
+
+
+class TestZipf:
+    def test_monotone_decreasing(self):
+        w = zipf_weights(64, 0.9)
+        assert np.all(np.diff(w) <= 0)
+
+    def test_alpha_controls_skew(self):
+        flat = zipf_weights(64, 0.1)
+        steep = zipf_weights(64, 2.0)
+        assert steep[0] > flat[0]
+
+
+class TestStreaming:
+    def test_window_size(self):
+        w = streaming_weights(100, 0.2, 0.0)
+        assert np.count_nonzero(w) == 20
+
+    def test_window_position_moves(self):
+        w0 = streaming_weights(100, 0.2, 0.0)
+        w1 = streaming_weights(100, 0.2, 0.5)
+        assert not np.allclose(w0, w1)
+        assert np.count_nonzero(w1[50:70]) == 20
+
+    def test_window_wraps(self):
+        w = streaming_weights(100, 0.2, 0.95)
+        assert np.count_nonzero(w) == 20  # wraps around the end
+
+    def test_pattern_advances_with_phase_index(self):
+        p = StreamingPattern(window_frac=0.25)
+        w0 = p.weights(100, 0)
+        w1 = p.weights(100, 1)
+        assert np.flatnonzero(w1)[0] > np.flatnonzero(w0)[0]
+
+
+class TestPermuted:
+    def test_permutation_preserves_mass(self):
+        p = HotColdPattern(0.1, 0.9).permuted(seed=1)
+        w = p.weights(100)
+        assert w.sum() == pytest.approx(1.0)
+        # hot chunk is no longer necessarily first
+        base = HotColdPattern(0.1, 0.9).weights(100)
+        assert sorted(w.tolist()) == pytest.approx(sorted(base.tolist()))
+
+    def test_deterministic(self):
+        p = ZipfPattern(0.9).permuted(seed=3)
+        assert np.allclose(p.weights(50), p.weights(50))
+
+
+class TestAllPatternsAreDistributions:
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS, ids=lambda p: type(p).__name__)
+    @pytest.mark.parametrize("n", [1, 7, 128])
+    def test_sums_to_one(self, pattern, n):
+        w = pattern.weights(n, 0)
+        assert w.shape == (n,)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(w >= 0)
+
+    @given(
+        st.integers(min_value=1, max_value=256),
+        st.integers(min_value=0, max_value=10),
+        st.sampled_from(range(len(ALL_PATTERNS))),
+    )
+    def test_distribution_property(self, n, phase, which):
+        w = ALL_PATTERNS[which].weights(n, phase)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(w >= 0)

@@ -1,0 +1,117 @@
+"""Policy-base tests: cascade placement, default fault-in, release."""
+
+import numpy as np
+import pytest
+
+from repro.core.flags import MemFlag
+from repro.memory.tiers import CXL, DRAM, PMEM, SWAP
+from repro.policies.base import AllocationRequest, MemoryPolicy, cascade_place
+from repro.policies.linux import LinuxSwapPolicy
+from repro.util.errors import OutOfMemoryError
+from repro.util.units import MiB
+
+from conftest import CHUNK, make_pageset
+
+
+class PassthroughPolicy(MemoryPolicy):
+    """Minimal concrete policy for exercising base-class behaviour."""
+
+    name = "passthrough"
+
+    def place(self, ctx, ps, request):
+        idx = ctx.region_chunks(ps, request.region)
+        cascade_place(ctx, ps, idx, (DRAM,))
+
+
+class TestAllocationRequest:
+    def test_valid(self):
+        r = AllocationRequest("o", 0, MiB(1), MemFlag.LAT)
+        assert r.flags is MemFlag.LAT
+
+    def test_zero_bytes_rejected(self):
+        with pytest.raises(Exception):
+            AllocationRequest("o", 0, 0)
+
+
+class TestCascadePlace:
+    def test_fills_in_order(self, ctx):
+        ps = make_pageset(ctx.memory, "a", MiB(6))  # DRAM 4M, PMEM 8M
+        placed = cascade_place(ctx, ps, np.arange(ps.n_chunks), (DRAM, PMEM))
+        assert placed[DRAM] == MiB(4)
+        assert placed[PMEM] == MiB(2)
+
+    def test_overflow_to_swap_by_default(self, ctx):
+        ps = make_pageset(ctx.memory, "a", MiB(5))
+        placed = cascade_place(ctx, ps, np.arange(ps.n_chunks), (DRAM,))
+        assert placed[DRAM] == MiB(4)
+        assert placed[SWAP] == MiB(1)
+
+    def test_no_swap_raises_when_full(self, ctx):
+        ps = make_pageset(ctx.memory, "a", MiB(5))
+        with pytest.raises(OutOfMemoryError):
+            cascade_place(ctx, ps, np.arange(ps.n_chunks), (DRAM,), allow_swap=False)
+
+    def test_empty_index_noop(self, ctx):
+        ps = make_pageset(ctx.memory, "a", MiB(1))
+        assert cascade_place(ctx, ps, np.array([], dtype=np.int64), (DRAM,)) == {}
+
+
+class TestDefaultFaultIn:
+    def _swapped_pageset(self, ctx, nbytes=MiB(1)):
+        ps = make_pageset(ctx.memory, "a", nbytes)
+        ctx.memory.place(ps, np.arange(ps.n_chunks), DRAM)
+        ctx.memory.swap_out(ps, np.arange(ps.n_chunks))
+        return ps
+
+    def test_major_faults_recorded_and_pages_pulled_in(self, ctx):
+        majors = {}
+        ctx.record_major = lambda owner, n: majors.__setitem__(owner, n)
+        ps = self._swapped_pageset(ctx)
+        PassthroughPolicy().fault_in(ctx, ps, np.arange(ps.n_chunks))
+        assert majors["a"] == ps.n_chunks
+        assert ps.bytes_in(SWAP) == 0
+
+    def test_shadowed_chunks_are_minor_faults(self, ctx):
+        minors = {}
+        ctx.record_minor = lambda owner, n: minors.__setitem__(owner, n)
+        ps = self._swapped_pageset(ctx)
+        ctx.memory.add_page_cache_shadow(ps, np.arange(4))
+        PassthroughPolicy().fault_in(ctx, ps, np.arange(4))
+        assert minors["a"] == 4
+
+    def test_non_swapped_chunks_ignored(self, ctx):
+        faults = []
+        ctx.record_major = lambda owner, n: faults.append(n)
+        ps = make_pageset(ctx.memory, "a", MiB(1))
+        ctx.memory.place(ps, np.arange(ps.n_chunks), DRAM)
+        PassthroughPolicy().fault_in(ctx, ps, np.arange(ps.n_chunks))
+        assert faults == []
+
+    def test_fault_in_order_skips_zero_capacity_tiers(self, ctx):
+        order = PassthroughPolicy().fault_in_order(ctx)
+        assert order == (DRAM, PMEM, CXL)
+
+
+class TestRelease:
+    def test_release_returns_bytes_to_tiers(self, ctx):
+        policy = PassthroughPolicy()
+        ps = make_pageset(ctx.memory, "a", MiB(2))
+        ctx.memory.place(ps, np.arange(ps.n_chunks), DRAM)
+        policy.release(ctx, ps, np.arange(ps.n_chunks // 2))
+        assert ctx.memory.used(DRAM) == MiB(1)
+        ctx.memory.validate()
+
+    def test_release_drops_shadows(self, ctx):
+        policy = PassthroughPolicy()
+        ps = make_pageset(ctx.memory, "a", MiB(1))
+        ctx.memory.place(ps, np.arange(ps.n_chunks), CXL)
+        ctx.memory.add_page_cache_shadow(ps, np.arange(ps.n_chunks))
+        policy.release(ctx, ps, np.arange(ps.n_chunks))
+        assert ctx.memory.page_cache_used == 0
+        ctx.memory.validate()
+
+    def test_release_unmapped_is_noop(self, ctx):
+        policy = PassthroughPolicy()
+        ps = make_pageset(ctx.memory, "a", MiB(1))
+        policy.release(ctx, ps, np.arange(ps.n_chunks))
+        ctx.memory.validate()

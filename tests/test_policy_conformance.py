@@ -1,0 +1,124 @@
+"""Policy conformance matrix.
+
+Every memory policy — the baselines and the paper's manager — must honour
+the same contract: allocations are fully backed, ticks preserve
+accounting, fault-in clears touched swap when capacity allows, and release
+returns memory.  One parametrized suite keeps future policies honest.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.flags import MemFlag
+from repro.core.manager import TieredMemoryManager
+from repro.memory.pageset import UNMAPPED, PageSet
+from repro.memory.system import NodeMemorySystem
+from repro.memory.tiers import DRAM, SWAP
+from repro.policies.autonuma import AutoNumaPolicy
+from repro.policies.base import AllocationRequest, PolicyContext
+from repro.policies.interleave import DefaultAllocationPolicy, UniformInterleavePolicy
+from repro.policies.linux import LinuxSwapPolicy
+from repro.policies.tpp import TieredDemandPolicy
+from repro.util.units import MiB
+
+from conftest import CHUNK, small_specs
+
+POLICY_FACTORIES = {
+    "linux": lambda specs: LinuxSwapPolicy(scan_noise=0.0),
+    "tpp": lambda specs: TieredDemandPolicy(scan_noise=0.0),
+    "autonuma": lambda specs: AutoNumaPolicy(scan_noise=0.0),
+    "uniform-interleave": lambda specs: UniformInterleavePolicy(),
+    "default-alloc": lambda specs: DefaultAllocationPolicy(),
+    "manager": lambda specs: TieredMemoryManager(specs),
+}
+
+
+@pytest.fixture(params=sorted(POLICY_FACTORIES), ids=lambda n: n)
+def stack(request):
+    specs = small_specs()
+    node = NodeMemorySystem(specs, f"conf-{request.param}")
+    ctx = PolicyContext(memory=node, rng=np.random.default_rng(3))
+    policy = POLICY_FACTORIES[request.param](specs)
+    return node, ctx, policy
+
+
+def place(node, ctx, policy, owner, nbytes, flags=MemFlag.NONE):
+    ps = PageSet(owner, nbytes, CHUNK)
+    ps.region[:] = 0
+    ps.region_flags[0] = flags
+    node.register(ps)
+    policy.place(ctx, ps, AllocationRequest(owner, 0, nbytes, flags))
+    return ps
+
+
+class TestPlacementContract:
+    def test_small_allocation_fully_mapped(self, stack):
+        node, ctx, policy = stack
+        ps = place(node, ctx, policy, "a", MiB(2))
+        assert not (ps.tier == UNMAPPED).any()
+        node.validate()
+
+    def test_oversized_allocation_fully_mapped_somewhere(self, stack):
+        node, ctx, policy = stack
+        ps = place(node, ctx, policy, "big", MiB(24))  # exceeds DRAM+PMEM
+        assert not (ps.tier == UNMAPPED).any()
+        node.validate()
+
+    @pytest.mark.parametrize(
+        "flags", [MemFlag.LAT, MemFlag.BW, MemFlag.CAP, MemFlag.LAT | MemFlag.CAP]
+    )
+    def test_every_flag_combination_accepted(self, stack, flags):
+        node, ctx, policy = stack
+        ps = place(node, ctx, policy, "f", MiB(1), flags)
+        assert ps.mapped_bytes == MiB(1)
+        node.validate()
+
+
+class TestTickContract:
+    def test_ticks_preserve_accounting(self, stack):
+        node, ctx, policy = stack
+        ps = place(node, ctx, policy, "a", MiB(6))
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            ps.temperature = rng.random(ps.n_chunks).astype(np.float32)
+            policy.tick(ctx)
+            node.validate()
+            assert not (ps.tier == UNMAPPED).any()
+
+    def test_tick_on_empty_node(self, stack):
+        node, ctx, policy = stack
+        policy.tick(ctx)
+        node.validate()
+
+
+class TestFaultInContract:
+    def test_touched_swap_cleared_when_room_exists(self, stack):
+        node, ctx, policy = stack
+        ps = place(node, ctx, policy, "a", MiB(2))
+        idx = np.arange(8)
+        node.migrate(ps, idx, SWAP)
+        ps.pinned[idx] = False
+        policy.fault_in(ctx, ps, idx)
+        # byte-addressable capacity exists (64 MiB CXL): nothing stays in swap
+        assert ps.tier[idx].max() != int(SWAP)
+        node.validate()
+
+    def test_fault_in_records_major_faults(self, stack):
+        node, ctx, policy = stack
+        majors = []
+        ctx.record_major = lambda owner, n: majors.append(n)
+        ps = place(node, ctx, policy, "a", MiB(2))
+        node.migrate(ps, np.arange(4), SWAP)
+        policy.fault_in(ctx, ps, np.arange(4))
+        assert sum(majors) == 4
+
+
+class TestReleaseContract:
+    def test_release_returns_all_memory(self, stack):
+        node, ctx, policy = stack
+        ps = place(node, ctx, policy, "a", MiB(4))
+        policy.release(ctx, ps, np.arange(ps.n_chunks))
+        for tier in range(4):
+            assert ps.counts_by_tier()[tier] == 0
+        node.validate()
+        assert node.rss(DRAM) == 0

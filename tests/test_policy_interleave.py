@@ -1,0 +1,79 @@
+"""Interleave and default-allocation baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.memory.tiers import CXL, DRAM, PMEM, SWAP
+from repro.policies.base import AllocationRequest
+from repro.policies.interleave import DefaultAllocationPolicy, UniformInterleavePolicy
+from repro.util.units import MiB
+
+from conftest import make_pageset
+
+
+def place_all(ctx, policy, owner, nbytes):
+    ps = make_pageset(ctx.memory, owner, nbytes)
+    policy.place(ctx, ps, AllocationRequest(owner, 0, nbytes))
+    return ps
+
+
+class TestUniformInterleave:
+    def test_roughly_equal_split(self, ctx):
+        policy = UniformInterleavePolicy()
+        ps = place_all(ctx, policy, "a", MiB(3))
+        counts = ps.counts_by_tier()
+        third = ps.n_chunks / 3
+        for t in (DRAM, PMEM, CXL):
+            assert counts[int(t)] == pytest.approx(third, abs=third * 0.35)
+
+    def test_interleaving_is_strided_not_contiguous(self, ctx):
+        policy = UniformInterleavePolicy()
+        ps = place_all(ctx, policy, "a", MiB(3))
+        # the first third of the footprint spans multiple tiers
+        head = ps.tier[: ps.n_chunks // 3]
+        assert len(set(head.tolist())) > 1
+
+    def test_weighted_split(self, ctx):
+        policy = UniformInterleavePolicy({DRAM: 3.0, CXL: 1.0})
+        ps = place_all(ctx, policy, "a", MiB(2))
+        counts = ps.counts_by_tier()
+        assert counts[int(PMEM)] == 0
+        assert counts[int(DRAM)] > counts[int(CXL)]
+
+    def test_overflow_falls_to_other_tiers(self, ctx):
+        policy = UniformInterleavePolicy({DRAM: 1.0, PMEM: 1.0})
+        ps = place_all(ctx, policy, "a", MiB(10))  # DRAM 4 + PMEM 8 barely fit
+        assert ps.mapped_bytes == ps.total_bytes
+        assert ps.bytes_in(SWAP) == 0
+        ctx.memory.validate()
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(Exception):
+            UniformInterleavePolicy({DRAM: -1.0})
+        with pytest.raises(Exception):
+            UniformInterleavePolicy({DRAM: 0.0})
+
+    def test_name_reflects_weighting(self):
+        assert UniformInterleavePolicy().name == "uniform-interleave"
+        assert UniformInterleavePolicy({DRAM: 1.0}).name == "weighted-interleave"
+
+
+class TestDefaultAllocation:
+    def test_dram_then_cxl(self, ctx):
+        policy = DefaultAllocationPolicy()
+        ps = place_all(ctx, policy, "a", MiB(6))
+        assert ps.bytes_in(DRAM) == MiB(4)
+        assert ps.bytes_in(CXL) == MiB(2)
+        assert ps.bytes_in(PMEM) == 0
+
+    def test_no_tick_movement(self, ctx):
+        policy = DefaultAllocationPolicy()
+        ps = place_all(ctx, policy, "a", MiB(6))
+        before = ps.tier.copy()
+        policy.tick(ctx)
+        assert np.array_equal(ps.tier, before)
+
+    def test_custom_order(self, ctx):
+        policy = DefaultAllocationPolicy(order=(CXL,))
+        ps = place_all(ctx, policy, "a", MiB(2))
+        assert ps.bytes_in(CXL) == MiB(2)

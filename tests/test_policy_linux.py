@@ -1,0 +1,115 @@
+"""Linux LRU-swap baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.flags import MemFlag
+from repro.memory.tiers import DRAM, SWAP
+from repro.policies.base import AllocationRequest
+from repro.policies.linux import LinuxSwapPolicy, global_coldest
+from repro.util.units import MiB
+
+from conftest import CHUNK, make_pageset
+
+
+def place_all(ctx, policy, owner, nbytes, flags=MemFlag.NONE):
+    ps = make_pageset(ctx.memory, owner, nbytes)
+    policy.place(ctx, ps, AllocationRequest(owner, 0, nbytes, flags))
+    return ps
+
+
+class TestPlacement:
+    def test_demand_dram_first(self, ctx):
+        policy = LinuxSwapPolicy(scan_noise=0.0)
+        ps = place_all(ctx, policy, "a", MiB(2))
+        assert ps.bytes_in(DRAM) == MiB(2)
+
+    def test_reclaim_then_swap_overflow(self, ctx):
+        policy = LinuxSwapPolicy(scan_noise=0.0)
+        a = place_all(ctx, policy, "a", MiB(4))  # fills DRAM
+        a.temperature[:] = 0.0  # all cold, fully evictable
+        b = place_all(ctx, policy, "b", MiB(2))
+        # direct reclaim pushed a's cold pages out to make room for b
+        assert b.bytes_in(DRAM) == MiB(2)
+        assert a.bytes_in(SWAP) == MiB(2)
+        ctx.memory.validate()
+
+    def test_pinned_pages_never_reclaimed(self, ctx):
+        policy = LinuxSwapPolicy(scan_noise=0.0)
+        a = place_all(ctx, policy, "a", MiB(4))
+        a.pinned[:] = True
+        b = place_all(ctx, policy, "b", MiB(2))
+        assert a.bytes_in(SWAP) == 0
+        assert b.bytes_in(SWAP) == MiB(2)  # no reclaimable memory -> swap
+
+
+class TestKswapdTick:
+    def test_tick_honours_watermarks(self, ctx):
+        policy = LinuxSwapPolicy(high_watermark=0.5, low_watermark=0.25, scan_noise=0.0)
+        ps = place_all(ctx, policy, "a", MiB(3))  # 75% of 4 MiB DRAM
+        policy.tick(ctx)
+        assert ctx.memory.rss(DRAM) <= 0.25 * ctx.memory.capacity(DRAM) + CHUNK
+        ctx.memory.validate()
+
+    def test_tick_noop_below_watermark(self, ctx):
+        policy = LinuxSwapPolicy(high_watermark=0.9, low_watermark=0.8, scan_noise=0.0)
+        place_all(ctx, policy, "a", MiB(1))
+        policy.tick(ctx)
+        assert ctx.memory.stats.swapped_out_bytes == 0
+
+    def test_watermark_validation(self):
+        with pytest.raises(Exception):
+            LinuxSwapPolicy(high_watermark=0.5, low_watermark=0.9)
+
+
+class TestGlobalColdest:
+    def _two_pagesets(self, ctx):
+        a = make_pageset(ctx.memory, "a", MiB(1))
+        b = make_pageset(ctx.memory, "b", MiB(1))
+        ctx.memory.place(a, np.arange(a.n_chunks), DRAM)
+        ctx.memory.place(b, np.arange(b.n_chunks), DRAM)
+        return a, b
+
+    def test_merges_across_pagesets(self, ctx):
+        a, b = self._two_pagesets(ctx)
+        a.temperature[:] = 10.0
+        b.temperature[:] = 1.0
+        victims = dict(
+            (ps.owner, idx) for ps, idx in global_coldest(ctx, DRAM, b.n_chunks)
+        )
+        assert set(victims) == {"b"}
+
+    def test_respects_skip_owners(self, ctx):
+        a, b = self._two_pagesets(ctx)
+        victims = global_coldest(ctx, DRAM, 4, skip_owners=frozenset({"a"}))
+        assert all(ps.owner == "b" for ps, _ in victims)
+
+    def test_zero_request(self, ctx):
+        self._two_pagesets(ctx)
+        assert global_coldest(ctx, DRAM, 0) == []
+
+    def test_scan_noise_hits_hot_pages_eventually(self, ctx):
+        """With noise, hot pages are occasionally victimised — the kernel's
+        frequency-blindness that motivates Algorithm 2."""
+        a, b = self._two_pagesets(ctx)
+        a.temperature[:] = 100.0  # very hot
+        b.temperature[:] = 0.0
+        hot_victims = 0
+        for _ in range(50):
+            for ps, idx in global_coldest(ctx, DRAM, 8, scan_noise=0.5):
+                if ps.owner == "a":
+                    hot_victims += idx.size
+        assert hot_victims > 0
+
+    def test_no_noise_is_strict_lru(self, ctx):
+        a, b = self._two_pagesets(ctx)
+        a.temperature[:] = 100.0
+        b.temperature[:] = 0.0
+        for _ in range(20):
+            for ps, _ in global_coldest(ctx, DRAM, 8, scan_noise=0.0):
+                assert ps.owner == "b"
+
+    def test_victim_indices_unique(self, ctx):
+        a, b = self._two_pagesets(ctx)
+        for ps, idx in global_coldest(ctx, DRAM, 32, scan_noise=0.5):
+            assert len(set(idx.tolist())) == idx.size

@@ -1,0 +1,105 @@
+"""TPP-style tiered demand policy (TME) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.flags import MemFlag
+from repro.memory.tiers import CXL, DRAM, PMEM, SWAP
+from repro.policies.base import AllocationRequest
+from repro.policies.tpp import TieredDemandPolicy
+from repro.util.units import MiB
+
+from conftest import CHUNK, make_pageset
+
+
+def place_all(ctx, policy, owner, nbytes):
+    ps = make_pageset(ctx.memory, owner, nbytes)
+    policy.place(ctx, ps, AllocationRequest(owner, 0, nbytes))
+    return ps
+
+
+class TestPlacement:
+    def test_overflow_order_dram_cxl_pmem(self, ctx):
+        # DRAM 4M, CXL 64M: a 6M allocation spills 2M to CXL, none to PMem
+        policy = TieredDemandPolicy(scan_noise=0.0)
+        ps = place_all(ctx, policy, "a", MiB(6))
+        assert ps.bytes_in(DRAM) == MiB(4)
+        assert ps.bytes_in(CXL) == MiB(2)
+        assert ps.bytes_in(PMEM) == 0
+
+    def test_oblivious_to_flags(self, ctx):
+        policy = TieredDemandPolicy(scan_noise=0.0)
+        ps = make_pageset(ctx.memory, "a", MiB(6))
+        policy.place(ctx, ps, AllocationRequest("a", 0, MiB(6), MemFlag.LAT))
+        # identical placement regardless of the LAT hint
+        assert ps.bytes_in(DRAM) == MiB(4)
+
+    def test_forced_cxl_fraction_strided(self, ctx):
+        policy = TieredDemandPolicy(cxl_fraction=0.5, scan_noise=0.0)
+        ps = place_all(ctx, policy, "a", MiB(2))
+        cxl_chunks = ps.chunks_in(CXL)
+        assert cxl_chunks.size == ps.n_chunks // 2
+        # strided across the range, not a contiguous tail: the first half
+        # of the footprint must contain some CXL chunks
+        assert (cxl_chunks < ps.n_chunks // 2).any()
+
+    def test_cxl_fraction_validation(self):
+        with pytest.raises(Exception):
+            TieredDemandPolicy(cxl_fraction=1.5)
+
+
+class TestDemotion:
+    def test_pressure_demotes_to_cxl_not_swap(self, ctx):
+        policy = TieredDemandPolicy(
+            high_watermark=0.5, low_watermark=0.25, scan_noise=0.0
+        )
+        ps = place_all(ctx, policy, "a", MiB(3))
+        policy.tick(ctx)
+        assert ps.bytes_in(SWAP) == 0
+        assert ps.bytes_in(CXL) > 0
+        assert ctx.memory.rss(DRAM) <= 0.25 * ctx.memory.capacity(DRAM) + CHUNK
+
+
+class TestPromotion:
+    def test_hot_cxl_pages_promoted(self, ctx):
+        policy = TieredDemandPolicy(
+            promote_budget_fraction=1.0, promote_threshold=0.1, scan_noise=0.0
+        )
+        ps = make_pageset(ctx.memory, "a", MiB(2))
+        ctx.memory.place(ps, np.arange(ps.n_chunks), CXL)
+        ps.temperature[:4] = 5.0
+        policy.tick(ctx)
+        assert set(np.flatnonzero(ps.tier == int(DRAM))) == {0, 1, 2, 3}
+
+    def test_promotion_counts_minor_faults(self, ctx):
+        minors = []
+        ctx.record_minor = lambda owner, n: minors.append(n)
+        policy = TieredDemandPolicy(
+            promote_budget_fraction=1.0, promote_threshold=0.1, scan_noise=0.0
+        )
+        ps = make_pageset(ctx.memory, "a", MiB(1))
+        ctx.memory.place(ps, np.arange(ps.n_chunks), CXL)
+        ps.temperature[:2] = 5.0
+        policy.tick(ctx)
+        assert sum(minors) == 2
+
+    def test_cold_pages_not_promoted(self, ctx):
+        policy = TieredDemandPolicy(
+            promote_budget_fraction=1.0, promote_threshold=0.1, scan_noise=0.0
+        )
+        ps = make_pageset(ctx.memory, "a", MiB(1))
+        ctx.memory.place(ps, np.arange(ps.n_chunks), CXL)
+        policy.tick(ctx)
+        assert ps.bytes_in(DRAM) == 0
+
+    def test_budget_limits_promotion(self, ctx):
+        policy = TieredDemandPolicy(
+            promote_budget_fraction=CHUNK / ctx.memory.capacity(DRAM),
+            promote_threshold=0.1,
+            scan_noise=0.0,
+        )
+        ps = make_pageset(ctx.memory, "a", MiB(1))
+        ctx.memory.place(ps, np.arange(ps.n_chunks), CXL)
+        ps.temperature[:] = 5.0
+        policy.tick(ctx)
+        assert ps.counts_by_tier()[int(DRAM)] == 1

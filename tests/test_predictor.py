@@ -1,0 +1,136 @@
+"""Flag-predictor tests: exact match, nearest match, cold-start heuristics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.flags import MemFlag
+from repro.core.predictor import (
+    ExecutionLogStore,
+    ExecutionRecord,
+    FlagPredictor,
+    flag_sizes_from_heatmap,
+)
+from repro.memory.pageset import PageSet
+from repro.util.units import KiB, MiB
+
+CHUNK = KiB(64)
+
+
+class TestExecutionLogStore:
+    def test_record_and_get(self):
+        store = ExecutionLogStore()
+        rec = ExecutionRecord("dl", MiB(10), {MemFlag.BW: MiB(4)})
+        store.record(rec)
+        assert store.get("dl") is rec
+        assert len(store) == 1
+
+    def test_latest_record_wins(self):
+        store = ExecutionLogStore()
+        store.record(ExecutionRecord("dl", MiB(10), {MemFlag.BW: MiB(4)}))
+        newer = ExecutionRecord("dl", MiB(20), {MemFlag.BW: MiB(8)})
+        store.record(newer)
+        assert store.get("dl") is newer
+
+    def test_nearest_prefers_same_family(self):
+        store = ExecutionLogStore()
+        store.record(ExecutionRecord("dl-0", MiB(10), {MemFlag.BW: MiB(4)}))
+        store.record(ExecutionRecord("sc-0", MiB(11), {MemFlag.CAP: MiB(11)}))
+        got = store.nearest("dl-7", MiB(11))
+        assert got.key == "dl-0"  # family beats closer footprint
+
+    def test_nearest_falls_back_to_closest_footprint(self):
+        store = ExecutionLogStore()
+        store.record(ExecutionRecord("a", MiB(10), {MemFlag.CAP: MiB(10)}))
+        store.record(ExecutionRecord("b", MiB(100), {MemFlag.CAP: MiB(100)}))
+        assert store.nearest("zz", MiB(90)).key == "b"
+
+    def test_nearest_on_empty(self):
+        assert ExecutionLogStore().nearest("x", MiB(1)) is None
+
+
+class TestPredictFlags:
+    def test_cold_start_default(self):
+        p = FlagPredictor()
+        assert p.predict_flags("new", MiB(4)) == MemFlag.LAT | MemFlag.CAP
+
+    def test_uses_recorded_flags(self):
+        p = FlagPredictor()
+        p.store.record(ExecutionRecord("dl", MiB(10), {MemFlag.BW: MiB(10)}))
+        assert p.predict_flags("dl", MiB(8)) is MemFlag.BW
+
+    def test_nearest_match_used_as_hint(self):
+        p = FlagPredictor()
+        p.store.record(ExecutionRecord("dl-0", MiB(10), {MemFlag.BW: MiB(10)}))
+        assert p.predict_flags("dl-3", MiB(10)) is MemFlag.BW
+
+
+class TestPredictFlagSizes:
+    def test_sizes_sum_exactly(self):
+        p = FlagPredictor()
+        sizes = p.predict_flag_sizes("x", MiB(7), MemFlag.LAT | MemFlag.CAP)
+        assert sum(sizes.values()) == MiB(7)
+
+    def test_lat_cap_heuristic_fraction(self):
+        p = FlagPredictor(default_lat_fraction=0.25)
+        sizes = p.predict_flag_sizes("x", MiB(8), MemFlag.LAT | MemFlag.CAP)
+        assert sizes[MemFlag.LAT] == MiB(2)
+        assert sizes[MemFlag.CAP] == MiB(6)
+
+    def test_scaled_from_history(self):
+        p = FlagPredictor()
+        p.store.record(
+            ExecutionRecord("dl", MiB(10), {MemFlag.BW: MiB(6), MemFlag.CAP: MiB(4)})
+        )
+        sizes = p.predict_flag_sizes("dl", MiB(20), MemFlag.BW | MemFlag.CAP)
+        assert sizes[MemFlag.BW] == pytest.approx(MiB(12), abs=CHUNK)
+        assert sum(sizes.values()) == MiB(20)
+
+    def test_equal_split_without_history(self):
+        p = FlagPredictor()
+        sizes = p.predict_flag_sizes("x", MiB(9), MemFlag.BW | MemFlag.SHL)
+        assert sum(sizes.values()) == MiB(9)
+        assert abs(sizes[MemFlag.BW] - sizes[MemFlag.SHL]) <= 1
+
+    @given(
+        st.integers(min_value=1, max_value=2**30),
+        st.sampled_from(
+            [
+                MemFlag.LAT | MemFlag.CAP,
+                MemFlag.BW | MemFlag.CAP,
+                MemFlag.LAT | MemFlag.BW | MemFlag.CAP,
+                MemFlag.SHL,
+            ]
+        ),
+    )
+    def test_sizes_always_sum_to_request(self, nbytes, flags):
+        p = FlagPredictor()
+        sizes = p.predict_flag_sizes("k", nbytes, flags)
+        assert sum(sizes.values()) == nbytes
+        assert all(s > 0 for s in sizes.values())
+
+
+class TestHeatmapDerivation:
+    def _ps(self):
+        ps = PageSet("t", 10 * CHUNK, CHUNK)
+        ps.tier[:] = 0  # mapped (metadata only, no accounting needed here)
+        ps.temperature[:] = [100, 80, 1, 1, 1, 1, 1, 1, 1, 1]
+        return ps
+
+    def test_hot_set_becomes_lat(self):
+        sizes = flag_sizes_from_heatmap(self._ps(), hot_share=0.8)
+        assert sizes[MemFlag.LAT] == 2 * CHUNK
+        assert sizes[MemFlag.CAP] == 8 * CHUNK
+
+    def test_bw_weight_splits_hot_set(self):
+        sizes = flag_sizes_from_heatmap(self._ps(), hot_share=0.8, bw_weight=0.5)
+        assert sizes[MemFlag.BW] == CHUNK
+        assert sizes[MemFlag.LAT] == CHUNK
+
+    def test_learn_roundtrip(self):
+        p = FlagPredictor()
+        p.learn("dl", self._ps(), duration=12.0)
+        rec = p.store.get("dl")
+        assert rec is not None
+        assert rec.duration == 12.0
+        assert MemFlag.LAT in p.predict_flags("dl", MiB(1))

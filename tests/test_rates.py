@@ -1,0 +1,138 @@
+"""Progress-rate model tests: latency/bandwidth/fault blending."""
+
+import numpy as np
+import pytest
+
+from repro.memory.pageset import PageSet
+from repro.memory.tiers import CXL, DRAM, PMEM, SWAP
+from repro.runtime.rates import (
+    RateModelConfig,
+    phase_slowdown,
+    tier_access_profile,
+    tier_demand,
+)
+from repro.util.units import GBps, KiB
+from repro.workflows.patterns import UniformPattern
+from repro.workflows.task import TaskPhase
+
+from conftest import CHUNK, small_specs
+
+SPECS = small_specs()
+
+
+def ps_with_weights(tiers, weights):
+    ps = PageSet("t", len(tiers) * CHUNK, CHUNK)
+    for i, t in enumerate(tiers):
+        ps.tier[i] = int(t)
+    ps.access_weight[: len(weights)] = np.asarray(weights, dtype=np.float32)
+    return ps
+
+
+def phase(compute=0.4, lat=0.4, bw=0.2, demand=GBps(1.0)):
+    return TaskPhase(
+        name="p",
+        base_time=10.0,
+        compute_frac=compute,
+        lat_frac=lat,
+        bw_frac=bw,
+        demand_bandwidth=demand,
+        pattern=UniformPattern(),
+    )
+
+
+class TestTierAccessProfile:
+    def test_normalised_over_mapped(self):
+        ps = ps_with_weights([DRAM, CXL], [0.3, 0.1])
+        w, shadow = tier_access_profile(ps)
+        assert w[int(DRAM)] == pytest.approx(0.75)
+        assert w[int(CXL)] == pytest.approx(0.25)
+        assert shadow == 0.0
+
+    def test_shadowed_weight_separated(self):
+        ps = ps_with_weights([DRAM, SWAP], [0.5, 0.5])
+        ps.in_page_cache[1] = True
+        w, shadow = tier_access_profile(ps)
+        assert shadow == pytest.approx(0.5)
+        assert w[int(SWAP)] == 0.0
+
+    def test_idle_pageset(self):
+        ps = ps_with_weights([DRAM], [0.0])
+        w, shadow = tier_access_profile(ps)
+        assert w.sum() == 0 and shadow == 0
+
+
+class TestTierDemand:
+    def test_demand_follows_weights(self):
+        ps = ps_with_weights([DRAM, CXL], [0.75, 0.25])
+        d = tier_demand(ps, GBps(4.0))
+        assert d[int(DRAM)] == pytest.approx(GBps(3.0))
+        assert d[int(CXL)] == pytest.approx(GBps(1.0))
+
+    def test_shadowed_demand_charged_to_dram(self):
+        ps = ps_with_weights([SWAP], [1.0])
+        ps.in_page_cache[0] = True
+        d = tier_demand(ps, GBps(2.0))
+        assert d[int(DRAM)] == pytest.approx(GBps(2.0))
+        assert d[int(SWAP)] == 0.0
+
+
+class TestPhaseSlowdown:
+    def test_all_dram_no_contention_is_unity(self):
+        ps = ps_with_weights([DRAM], [1.0])
+        s = phase_slowdown(phase(), ps, SPECS, achieved_bandwidth=GBps(1.0))
+        assert s == pytest.approx(1.0)
+
+    def test_cxl_latency_penalty(self):
+        dram = ps_with_weights([DRAM], [1.0])
+        cxl = ps_with_weights([CXL], [1.0])
+        p = phase(compute=0.3, lat=0.7, bw=0.0, demand=0)
+        s_dram = phase_slowdown(p, dram, SPECS, GBps(1))
+        s_cxl = phase_slowdown(p, cxl, SPECS, GBps(1))
+        assert s_cxl > s_dram
+        # 140ns vs 80ns with lat_frac .7: 0.3 + 0.7*1.75
+        assert s_cxl == pytest.approx(0.3 + 0.7 * 1.75, rel=1e-3)
+
+    def test_swap_residency_dominates(self):
+        swap = ps_with_weights([SWAP], [1.0])
+        s = phase_slowdown(phase(), swap, SPECS, GBps(1))
+        assert s > 50  # amortised major-fault latency is catastrophic
+
+    def test_shadowed_swap_is_cheap(self):
+        swap = ps_with_weights([SWAP], [1.0])
+        swap.in_page_cache[0] = True
+        s = phase_slowdown(phase(), swap, SPECS, GBps(1))
+        assert s < 3
+
+    def test_bandwidth_starvation(self):
+        ps = ps_with_weights([DRAM], [1.0])
+        p = phase(compute=0.3, lat=0.0, bw=0.7, demand=GBps(10.0))
+        s_full = phase_slowdown(p, ps, SPECS, achieved_bandwidth=GBps(10.0))
+        s_half = phase_slowdown(p, ps, SPECS, achieved_bandwidth=GBps(5.0))
+        assert s_full == pytest.approx(1.0)
+        assert s_half == pytest.approx(0.3 + 0.7 * 2.0)
+
+    def test_surplus_bandwidth_never_speeds_up(self):
+        ps = ps_with_weights([DRAM], [1.0])
+        p = phase(compute=0.3, lat=0.0, bw=0.7, demand=GBps(1.0))
+        s = phase_slowdown(p, ps, SPECS, achieved_bandwidth=GBps(100.0))
+        assert s == pytest.approx(1.0)
+
+    def test_migration_penalty_added_and_capped(self):
+        ps = ps_with_weights([DRAM], [1.0])
+        cfg = RateModelConfig(migration_overhead_cap=0.08)
+        s0 = phase_slowdown(phase(), ps, SPECS, GBps(1), config=cfg)
+        s1 = phase_slowdown(phase(), ps, SPECS, GBps(1), migration_penalty=0.05, config=cfg)
+        s2 = phase_slowdown(phase(), ps, SPECS, GBps(1), migration_penalty=5.0, config=cfg)
+        assert s1 == pytest.approx(s0 + 0.05)
+        assert s2 == pytest.approx(s0 + 0.08)
+
+    def test_idle_weights_treated_as_dram(self):
+        ps = ps_with_weights([DRAM], [0.0])
+        s = phase_slowdown(phase(demand=0), ps, SPECS, 0.0)
+        assert s == pytest.approx(1.0)
+
+    def test_slowdown_clamped(self):
+        swap = ps_with_weights([SWAP], [1.0])
+        cfg = RateModelConfig(max_slowdown=10.0)
+        p = phase(compute=0.0, lat=1.0, bw=0.0, demand=0)
+        assert phase_slowdown(p, swap, SPECS, GBps(1), config=cfg) == 10.0

@@ -1,0 +1,42 @@
+"""Documentation-sync tests: the README's code snippets must run, and the
+documented entry points must exist."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = (Path(__file__).parent.parent / "README.md").read_text()
+
+
+class TestReadmeSnippets:
+    def test_quickstart_snippet_executes(self):
+        """Extract and run the first python code block (the quickstart)."""
+        blocks = re.findall(r"```python\n(.*?)```", README, flags=re.S)
+        assert blocks, "README lost its python quickstart block"
+        snippet = blocks[0]
+        # shrink the workload so the doc test stays fast
+        snippet = snippet.replace("scale=1/64", "scale=1/512")
+        namespace: dict = {}
+        exec(compile(snippet, "<readme-quickstart>", "exec"), namespace)  # noqa: S102
+
+    def test_documented_examples_exist(self):
+        root = Path(__file__).parent.parent
+        for match in re.findall(r"`examples/(\w+\.py)`", README):
+            assert (root / "examples" / match).exists(), f"missing {match}"
+
+    def test_documented_docs_exist(self):
+        root = Path(__file__).parent.parent
+        for name in ("architecture", "rate-model", "paper-mapping", "workloads", "api"):
+            assert (root / "docs" / f"{name}.md").exists()
+
+    def test_documented_commands_resolve(self):
+        from repro.experiments.runner import ALL_EXPERIMENTS
+
+        # README promises `python -m repro.experiments fig05 fig09`
+        assert "fig05" in ALL_EXPERIMENTS and "fig09" in ALL_EXPERIMENTS
+
+    def test_design_and_experiments_docs_exist(self):
+        root = Path(__file__).parent.parent
+        for name in ("DESIGN.md", "EXPERIMENTS.md", "CHANGELOG.md"):
+            assert (root / name).exists()

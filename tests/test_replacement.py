@@ -1,0 +1,116 @@
+"""Algorithm 2 tests: workflow-aware victim selection and demotion."""
+
+import numpy as np
+import pytest
+
+from repro.core.flags import MemFlag
+from repro.core.replacement import PageReplacementPolicy, is_protected
+from repro.memory.tiers import CXL, DRAM, PMEM, SWAP
+from repro.util.units import MiB
+
+from conftest import CHUNK, make_pageset, small_specs
+from repro.memory.system import NodeMemorySystem
+from repro.policies.base import PolicyContext
+
+
+def ctx_with(flags_map):
+    node = NodeMemorySystem(small_specs(), "n")
+    ctx = PolicyContext(memory=node, rng=np.random.default_rng(0))
+    policy = PageReplacementPolicy(lambda owner: flags_map.get(owner, MemFlag.NONE))
+    return node, ctx, policy
+
+
+class TestIsProtected:
+    @pytest.mark.parametrize(
+        "flags,expected",
+        [
+            (MemFlag.LAT, True),
+            (MemFlag.SHL, True),
+            (MemFlag.LAT | MemFlag.CAP, True),
+            (MemFlag.BW, False),
+            (MemFlag.CAP, False),
+            (MemFlag.NONE, False),
+        ],
+    )
+    def test_protection(self, flags, expected):
+        assert is_protected(flags) is expected
+
+
+class TestVictimSelection:
+    def test_unprotected_victimised_first(self):
+        node, ctx, policy = ctx_with({"lat": MemFlag.LAT, "cap": MemFlag.CAP})
+        lat = make_pageset(node, "lat", MiB(1))
+        cap = make_pageset(node, "cap", MiB(1))
+        node.place(lat, np.arange(lat.n_chunks), DRAM)
+        node.place(cap, np.arange(cap.n_chunks), DRAM)
+        lat.temperature[:] = 0.0  # colder than cap...
+        cap.temperature[:] = 5.0  # ...but unprotected goes first
+        victims = policy.select_victims(ctx, cap.n_chunks)
+        owners = {ps.owner for ps, _ in victims}
+        assert owners == {"cap"}
+
+    def test_protected_pageable_used_when_needed(self):
+        node, ctx, policy = ctx_with({"lat": MemFlag.LAT})
+        lat = make_pageset(node, "lat", MiB(1))
+        node.place(lat, np.arange(lat.n_chunks), DRAM)
+        lat.pinned[: lat.n_chunks // 2] = True
+        victims = policy.select_victims(ctx, lat.n_chunks)
+        total = sum(idx.size for _, idx in victims)
+        assert total == lat.n_chunks // 2  # only the pageable half
+
+    def test_protect_owner_excluded(self):
+        node, ctx, policy = ctx_with({})
+        a = make_pageset(node, "a", MiB(1))
+        node.place(a, np.arange(a.n_chunks), DRAM)
+        assert policy.select_victims(ctx, 4, protect_owner="a") == []
+
+    def test_zero_request(self):
+        node, ctx, policy = ctx_with({})
+        assert policy.select_victims(ctx, 0) == []
+
+
+class TestReplace:
+    def test_demotes_to_cxl_before_swap(self):
+        node, ctx, policy = ctx_with({"cap": MemFlag.CAP})
+        cap = make_pageset(node, "cap", MiB(2))
+        node.place(cap, np.arange(cap.n_chunks), DRAM)
+        freed = policy.replace(ctx, MiB(1))
+        assert freed >= MiB(1)
+        assert cap.bytes_in(CXL) >= MiB(1)
+        assert cap.bytes_in(SWAP) == 0
+        node.validate()
+
+    def test_swaps_only_when_lower_tiers_full(self):
+        node = NodeMemorySystem(small_specs(cxl=0, pmem=0), "n")
+        ctx = PolicyContext(memory=node, rng=np.random.default_rng(0))
+        policy = PageReplacementPolicy(lambda o: MemFlag.NONE)
+        ps = make_pageset(node, "a", MiB(2))
+        node.place(ps, np.arange(ps.n_chunks), DRAM)
+        policy.replace(ctx, MiB(1))
+        assert ps.bytes_in(SWAP) == MiB(1)
+        node.validate()
+
+    def test_shadow_demotions_keep_page_cache_copies(self):
+        node, ctx, policy = ctx_with({})
+        ps = make_pageset(node, "a", MiB(2))
+        node.place(ps, np.arange(ps.n_chunks), DRAM)
+        policy.replace(ctx, MiB(1), shadow_demotions=True)
+        assert ps.in_page_cache.sum() > 0
+        node.validate()
+
+    def test_noop_on_zero_bytes(self):
+        node, ctx, policy = ctx_with({})
+        assert policy.replace(ctx, 0) == 0
+
+    def test_coldest_victims_chosen_within_class(self):
+        node, ctx, policy = ctx_with({})
+        ps = make_pageset(node, "a", MiB(1))
+        node.place(ps, np.arange(ps.n_chunks), DRAM)
+        ps.temperature[:] = np.arange(ps.n_chunks, dtype=np.float32)
+        policy.replace(ctx, 4 * CHUNK)
+        moved = np.flatnonzero(ps.tier != int(DRAM))
+        assert set(moved) == {0, 1, 2, 3}
+
+    def test_demote_order_validation(self):
+        with pytest.raises(Exception):
+            PageReplacementPolicy(lambda o: MemFlag.NONE, demote_order=(DRAM,))

@@ -1,0 +1,63 @@
+"""Experiment-runner CLI tests and report rendering."""
+
+import pytest
+
+from repro.experiments.runner import ALL_EXPERIMENTS, main, run_all, to_markdown
+from repro.metrics.report import render_gantt
+
+
+class TestRunnerRegistry:
+    def test_every_paper_figure_registered(self):
+        for name in (
+            "fig01", "fig05", "fig06", "fig07", "fig08", "fig09",
+            "fig10", "fig11", "cold-pages",
+        ):
+            assert name in ALL_EXPERIMENTS
+
+    def test_extensions_registered(self):
+        for name in ("ext-shared-inputs", "ext-failures", "ext-open-system"):
+            assert name in ALL_EXPERIMENTS
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_all(["fig99"], verbose=False)
+
+
+class TestRunnerExecution:
+    def test_run_selected(self, capsys):
+        results = run_all(["cold-pages"], verbose=True)
+        assert set(results) == {"cold-pages"}
+        out = capsys.readouterr().out
+        assert "idle-fraction" in out
+        assert "regenerated in" in out
+
+    def test_markdown_report(self):
+        results = run_all(["cold-pages"], verbose=False)
+        md = to_markdown(results)
+        assert md.startswith("# Experiment report")
+        assert "## cold-pages" in md
+        assert "```" in md
+
+    def test_main_writes_report(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        rc = main(["cold-pages", "--quiet", "--out", str(out_file)])
+        assert rc == 0
+        assert out_file.exists()
+        assert "cold-pages" in out_file.read_text()
+
+
+class TestGantt:
+    def test_bars_scale_to_horizon(self):
+        out = render_gantt([("a", 0.0, 5.0), ("bb", 5.0, 10.0)], width=10)
+        lines = out.splitlines()
+        assert lines[0].startswith("a  |#####")
+        assert lines[1].endswith("5.0-10.0")
+        # second bar starts at the midpoint
+        assert lines[1].split("|")[1][:5] == "     "
+
+    def test_empty(self):
+        assert render_gantt([]) == "(no tasks)"
+
+    def test_minimum_one_cell(self):
+        out = render_gantt([("x", 0.0, 0.001), ("y", 0.0, 100.0)], width=10)
+        assert "#" in out.splitlines()[0]

@@ -1,0 +1,95 @@
+"""Scheduler-extension tests: priorities and memory-aware placement."""
+
+import numpy as np
+import pytest
+
+from repro.containers.image import ContainerImage, ImageRegistry
+from repro.containers.runtime import ContainerRuntime, NetworkFabric
+from repro.memory.system import NodeMemorySystem
+from repro.memory.tiers import DRAM
+from repro.policies.linux import LinuxSwapPolicy
+from repro.runtime.node_agent import NodeAgent
+from repro.scheduler.slurm import SlurmScheduler
+from repro.util.units import GBps, MiB
+
+from conftest import CHUNK, make_pageset, simple_task, small_specs
+
+
+def make_sched(engine, metrics, *, n_nodes=2, cores=2, placement="least-loaded",
+               dram_sizes=None):
+    dram_sizes = dram_sizes or [MiB(64)] * n_nodes
+    agents = [
+        NodeAgent(
+            engine,
+            NodeMemorySystem(small_specs(dram=dram_sizes[i], cxl=MiB(256)), f"n{i}"),
+            LinuxSwapPolicy(scan_noise=0.0),
+            metrics,
+            cores=cores,
+            chunk_size=CHUNK,
+        )
+        for i in range(n_nodes)
+    ]
+    reg = ImageRegistry()
+    reg.add(ContainerImage("default.sif", MiB(10)))
+    containers = ContainerRuntime(
+        engine, reg, NetworkFabric(engine, GBps(1.0)), n_nodes, instantiation_time=0.01
+    )
+    return SlurmScheduler(
+        engine, agents, containers, metrics, placement=placement
+    ), agents
+
+
+class TestPriorities:
+    def test_high_priority_jumps_the_queue(self, engine, metrics):
+        sched, _ = make_sched(engine, metrics, n_nodes=1, cores=2)
+        # occupy the node, then queue a low- and a high-priority job
+        sched.submit(simple_task("running", cores=2, base_time=2.0))
+        sched.submit(simple_task("low", cores=2, base_time=1.0), priority=0)
+        sched.submit(simple_task("high", cores=2, base_time=1.0), priority=10)
+        sched.run_to_completion()
+        assert metrics.get("high").started_at < metrics.get("low").started_at
+
+    def test_fifo_within_priority(self, engine, metrics):
+        sched, _ = make_sched(engine, metrics, n_nodes=1, cores=2)
+        sched.submit(simple_task("running", cores=2, base_time=2.0))
+        sched.submit(simple_task("first", cores=2, base_time=1.0), priority=5)
+        sched.submit(simple_task("second", cores=2, base_time=1.0), priority=5)
+        sched.run_to_completion()
+        assert metrics.get("first").started_at < metrics.get("second").started_at
+
+
+class TestMemoryAwarePlacement:
+    def test_picks_node_with_most_free_memory(self, engine, metrics):
+        sched, agents = make_sched(
+            engine,
+            metrics,
+            n_nodes=2,
+            cores=8,
+            placement="memory-aware",
+            dram_sizes=[MiB(8), MiB(64)],
+        )
+        # pre-fill node 1 partially so free memory still exceeds node 0
+        filler = make_pageset(agents[1].memory, "filler", MiB(8))
+        agents[1].memory.place(filler, np.arange(filler.n_chunks), DRAM)
+        job = sched.submit(simple_task("t", footprint=MiB(1), base_time=1.0))
+        sched.run_to_completion()
+        assert job.node_index == 1  # 56 MiB free beats 8 MiB
+
+    def test_least_loaded_ignores_memory(self, engine, metrics):
+        sched, agents = make_sched(
+            engine,
+            metrics,
+            n_nodes=2,
+            cores=8,
+            placement="least-loaded",
+            dram_sizes=[MiB(8), MiB(64)],
+        )
+        # make node 1 busier in cores
+        agents[1].cores_used = 4
+        job = sched.submit(simple_task("t", footprint=MiB(1), base_time=1.0))
+        sched.run_to_completion()
+        assert job.node_index == 0
+
+    def test_invalid_placement_rejected(self, engine, metrics):
+        with pytest.raises(Exception):
+            make_sched(engine, metrics, placement="random")

@@ -1,0 +1,126 @@
+"""Scheduler behavioural properties: work conservation, backfill limits,
+queue introspection, and multi-workflow scale."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.scheduler.job import JobState
+from repro.util.units import MiB
+
+from conftest import simple_task
+from test_scheduler import make_sched
+
+
+class TestWorkConservation:
+    def test_node_never_idles_while_jobs_fit(self, engine, metrics):
+        """Whenever cores are free and a queued job fits, the scheduler
+        starts it (verified by wall-clock packing of uniform jobs)."""
+        sched, agents = make_sched(engine, metrics, n_nodes=1, cores=4)
+        jobs = sched.submit_batch(
+            [simple_task(f"t{i}", cores=1, base_time=2.0) for i in range(8)]
+        )
+        sched.run_to_completion()
+        # 8 one-core 2s jobs on 4 cores: two waves -> total ≈ 2 waves
+        starts = sorted(metrics.get(f"t{i}").started_at for i in range(8))
+        first_wave_end = min(metrics.get(f"t{i}").finished_at for i in range(8))
+        # the second wave begins as soon as the first job ends
+        assert starts[4] <= first_wave_end + 1.0
+
+    def test_no_core_overcommit_ever(self, engine, metrics):
+        sched, agents = make_sched(engine, metrics, n_nodes=2, cores=4)
+        sched.submit_batch(
+            [simple_task(f"t{i}", cores=3, base_time=1.5) for i in range(6)]
+        )
+        while not sched.all_done:
+            engine.step()
+            for agent in agents:
+                assert agent.cores_used <= agent.cores
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=10))
+    def test_arbitrary_core_mixes_complete(self, core_counts):
+        from repro.metrics.collector import MetricsRegistry
+        from repro.sim.engine import SimulationEngine
+
+        engine = SimulationEngine()
+        metrics = MetricsRegistry()
+        sched, _ = make_sched(engine, metrics, n_nodes=2, cores=4)
+        sched.submit_batch(
+            [
+                simple_task(f"j{i}", cores=c, base_time=1.0)
+                for i, c in enumerate(core_counts)
+            ]
+        )
+        sched.run_to_completion()
+        assert len(metrics.completed()) == len(core_counts)
+
+
+class TestQueueSnapshot:
+    def test_reports_waiting_jobs(self, engine, metrics):
+        sched, _ = make_sched(engine, metrics, n_nodes=1, cores=2)
+        sched.submit(simple_task("running", cores=2, base_time=5.0))
+        sched.submit(simple_task("waiting", cores=2, base_time=1.0), priority=3)
+        engine.run(until=2.0)
+        snap = sched.queue_snapshot()
+        assert len(snap) == 1
+        assert snap[0]["name"] == "waiting"
+        assert snap[0]["priority"] == 3
+        assert snap[0]["waiting"] == pytest.approx(2.0)
+        sched.run_to_completion()
+        assert sched.queue_snapshot() == []
+
+
+class TestBackfillSemantics:
+    def test_backfill_disabled_is_strict_fifo(self, engine, metrics):
+        from repro.containers.image import ContainerImage, ImageRegistry
+        from repro.containers.runtime import ContainerRuntime, NetworkFabric
+        from repro.memory.system import NodeMemorySystem
+        from repro.policies.linux import LinuxSwapPolicy
+        from repro.runtime.node_agent import NodeAgent
+        from repro.scheduler.slurm import SlurmScheduler
+        from conftest import CHUNK, small_specs
+        from repro.util.units import GBps
+
+        agents = [
+            NodeAgent(
+                engine,
+                NodeMemorySystem(small_specs(dram=MiB(64), cxl=MiB(256)), "n0"),
+                LinuxSwapPolicy(scan_noise=0.0),
+                metrics,
+                cores=4,
+                chunk_size=CHUNK,
+            )
+        ]
+        reg = ImageRegistry()
+        reg.add(ContainerImage("default.sif", MiB(10)))
+        containers = ContainerRuntime(
+            engine, reg, NetworkFabric(engine, GBps(1.0)), 1, instantiation_time=0.01
+        )
+        sched = SlurmScheduler(engine, agents, containers, metrics, backfill=False)
+        sched.submit(simple_task("head", cores=4, base_time=2.0))
+        sched.submit(simple_task("blocked-big", cores=4, base_time=1.0))
+        small = sched.submit(simple_task("small", cores=1, base_time=1.0))
+        engine.run(until=1.0)
+        # strict FIFO: the 1-core job must NOT jump the blocked 4-core head
+        assert small.state is JobState.PENDING
+        sched.run_to_completion()
+        assert metrics.get("small").started_at >= metrics.get("blocked-big").started_at
+
+
+class TestManyWorkflows:
+    def test_fifty_workflows_through_wms(self, engine, metrics):
+        from repro.wms.planner import WorkflowManager
+        from repro.workflows.dag import chain_workflow
+
+        sched, _ = make_sched(engine, metrics, n_nodes=4, cores=16)
+        mgr = WorkflowManager(sched)
+        for k in range(25):
+            mgr.submit(
+                chain_workflow(
+                    f"wf{k}",
+                    [simple_task(f"wf{k}t{i}", base_time=0.5) for i in range(2)],
+                )
+            )
+        mgr.run_to_completion()
+        assert len(metrics.completed()) == 50

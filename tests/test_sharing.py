@@ -1,0 +1,88 @@
+"""Shared-memory manager tests (§III-C5)."""
+
+import pytest
+
+from repro.core.sharing import SharedMemoryManager
+from repro.memory.topology import SharedCXLPool
+from repro.util.units import MiB
+
+
+@pytest.fixture
+def shm():
+    return SharedMemoryManager(SharedCXLPool(MiB(64)), n_nodes=2)
+
+
+class TestStaging:
+    def test_stage_creates_region(self, shm):
+        h = shm.stage("img", MiB(4))
+        assert h.nbytes == MiB(4)
+        assert shm.staged_bytes == MiB(4)
+        assert shm.stage_count == 1
+
+    def test_restage_is_cache_hit(self, shm):
+        shm.stage("img", MiB(4))
+        shm.stage("img", MiB(4), owner="other")
+        assert shm.stage_count == 1
+        assert shm.staged_bytes == MiB(4)
+
+
+class TestAttachDetach:
+    def test_attach_requires_staged(self, shm):
+        with pytest.raises(Exception):
+            shm.attach("wf", "ghost")
+
+    def test_attach_then_detach_keeps_platform_ref(self, shm):
+        shm.stage("data", MiB(2))
+        shm.attach("wf", "data")
+        assert shm.detach("wf", "data") is False  # platform still holds it
+        assert shm.pool.contains("data")
+
+    def test_region_freed_when_last_ref_drops(self, shm):
+        shm.stage("data", MiB(2), owner="wf1")
+        shm.attach("wf2", "data")
+        assert shm.detach("wf1", "data") is False
+        assert shm.detach("wf2", "data") is True
+        assert not shm.pool.contains("data")
+        assert shm.staged_bytes == 0
+
+    def test_double_attach_rejected(self, shm):
+        shm.stage("d", MiB(1))
+        shm.attach("wf", "d")
+        with pytest.raises(Exception):
+            shm.attach("wf", "d")
+
+    def test_detach_all(self, shm):
+        shm.stage("a", MiB(1), owner="wf")
+        shm.stage("b", MiB(1), owner="wf")
+        assert shm.detach_all("wf") == 2
+        assert shm.attachments_of("wf") == ()
+
+    def test_attachments_of(self, shm):
+        shm.stage("a", MiB(1), owner="wf")
+        handles = shm.attachments_of("wf")
+        assert len(handles) == 1
+        assert handles[0].name == "a"
+
+
+class TestLocality:
+    def test_first_access_populates_node_cache(self, shm):
+        shm.stage("img", MiB(4))
+        assert shm.note_access(0, "img") is False  # miss, now cached
+        assert shm.is_cached_on(0, "img")
+        assert shm.note_access(0, "img") is True  # hit
+        assert shm.cache_hits == 1
+
+    def test_caches_are_per_node(self, shm):
+        shm.stage("img", MiB(4))
+        shm.note_access(0, "img")
+        assert not shm.is_cached_on(1, "img")
+
+    def test_cache_invalidated_on_free(self, shm):
+        shm.stage("img", MiB(4), owner="wf")
+        shm.note_access(0, "img")
+        shm.detach("wf", "img")
+        assert not shm.is_cached_on(0, "img")
+
+    def test_access_requires_staged(self, shm):
+        with pytest.raises(Exception):
+            shm.note_access(0, "nope")

@@ -1,0 +1,130 @@
+"""Discrete-event engine tests: ordering, cancellation, run semantics."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+from repro.util.errors import SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, engine):
+        fired = []
+        engine.schedule(2.0, lambda: fired.append("b"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(3.0, lambda: fired.append("c"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self, engine):
+        fired = []
+        for tag in "abc":
+            engine.schedule(1.0, lambda t=tag: fired.append(t))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self, engine):
+        seen = []
+        engine.schedule(5.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [5.0]
+        assert engine.now == 5.0
+
+    def test_schedule_at_absolute(self, engine):
+        engine.schedule_at(4.0, lambda: None)
+        engine.run()
+        assert engine.now == 4.0
+
+    def test_cannot_schedule_in_past(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(0.5, lambda: None)
+
+    def test_cannot_schedule_nan_or_inf(self, engine):
+        with pytest.raises(SimulationError):
+            engine.schedule_at(float("nan"), lambda: None)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(float("inf"), lambda: None)
+
+    def test_events_scheduled_during_run_fire(self, engine):
+        fired = []
+
+        def first():
+            engine.schedule(1.0, lambda: fired.append("second"))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert fired == ["second"]
+        assert engine.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, engine):
+        fired = []
+        ev = engine.schedule(1.0, lambda: fired.append("x"))
+        engine.cancel(ev)
+        engine.run()
+        assert fired == []
+
+    def test_cancel_none_is_noop(self, engine):
+        engine.cancel(None)
+
+    def test_cancel_counts(self, engine):
+        ev = engine.schedule(1.0, lambda: None)
+        engine.cancel(ev)
+        engine.cancel(ev)  # double-cancel is harmless
+        assert engine.events_cancelled == 1
+
+    def test_pending_excludes_cancelled(self, engine):
+        ev = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.cancel(ev)
+        assert engine.pending() == 1
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_bound(self, engine):
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(10))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        engine.run()
+        assert fired == [1, 10]
+
+    def test_run_max_events(self, engine):
+        fired = []
+        for i in range(5):
+            engine.schedule(i + 1.0, lambda i=i: fired.append(i))
+        engine.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_step_returns_false_when_empty(self, engine):
+        assert engine.step() is False
+
+    def test_run_is_not_reentrant(self, engine):
+        def evil():
+            engine.run()
+
+        engine.schedule(1.0, evil)
+        with pytest.raises(SimulationError, match="re-entrant"):
+            engine.run()
+
+    def test_peek_time(self, engine):
+        assert engine.peek_time() is None
+        engine.schedule(3.0, lambda: None)
+        assert engine.peek_time() == 3.0
+
+    def test_events_fired_counter(self, engine):
+        for _ in range(3):
+            engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.events_fired == 3
+
+    def test_custom_start_time(self):
+        eng = SimulationEngine(start_time=100.0)
+        assert eng.now == 100.0
+        eng.schedule(1.0, lambda: None)
+        eng.run()
+        assert eng.now == 101.0

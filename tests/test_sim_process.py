@@ -1,0 +1,108 @@
+"""PeriodicProcess and RateTracker tests, including a hypothesis check
+that piecewise-constant rate integration conserves work."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.process import PeriodicProcess, RateTracker
+from repro.util.errors import SimulationError
+
+
+class TestPeriodicProcess:
+    def test_ticks_at_interval(self, engine):
+        times = []
+        p = PeriodicProcess(engine, 2.0, lambda now: times.append(now))
+        p.start()
+        engine.run(until=7.0)
+        assert times == [2.0, 4.0, 6.0]
+        assert p.ticks == 3
+
+    def test_stop_ends_ticks(self, engine):
+        times = []
+        p = PeriodicProcess(engine, 1.0, lambda now: times.append(now))
+        p.start()
+        engine.run(until=2.5)
+        p.stop()
+        engine.run(until=10.0)
+        assert times == [1.0, 2.0]
+        assert not p.running
+
+    def test_double_start_rejected(self, engine):
+        p = PeriodicProcess(engine, 1.0, lambda now: None)
+        p.start()
+        with pytest.raises(SimulationError):
+            p.start()
+
+    def test_callback_can_stop_self(self, engine):
+        p = PeriodicProcess(engine, 1.0, lambda now: p.stop())
+        p.start()
+        engine.run(until=5.0)
+        assert p.ticks == 1
+
+    def test_invalid_interval(self, engine):
+        with pytest.raises(Exception):
+            PeriodicProcess(engine, 0.0, lambda now: None)
+
+
+class TestRateTracker:
+    def test_drains_at_rate(self):
+        t = RateTracker(10.0)
+        t.set_rate(0.0, 2.0)
+        assert t.projected_finish(0.0) == pytest.approx(5.0)
+
+    def test_rate_change_mid_flight(self):
+        t = RateTracker(10.0)
+        t.set_rate(0.0, 1.0)
+        t.set_rate(5.0, 0.5)  # 5 units done, 5 left at half speed
+        assert t.projected_finish(5.0) == pytest.approx(15.0)
+
+    def test_zero_rate_stalls(self):
+        t = RateTracker(10.0)
+        t.set_rate(0.0, 0.0)
+        assert t.projected_finish(1.0) is None
+        assert t.progress_to(100.0) == 10.0
+
+    def test_done_flag(self):
+        t = RateTracker(1.0)
+        t.set_rate(0.0, 1.0)
+        t.progress_to(2.0)
+        assert t.done
+        assert t.projected_finish(2.0) == 2.0
+
+    def test_time_cannot_go_backwards(self):
+        t = RateTracker(10.0)
+        t.set_rate(5.0, 1.0)
+        with pytest.raises(SimulationError):
+            t.progress_to(4.0)
+
+    def test_negative_rate_rejected(self):
+        t = RateTracker(1.0)
+        with pytest.raises(Exception):
+            t.set_rate(0.0, -1.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=5.0),   # dt
+                st.floats(min_value=0.0, max_value=4.0),    # rate
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_work_conservation(self, segments):
+        """Drained work equals the integral of rate over time."""
+        total = 1000.0
+        t = RateTracker(total)
+        now = 0.0
+        drained = 0.0
+        rate = 0.0
+        for dt, new_rate in segments:
+            before = t.progress_to(now)
+            t.set_rate(now, new_rate)
+            now += dt
+            rate = new_rate
+            drained = min(total, drained + dt * rate)
+        remaining = t.progress_to(now)
+        assert remaining == pytest.approx(total - drained, abs=1e-6)

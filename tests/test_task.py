@@ -1,0 +1,134 @@
+"""TaskSpec / TaskPhase validation and derived-quantity tests."""
+
+import pytest
+
+from repro.core.flags import MemFlag
+from repro.util.errors import ConfigurationError
+from repro.util.units import GBps, MiB
+from repro.workflows.task import DynamicRequest, TaskPhase, TaskSpec, WorkloadClass
+
+from conftest import simple_task
+
+
+def phase(**kw):
+    defaults = dict(
+        name="p", base_time=10.0, compute_frac=0.5, lat_frac=0.3, bw_frac=0.2
+    )
+    defaults.update(kw)
+    return TaskPhase(**defaults)
+
+
+class TestTaskPhase:
+    def test_valid(self):
+        p = phase()
+        assert p.ideal_time == 10.0
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError, match="sum to 1"):
+            phase(compute_frac=0.5, lat_frac=0.5, bw_frac=0.5)
+
+    def test_negative_base_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            phase(base_time=0.0)
+
+    def test_touched_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            phase(touched_fraction=1.5)
+
+    def test_dynamic_request_validation(self):
+        with pytest.raises(ConfigurationError):
+            DynamicRequest(0)
+
+
+class TestTaskSpec:
+    def test_wss_cannot_exceed_footprint(self):
+        with pytest.raises(ConfigurationError):
+            TaskSpec(
+                name="t",
+                wclass=WorkloadClass.GENERIC,
+                footprint=MiB(1),
+                wss=MiB(2),
+                phases=(phase(),),
+            )
+
+    def test_needs_phases(self):
+        with pytest.raises(ConfigurationError):
+            TaskSpec(
+                name="t",
+                wclass=WorkloadClass.GENERIC,
+                footprint=MiB(1),
+                wss=MiB(1),
+                phases=(),
+            )
+
+    def test_ideal_duration_sums_phases(self):
+        spec = simple_task(n_phases=3, base_time=5.0)
+        assert spec.ideal_duration == 15.0
+
+    def test_max_footprint_includes_dynamic(self):
+        p = phase(allocate=DynamicRequest(MiB(2)))
+        spec = TaskSpec(
+            name="t",
+            wclass=WorkloadClass.GENERIC,
+            footprint=MiB(4),
+            wss=MiB(2),
+            phases=(p,),
+        )
+        assert spec.max_footprint == MiB(6)
+
+    def test_effective_flags_fall_back_to_class(self):
+        spec = simple_task(wclass=WorkloadClass.DM)
+        assert spec.effective_flags == MemFlag.LAT | MemFlag.SHL
+
+    def test_explicit_flags_win(self):
+        spec = simple_task(wclass=WorkloadClass.DM, flags=MemFlag.CAP)
+        assert spec.effective_flags is MemFlag.CAP
+
+    def test_with_name(self):
+        spec = simple_task()
+        assert spec.with_name("other").name == "other"
+
+    def test_with_flags_normalises(self):
+        spec = simple_task().with_flags([MemFlag.LAT, MemFlag.BW])
+        assert spec.flags == MemFlag.LAT | MemFlag.BW
+
+
+class TestScaled:
+    def test_footprint_scales(self):
+        spec = simple_task(footprint=MiB(8))
+        assert spec.scaled(0.5).footprint == MiB(4)
+
+    def test_durations_do_not_scale(self):
+        spec = simple_task(base_time=10.0)
+        assert spec.scaled(0.25).ideal_duration == spec.ideal_duration
+
+    def test_dynamic_requests_scale(self):
+        p = phase(allocate=DynamicRequest(MiB(4)))
+        spec = TaskSpec(
+            name="t",
+            wclass=WorkloadClass.GENERIC,
+            footprint=MiB(8),
+            wss=MiB(4),
+            phases=(p,),
+        )
+        scaled = spec.scaled(0.5)
+        assert scaled.phases[0].allocate.nbytes == MiB(2)
+
+    def test_never_scales_to_zero(self):
+        spec = simple_task(footprint=MiB(1))
+        assert spec.scaled(1e-9).footprint >= 1
+
+
+class TestWorkloadClassDefaults:
+    @pytest.mark.parametrize(
+        "cls,expected",
+        [
+            (WorkloadClass.DL, MemFlag.BW | MemFlag.CAP),
+            (WorkloadClass.DM, MemFlag.LAT | MemFlag.SHL),
+            (WorkloadClass.DC, MemFlag.BW | MemFlag.CAP),
+            (WorkloadClass.SC, MemFlag.CAP),
+            (WorkloadClass.GENERIC, MemFlag.NONE),
+        ],
+    )
+    def test_default_flags(self, cls, expected):
+        assert cls.default_flags == expected

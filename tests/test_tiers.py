@@ -1,0 +1,111 @@
+"""Tier-spec tests."""
+
+import pytest
+
+from repro.memory.tiers import (
+    CXL,
+    DRAM,
+    MEMORY_TIERS,
+    NUM_TIERS,
+    PMEM,
+    SWAP,
+    TierKind,
+    TierSpec,
+    constrained_tier_specs,
+    default_tier_specs,
+    ideal_tier_specs,
+)
+from repro.util.errors import ConfigurationError
+from repro.util.units import GBps, GiB, TiB, ns
+
+
+class TestTierKind:
+    def test_indices_are_stable(self):
+        assert int(DRAM) == 0
+        assert int(PMEM) == 1
+        assert int(CXL) == 2
+        assert int(SWAP) == 3
+
+    def test_num_tiers(self):
+        assert NUM_TIERS == 4
+
+    def test_memory_tiers_exclude_swap(self):
+        assert SWAP not in MEMORY_TIERS
+        assert MEMORY_TIERS == (DRAM, PMEM, CXL)
+
+
+class TestTierSpec:
+    def test_valid_spec(self):
+        s = TierSpec(DRAM, GiB(1), ns(80), GBps(100), GBps(80))
+        assert s.name == "dram"
+        assert s.byte_addressable
+
+    def test_blended_bandwidth(self):
+        s = TierSpec(DRAM, GiB(1), ns(80), GBps(90), GBps(30))
+        assert s.bandwidth == pytest.approx(GBps(70))
+
+    def test_zero_capacity_allowed(self):
+        s = TierSpec(PMEM, 0, ns(300), GBps(30), GBps(8))
+        assert s.capacity == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TierSpec(DRAM, -1, ns(80), GBps(100), GBps(80))
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TierSpec(DRAM, GiB(1), 0.0, GBps(100), GBps(80))
+
+    def test_with_capacity_copies(self):
+        s = TierSpec(CXL, GiB(1), ns(140), GBps(30), GBps(25))
+        s2 = s.with_capacity(GiB(2))
+        assert s2.capacity == GiB(2)
+        assert s.capacity == GiB(1)
+        assert s2.latency == s.latency
+
+
+class TestDefaultSpecs:
+    def test_covers_all_tiers(self):
+        specs = default_tier_specs()
+        assert set(specs) == set(TierKind)
+
+    def test_testbed_latencies(self):
+        specs = default_tier_specs()
+        assert specs[DRAM].latency == pytest.approx(ns(80))
+        assert specs[CXL].latency == pytest.approx(ns(140))
+
+    def test_latency_ordering(self):
+        specs = default_tier_specs()
+        assert specs[DRAM].latency < specs[CXL].latency < specs[PMEM].latency
+        assert specs[PMEM].latency < specs[SWAP].latency
+
+    def test_paper_capacities(self):
+        specs = default_tier_specs()
+        assert specs[DRAM].capacity == GiB(512)
+        assert specs[PMEM].capacity == TiB(1)
+
+    def test_cxl_effectively_unlimited(self):
+        specs = default_tier_specs()
+        assert specs[CXL].capacity >= TiB(32)
+
+    def test_swap_not_byte_addressable(self):
+        assert not default_tier_specs()[SWAP].byte_addressable
+
+
+class TestConstrainedSpecs:
+    def test_cbe_has_no_tiered_memory(self):
+        specs = constrained_tier_specs(GiB(64))
+        assert specs[PMEM].capacity == 0
+        assert specs[CXL].capacity == 0
+        assert specs[DRAM].capacity == GiB(64)
+        assert specs[SWAP].capacity > 0
+
+    def test_tme_keeps_requested_tiers(self):
+        specs = constrained_tier_specs(GiB(64), pmem_capacity=GiB(128), cxl_capacity=TiB(1))
+        assert specs[PMEM].capacity == GiB(128)
+        assert specs[CXL].capacity == TiB(1)
+
+    def test_ideal_specs_large_dram(self):
+        specs = ideal_tier_specs()
+        assert specs[DRAM].capacity == TiB(8)
+        assert specs[CXL].capacity == 0

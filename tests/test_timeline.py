@@ -1,0 +1,80 @@
+"""UtilizationSampler tests."""
+
+import numpy as np
+import pytest
+
+from repro.memory.system import NodeMemorySystem
+from repro.memory.tiers import CXL, DRAM
+from repro.metrics.timeline import UtilizationSampler
+from repro.sim.engine import SimulationEngine
+from repro.util.units import MiB
+
+from conftest import CHUNK, make_pageset, small_specs
+
+
+@pytest.fixture
+def setup():
+    engine = SimulationEngine()
+    nodes = [NodeMemorySystem(small_specs(), f"n{i}") for i in range(2)]
+    sampler = UtilizationSampler(engine, nodes, interval=1.0)
+    return engine, nodes, sampler
+
+
+class TestSampling:
+    def test_samples_at_interval(self, setup):
+        engine, nodes, sampler = setup
+        sampler.start()
+        engine.run(until=5.5)
+        assert sampler.n_samples == 5
+        times, data = sampler.as_arrays()
+        assert list(times) == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert data.shape == (5, 2, 4)
+
+    def test_captures_residency_changes(self, setup):
+        engine, nodes, sampler = setup
+        sampler.start()
+        ps = make_pageset(nodes[0], "a", MiB(2))
+
+        def place():
+            nodes[0].place(ps, np.arange(ps.n_chunks), DRAM)
+
+        engine.schedule(2.5, place)
+        engine.run(until=5.5)
+        series = sampler.cluster_series(DRAM)
+        assert series[0] == 0 and series[1] == 0
+        assert series[2] == MiB(2) and series[4] == MiB(2)
+
+    def test_peak_and_mean(self, setup):
+        engine, nodes, sampler = setup
+        sampler.start()
+        ps = make_pageset(nodes[1], "a", MiB(1))
+        nodes[1].place(ps, np.arange(ps.n_chunks), DRAM)
+        engine.run(until=3.5)
+        assert sampler.peak(DRAM) == MiB(1)
+        assert 0 < sampler.mean_utilization(DRAM) <= 1
+
+    def test_empty_sampler(self, setup):
+        _, _, sampler = setup
+        assert sampler.n_samples == 0
+        assert sampler.peak(CXL) == 0
+        assert sampler.mean_utilization(DRAM) == 0.0
+
+    def test_stop_halts_sampling(self, setup):
+        engine, _, sampler = setup
+        sampler.start()
+        engine.run(until=2.5)
+        sampler.stop()
+        engine.run(until=10.0)
+        assert sampler.n_samples == 2
+
+    def test_environment_integration(self):
+        from repro.envs.environments import EnvKind, make_environment
+        from conftest import simple_task
+
+        env = make_environment(EnvKind.IMME, dram_capacity=MiB(16), chunk_size=CHUNK)
+        sampler = UtilizationSampler(env.engine, env.topology.nodes, interval=0.5)
+        sampler.start()
+        env.run_batch([simple_task("t", footprint=MiB(2), base_time=3.0)])
+        sampler.stop()
+        assert sampler.peak(DRAM) > 0
+        env.stop()

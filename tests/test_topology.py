@@ -1,0 +1,80 @@
+"""SharedCXLPool and MemoryTopology tests."""
+
+import pytest
+
+from repro.memory.topology import MemoryTopology, SharedCXLPool
+from repro.util.errors import AllocationError
+from repro.util.units import MiB
+
+from conftest import small_specs
+
+
+class TestSharedCXLPool:
+    def test_stage_new_region(self):
+        pool = SharedCXLPool(MiB(64))
+        assert pool.stage("img", MiB(4)) is True
+        assert pool.contains("img")
+        assert pool.used == MiB(4)
+        assert pool.refcount("img") == 1
+
+    def test_stage_existing_is_cache_hit(self):
+        pool = SharedCXLPool(MiB(64))
+        pool.stage("img", MiB(4))
+        assert pool.stage("img", MiB(4)) is False
+        assert pool.used == MiB(4)  # no double accounting
+        assert pool.refcount("img") == 2
+
+    def test_capacity_enforced(self):
+        pool = SharedCXLPool(MiB(4))
+        with pytest.raises(AllocationError):
+            pool.stage("big", MiB(8))
+
+    def test_acquire_release_refcounting(self):
+        pool = SharedCXLPool(MiB(64))
+        pool.stage("r", MiB(1))
+        pool.acquire("r")
+        assert pool.release("r") is False  # one ref remains
+        assert pool.release("r") is True   # freed
+        assert not pool.contains("r")
+        assert pool.used == 0
+
+    def test_release_unknown_rejected(self):
+        pool = SharedCXLPool(MiB(64))
+        with pytest.raises(Exception):
+            pool.release("nope")
+
+    def test_acquire_unknown_rejected(self):
+        pool = SharedCXLPool(MiB(64))
+        with pytest.raises(Exception):
+            pool.acquire("nope")
+
+    def test_region_bytes(self):
+        pool = SharedCXLPool(MiB(64))
+        pool.stage("r", MiB(2))
+        assert pool.region_bytes("r") == MiB(2)
+        assert pool.region_bytes("other") == 0
+
+    def test_len(self):
+        pool = SharedCXLPool(MiB(64))
+        pool.stage("a", MiB(1))
+        pool.stage("b", MiB(1))
+        assert len(pool) == 2
+
+
+class TestMemoryTopology:
+    def test_builds_n_nodes(self):
+        topo = MemoryTopology(4, small_specs())
+        assert len(topo) == 4
+        assert topo.node(2).node_id == "node2"
+
+    def test_nodes_are_independent(self):
+        topo = MemoryTopology(2, small_specs())
+        assert topo.node(0) is not topo.node(1)
+
+    def test_validate_walks_nodes(self):
+        topo = MemoryTopology(2, small_specs())
+        topo.validate()  # fresh topology is consistent
+
+    def test_requires_at_least_one_node(self):
+        with pytest.raises(Exception):
+            MemoryTopology(0, small_specs())

@@ -1,0 +1,88 @@
+"""Tracer and trace-integration tests."""
+
+import json
+
+import pytest
+
+from repro.memory.system import NodeMemorySystem
+from repro.policies.linux import LinuxSwapPolicy
+from repro.runtime.node_agent import NodeAgent
+from repro.sim.trace import TraceEvent, Tracer
+from repro.util.units import MiB
+
+from conftest import CHUNK, simple_task, small_specs
+
+
+class TestTracer:
+    def test_emit_and_query(self):
+        tr = Tracer()
+        tr.emit(1.0, "task", "a", event="started")
+        tr.emit(2.0, "task", "b", event="started")
+        tr.emit(3.0, "daemon", "n0", migrated_bytes=42)
+        assert len(tr) == 3
+        assert [e.subject for e in tr.events("task")] == ["a", "b"]
+        assert tr.events("task", subject="b")[0].time == 2.0
+        assert tr.events("daemon")[0].data["migrated_bytes"] == 42
+
+    def test_category_filter_drops_at_emit(self):
+        tr = Tracer(categories=["task"])
+        tr.emit(1.0, "task", "a")
+        tr.emit(1.0, "daemon", "n0")
+        assert len(tr) == 1
+        assert not tr.wants("daemon")
+
+    def test_capacity_ring_buffer(self):
+        tr = Tracer(capacity=2)
+        for i in range(5):
+            tr.emit(float(i), "x", f"s{i}")
+        assert len(tr) == 2
+        assert tr.dropped == 3
+        assert tr.events()[0].subject == "s3"
+
+    def test_jsonl_roundtrip(self):
+        tr = Tracer()
+        tr.emit(1.5, "task", "a", event="started", node="n0")
+        line = tr.to_jsonl()
+        payload = json.loads(line)
+        assert payload == {"t": 1.5, "cat": "task", "subj": "a", "event": "started", "node": "n0"}
+
+    def test_write_jsonl(self, tmp_path):
+        tr = Tracer()
+        tr.emit(1.0, "a", "b")
+        tr.emit(2.0, "a", "c")
+        path = tmp_path / "trace.jsonl"
+        tr.write_jsonl(str(path))
+        assert len(path.read_text().strip().splitlines()) == 2
+
+    def test_clear(self):
+        tr = Tracer()
+        tr.emit(1.0, "a", "b")
+        tr.clear()
+        assert len(tr) == 0
+
+
+class TestRuntimeTracing:
+    def test_task_lifecycle_traced(self, engine, metrics):
+        tracer = Tracer()
+        node = NodeMemorySystem(small_specs(dram=MiB(8)), "n0")
+        agent = NodeAgent(
+            engine, node, LinuxSwapPolicy(scan_noise=0.0), metrics,
+            cores=4, chunk_size=CHUNK, tracer=tracer,
+        )
+        agent.start_task(simple_task("t", footprint=MiB(1), base_time=3.0, n_phases=2))
+        engine.run(until=100.0)
+        task_events = [e.data["event"] for e in tracer.events("task", subject="t")]
+        assert task_events == ["started", "finished"]
+        phases = tracer.events("phase", subject="t")
+        assert [e.data["index"] for e in phases] == [0, 1]
+        assert len(tracer.events("daemon")) > 0
+
+    def test_no_tracer_is_silent(self, engine, metrics):
+        node = NodeMemorySystem(small_specs(dram=MiB(8)), "n0")
+        agent = NodeAgent(
+            engine, node, LinuxSwapPolicy(scan_noise=0.0), metrics,
+            cores=4, chunk_size=CHUNK,
+        )
+        agent.start_task(simple_task("t", footprint=MiB(1), base_time=1.0))
+        engine.run(until=10.0)  # simply must not crash
+        assert metrics.get("t").done

@@ -1,0 +1,104 @@
+"""Unit-helper tests: conversions are exact and formatting is sane."""
+
+import pytest
+
+from repro.util.units import (
+    GB,
+    KB,
+    MB,
+    TB,
+    GBps,
+    GiB,
+    KiB,
+    MBps,
+    MiB,
+    TiB,
+    bytes_to_human,
+    ms,
+    ns,
+    seconds,
+    time_to_human,
+    us,
+)
+
+
+class TestBinarySizes:
+    def test_kib(self):
+        assert KiB(1) == 1024
+
+    def test_mib(self):
+        assert MiB(1) == 1024**2
+
+    def test_gib(self):
+        assert GiB(1) == 1024**3
+
+    def test_tib(self):
+        assert TiB(1) == 1024**4
+
+    def test_fractional_sizes_truncate_to_int(self):
+        assert KiB(1.5) == 1536
+        assert isinstance(KiB(1.5), int)
+
+    def test_ordering(self):
+        assert KiB(1) < MiB(1) < GiB(1) < TiB(1)
+
+
+class TestDecimalSizes:
+    def test_kb_mb_gb_tb(self):
+        assert KB(1) == 1_000
+        assert MB(1) == 1_000_000
+        assert GB(1) == 1_000_000_000
+        assert TB(1) == 1_000_000_000_000
+
+    def test_decimal_smaller_than_binary(self):
+        assert GB(1) < GiB(1)
+
+
+class TestTime:
+    def test_ns(self):
+        assert ns(80) == pytest.approx(80e-9)
+
+    def test_us(self):
+        assert us(90) == pytest.approx(90e-6)
+
+    def test_ms(self):
+        assert ms(1.5) == pytest.approx(1.5e-3)
+
+    def test_seconds_identity(self):
+        assert seconds(3) == 3.0
+        assert isinstance(seconds(3), float)
+
+
+class TestBandwidth:
+    def test_gbps(self):
+        assert GBps(100) == pytest.approx(100e9)
+
+    def test_mbps(self):
+        assert MBps(1) == pytest.approx(1e6)
+
+    def test_transfer_time_roundtrip(self):
+        # 1 GiB over 1 GB/s is just over a second
+        assert GiB(1) / GBps(1) == pytest.approx(1.0737, rel=1e-3)
+
+
+class TestHumanFormatting:
+    def test_bytes_human_gib(self):
+        assert bytes_to_human(GiB(512)) == "512.0 GiB"
+
+    def test_bytes_human_small(self):
+        assert bytes_to_human(512) == "512 B"
+
+    def test_bytes_human_negative(self):
+        assert bytes_to_human(-MiB(2)).startswith("-2.0")
+
+    def test_time_human_seconds(self):
+        assert time_to_human(2.5) == "2.50 s"
+
+    def test_time_human_ms(self):
+        assert time_to_human(0.0015) == "1.50 ms"
+
+    def test_time_human_us(self):
+        assert time_to_human(15e-6) == "15.00 us"
+
+    def test_time_human_ns(self):
+        assert time_to_human(80e-9) == "80.0 ns"

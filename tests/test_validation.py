@@ -1,0 +1,74 @@
+"""Validation-helper tests."""
+
+import pytest
+
+from repro.util.errors import ConfigurationError
+from repro.util.validation import (
+    check_fraction,
+    check_in,
+    check_non_negative,
+    check_positive,
+    check_probabilities,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never raised")
+
+    def test_raises(self):
+        with pytest.raises(ConfigurationError, match="boom"):
+            require(False, "boom")
+
+
+class TestCheckPositive:
+    def test_returns_value(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.001])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError, match="x must be > 0"):
+            check_positive(bad, "x")
+
+
+class TestCheckNonNegative:
+    def test_zero_ok(self):
+        assert check_non_negative(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative(-1e-9, "x")
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts(self, ok):
+        assert check_fraction(ok, "f") == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 2])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_fraction(bad, "f")
+
+
+class TestCheckIn:
+    def test_accepts_member(self):
+        assert check_in("a", ("a", "b"), "opt") == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ConfigurationError):
+            check_in("c", ("a", "b"), "opt")
+
+
+class TestCheckProbabilities:
+    def test_accepts_distribution(self):
+        assert check_probabilities([0.25, 0.75], "p") == (0.25, 0.75)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_probabilities([-0.1, 1.1], "p")
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ConfigurationError):
+            check_probabilities([0.3, 0.3], "p")
