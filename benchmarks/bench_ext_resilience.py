@@ -1,0 +1,24 @@
+"""Extension bench — survival under an injected fault schedule.
+
+The chaos companion to ``bench_ext_failures``: the same memory-capped
+ensemble runs through a registry outage, a straggler, a degraded PMem
+device, a node crash, and a CXL link flap.  The recovery paths (requeue
+with backoff, tier evacuation, pull retry/fallback) must carry IMME's
+workflows through while CBE/TME still lose theirs to the OOM killer.
+"""
+
+from repro.experiments import run_resilience
+
+
+def test_resilience(run_once):
+    r = run_once(run_resilience)
+    # every fault fires and every recovery is accounted
+    assert r.value("IMME", "faults") > 0.0
+    assert r.value("IMME", "mttr (s)") > 0.0
+    # IMME survives the chaos at least as well as the baselines
+    imme = r.value("IMME", "completed")
+    assert imme >= r.value("CBE", "completed")
+    assert imme >= r.value("TME", "completed")
+    # and loses nothing: faults are recovered, only OOM kills are terminal
+    assert r.value("IMME", "failed") == 0.0
+    assert r.value("CBE", "failed") > 0.0

@@ -17,7 +17,7 @@ simulation of tiered-memory HPC clusters.  Public entry points:
 from importlib import import_module
 from typing import TYPE_CHECKING
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 _EXPORTS = {
     # environments
@@ -52,9 +52,15 @@ _EXPORTS = {
     "SlurmScheduler": "repro.scheduler",
     "NodeAgent": "repro.runtime",
     "WorkflowManager": "repro.wms",
+    # fault injection
+    "FaultInjector": "repro.faults",
+    "FaultKind": "repro.faults",
+    "FaultSchedule": "repro.faults",
+    "FaultSpec": "repro.faults",
     # metrics
     "MetricsRegistry": "repro.metrics",
     "TaskMetrics": "repro.metrics",
+    "FaultStats": "repro.metrics",
     # sim
     "SimulationEngine": "repro.sim",
 }
@@ -85,6 +91,7 @@ if TYPE_CHECKING:  # pragma: no cover - static typing only
         TieredMemoryManager,
     )
     from .envs import EnvKind, Environment, EnvironmentConfig, make_environment  # noqa: F401
+    from .faults import FaultInjector, FaultKind, FaultSchedule, FaultSpec  # noqa: F401
     from .memory import (  # noqa: F401
         MemoryTopology,
         NodeMemorySystem,
@@ -93,7 +100,7 @@ if TYPE_CHECKING:  # pragma: no cover - static typing only
         TierSpec,
         default_tier_specs,
     )
-    from .metrics import MetricsRegistry, TaskMetrics  # noqa: F401
+    from .metrics import FaultStats, MetricsRegistry, TaskMetrics  # noqa: F401
     from .runtime import NodeAgent  # noqa: F401
     from .scheduler import SlurmScheduler  # noqa: F401
     from .sim import SimulationEngine  # noqa: F401

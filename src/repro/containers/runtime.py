@@ -22,8 +22,9 @@ from ..core.sharing import SharedMemoryManager
 from ..sim.engine import SimulationEngine
 from ..sim.events import Event
 from ..sim.process import RateTracker
+from ..util.errors import ContainerError
 from ..util.units import GBps
-from ..util.validation import check_non_negative, check_positive, require
+from ..util.validation import check_fraction, check_non_negative, check_positive, require
 from .image import ImageRegistry
 
 __all__ = ["NetworkFabric", "ContainerRuntime"]
@@ -97,20 +98,40 @@ class ContainerRuntime:
         shared_memory: Optional[SharedMemoryManager] = None,
         cxl_read_bandwidth: float = GBps(30.0),
         instantiation_time: float = 0.5,
+        max_pull_retries: int = 3,
+        pull_retry_backoff: float = 2.0,
+        metrics=None,
     ) -> None:
         check_positive(n_nodes, "n_nodes")
         check_positive(cxl_read_bandwidth, "cxl_read_bandwidth")
         check_non_negative(instantiation_time, "instantiation_time")
+        require(max_pull_retries >= 0, "max_pull_retries must be >= 0")
+        check_non_negative(pull_retry_backoff, "pull_retry_backoff")
         self.engine = engine
         self.registry = registry
         self.fabric = fabric
         self.shared_memory = shared_memory
         self.cxl_read_bandwidth = float(cxl_read_bandwidth)
         self.instantiation_time = float(instantiation_time)
+        self.max_pull_retries = int(max_pull_retries)
+        self.pull_retry_backoff = float(pull_retry_backoff)
+        #: optional :class:`~repro.metrics.collector.MetricsRegistry` whose
+        #: ``faults`` counters mirror the retry/fallback activity
+        self.metrics = metrics
         self._node_caches: list[set[str]] = [set() for _ in range(n_nodes)]
+        #: per-node shared-CXL link health; a flapped link falls back to
+        #: network pulls until restored
+        self._node_cxl_ok = [True] * n_nodes
+        #: registry failure injection: probability a finished network pull
+        #: turns out corrupt/refused and must be retried
+        self.pull_failure_prob = 0.0
+        self._pull_rng = None
         self.cache_hits = 0
         self.cxl_reads = 0
         self.network_pulls = 0
+        self.pull_retries = 0
+        self.pull_fallbacks = 0
+        self.failed_pulls = 0
 
     # ------------------------------------------------------------------ #
     def stage_image(self, name: str) -> None:
@@ -124,9 +145,52 @@ class ContainerRuntime:
     def is_cached(self, node_index: int, name: str) -> bool:
         return name in self._node_caches[node_index]
 
-    def prepare(self, node_index: int, image_name: str, on_ready: Callable[[], None]) -> None:
+    # ------------------------------------------------------------------ #
+    # fault knobs (driven by the injector)
+    # ------------------------------------------------------------------ #
+    def set_node_cxl(self, node_index: int, ok: bool) -> None:
+        """Mark node ``node_index``'s shared-CXL link up/down; while down,
+        staged images degrade to network pulls."""
+        self._node_cxl_ok[node_index] = bool(ok)
+
+    def set_pull_failures(self, prob: float, rng=None) -> None:
+        """Make network pulls fail with probability ``prob`` (0 disables)."""
+        check_fraction(prob, "prob")
+        self.pull_failure_prob = float(prob)
+        if rng is not None:
+            self._pull_rng = rng
+
+    def _record_fault(self, counter: str) -> None:
+        if self.metrics is not None:
+            stats = self.metrics.faults
+            setattr(stats, counter, getattr(stats, counter) + 1)
+
+    # ------------------------------------------------------------------ #
+    def prepare(
+        self,
+        node_index: int,
+        image_name: str,
+        on_ready: Callable[[], None],
+        on_failed: Optional[Callable[[], None]] = None,
+    ) -> None:
         """Make ``image_name`` runnable on node ``node_index``; fires
-        ``on_ready`` after instantiation completes."""
+        ``on_ready`` after instantiation completes.
+
+        Transient pull failures are retried with exponential backoff up to
+        ``max_pull_retries`` times; if the budget is spent ``on_failed``
+        fires (or :class:`ContainerError` is raised when no handler was
+        given).
+        """
+        self._attempt(node_index, image_name, on_ready, on_failed, attempt=0)
+
+    def _attempt(
+        self,
+        node_index: int,
+        image_name: str,
+        on_ready: Callable[[], None],
+        on_failed: Optional[Callable[[], None]],
+        attempt: int,
+    ) -> None:
         image = self.registry.get(image_name)
 
         def instantiate() -> None:
@@ -137,7 +201,8 @@ class ContainerRuntime:
             self.cache_hits += 1
             instantiate()
             return
-        if self.shared_memory is not None and self.shared_memory.pool.contains(image_name):
+        staged = self.shared_memory is not None and self.shared_memory.pool.contains(image_name)
+        if staged and self._node_cxl_ok[node_index]:
             # §III-C5: CXL-hosted image, read at CXL bandwidth, then cached
             # in the node's local buffers.
             self.cxl_reads += 1
@@ -145,5 +210,47 @@ class ContainerRuntime:
             duration = image.size / self.cxl_read_bandwidth
             self.engine.schedule(duration, instantiate, f"cxl-read.{image_name}")
             return
+        if staged:
+            # flapped CXL link: degrade to the slow path instead of failing
+            self.pull_fallbacks += 1
+            self._record_fault("pull_fallbacks")
         self.network_pulls += 1
-        self.fabric.transfer(image.size, instantiate)
+
+        def pulled() -> None:
+            if self._pull_should_fail():
+                self._retry(node_index, image_name, on_ready, on_failed, attempt)
+                return
+            instantiate()
+
+        self.fabric.transfer(image.size, pulled)
+
+    def _pull_should_fail(self) -> bool:
+        if self.pull_failure_prob <= 0.0 or self._pull_rng is None:
+            return False
+        return bool(self._pull_rng.random() < self.pull_failure_prob)
+
+    def _retry(
+        self,
+        node_index: int,
+        image_name: str,
+        on_ready: Callable[[], None],
+        on_failed: Optional[Callable[[], None]],
+        attempt: int,
+    ) -> None:
+        if attempt + 1 > self.max_pull_retries:
+            self.failed_pulls += 1
+            if on_failed is not None:
+                on_failed()
+                return
+            raise ContainerError(
+                f"image pull for {image_name!r} failed after "
+                f"{self.max_pull_retries} retries"
+            )
+        self.pull_retries += 1
+        self._record_fault("pull_retries")
+        delay = self.pull_retry_backoff * (2 ** attempt)
+        self.engine.schedule(
+            delay,
+            lambda: self._attempt(node_index, image_name, on_ready, on_failed, attempt + 1),
+            f"pull-retry.{image_name}",
+        )

@@ -139,8 +139,11 @@ class Environment:
             self.fabric,
             config.n_nodes,
             shared_memory=self.shared_memory,
+            metrics=self.metrics,
         )
         self.scheduler = SlurmScheduler(self.engine, self.agents, self.containers, self.metrics)
+        #: active fault injectors (see :meth:`inject_faults`)
+        self.injectors: list = []
 
     # ------------------------------------------------------------------ #
     @property
@@ -200,6 +203,28 @@ class Environment:
         self.scheduler.run_to_completion(max_time=max_time)
         return self.metrics
 
+    def inject_faults(
+        self, schedule, *, seed: int = 0, interval: float = 1.0, tracer=None
+    ):
+        """Attach a started :class:`~repro.faults.FaultInjector` for
+        ``schedule``; faults fire as the next run advances the clock."""
+        from ..faults.injector import FaultInjector
+
+        injector = FaultInjector(
+            self.engine,
+            self.agents,
+            self.scheduler,
+            self.containers,
+            self.metrics,
+            schedule,
+            seed=seed,
+            interval=interval,
+            tracer=tracer,
+        )
+        injector.start()
+        self.injectors.append(injector)
+        return injector
+
     def node_traffic(self) -> dict[str, int]:
         return MetricsRegistry.node_traffic(self.topology.nodes)
 
@@ -224,6 +249,8 @@ class Environment:
     def stop(self) -> None:
         for agent in self.agents:
             agent.stop()
+        for injector in self.injectors:
+            injector.stop()
 
 
 def make_environment(

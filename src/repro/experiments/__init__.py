@@ -13,6 +13,7 @@ from .ext_decomposition import run_decomposition
 from .ext_failures import run_failures
 from .ext_open_system import run_open_system
 from .ext_predictor import run_predictor_learning
+from .ext_resilience import run_resilience
 from .ext_shared_inputs import run_shared_inputs
 from .ext_utilization import run_utilization
 from .fig01_motivation import run_fig01
@@ -38,6 +39,7 @@ __all__ = [
     "run_failures",
     "run_open_system",
     "run_predictor_learning",
+    "run_resilience",
     "run_shared_inputs",
     "run_utilization",
     "run_fig01",

@@ -49,7 +49,7 @@ def run_failures(
             f"allocations (+{int(limit_margin * 100)}% margin), each requesting "
             "~25% extra memory mid-run"
         ),
-        xlabels=["completed", "oom-killed", "makespan (s)"],
+        xlabels=["completed", "oom-killed", "failed", "makespan (s)"],
     )
     for kind in (EnvKind.CBE, EnvKind.TME, EnvKind.IMME):
         env = make_environment(
@@ -58,8 +58,12 @@ def run_failures(
         metrics = env.run_batch(members, max_time=1e7)
         completed = len(metrics.completed())
         failed = len(metrics.failed())
-        makespan = metrics.makespan() if completed else float("nan")
-        result.add_series(kind.name, [float(completed), float(failed), makespan])
+        # oom-killed counts actual cgroup OOM kills; "failed" is any failure
+        oom_killed = metrics.total_oom_kills()
+        makespan = metrics.makespan() if completed else 0.0
+        result.add_series(
+            kind.name, [float(completed), float(oom_killed), float(failed), makespan]
+        )
         env.stop()
     result.notes.append(
         "CBE's expansions hit the container's fixed allocation (OOM kill); "

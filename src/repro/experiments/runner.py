@@ -25,6 +25,7 @@ from .ext_decomposition import run_decomposition
 from .ext_failures import run_failures
 from .ext_open_system import run_open_system
 from .ext_predictor import run_predictor_learning
+from .ext_resilience import run_resilience
 from .ext_shared_inputs import run_shared_inputs
 from .ext_utilization import run_utilization
 from .fig10_scalability import run_fig10
@@ -47,6 +48,7 @@ ALL_EXPERIMENTS: dict[str, Callable[[], FigureResult]] = {
     "fig11": run_fig11,
     "ext-shared-inputs": run_shared_inputs,
     "ext-failures": run_failures,
+    "ext-resilience": run_resilience,
     "ext-open-system": run_open_system,
     "ext-colocation": run_colocation,
     "ext-predictor": run_predictor_learning,

@@ -1,0 +1,6 @@
+"""Fault injection: declarative chaos schedules and their recovery paths."""
+
+from .injector import FaultInjector
+from .spec import FaultKind, FaultSchedule, FaultSpec
+
+__all__ = ["FaultInjector", "FaultKind", "FaultSchedule", "FaultSpec"]

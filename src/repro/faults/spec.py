@@ -1,0 +1,148 @@
+"""Declarative fault specifications.
+
+A fault schedule is data, not code: a sorted list of frozen
+:class:`FaultSpec` records saying *what* breaks, *where*, *when*, and for
+*how long*.  The :class:`~repro.faults.injector.FaultInjector` turns the
+schedule into simulation events; keeping the two separate makes chaos
+scenarios reviewable, serialisable, and — because random schedules are
+drawn from named :class:`~repro.util.rng.RngFactory` streams — exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional
+
+from ..memory.tiers import SWAP, TierKind
+from ..util.rng import RngFactory
+from ..util.validation import check_fraction, check_non_negative, require
+
+__all__ = ["FaultKind", "FaultSpec", "FaultSchedule"]
+
+
+class FaultKind(enum.Enum):
+    """The disturbance taxonomy the chaos harness knows how to inject."""
+
+    #: a whole node dies; running tasks are killed, memory is lost
+    NODE_CRASH = "node-crash"
+    #: a memory tier's device fails; pages evacuate to survivors
+    TIER_OFFLINE = "tier-offline"
+    #: a tier delivers only a fraction of its rated bandwidth
+    TIER_DEGRADED = "tier-degraded"
+    #: the node's shared-CXL link drops: local CXL pages evacuate and
+    #: staged images degrade to network pulls
+    CXL_LINK_FLAP = "cxl-link-flap"
+    #: the registry refuses/corrupts network pulls with some probability
+    IMAGE_PULL_FAILURE = "image-pull-failure"
+    #: one running task slows to a fraction of its normal progress rate
+    TASK_STRAGGLER = "task-straggler"
+
+
+#: kinds that need a ``tier`` operand
+_TIERED = (FaultKind.TIER_OFFLINE, FaultKind.TIER_DEGRADED)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled disturbance.
+
+    ``severity`` is kind-specific: the surviving bandwidth fraction for
+    ``TIER_DEGRADED``, the failure probability for ``IMAGE_PULL_FAILURE``,
+    and the surviving progress-rate fraction for ``TASK_STRAGGLER``.
+    ``node=None`` lets the injector pick a live node from its own stream.
+    """
+
+    kind: FaultKind
+    time: float
+    node: Optional[int] = None
+    tier: Optional[TierKind] = None
+    #: seconds until the matching recovery action fires
+    duration: float = 30.0
+    severity: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.time, "time")
+        check_non_negative(self.duration, "duration")
+        check_fraction(self.severity, "severity")
+        if self.kind in _TIERED:
+            require(self.tier is not None, f"{self.kind.value} needs a tier")
+            require(self.tier != SWAP, "swap cannot fail (it is the backstop)")
+
+    @property
+    def sort_key(self) -> tuple[float, str, float]:
+        return (self.time, self.kind.value, -1.0 if self.node is None else self.node)
+
+
+class FaultSchedule:
+    """An ordered collection of :class:`FaultSpec` records."""
+
+    def __init__(self, faults: Optional[list[FaultSpec]] = None) -> None:
+        self._faults: list[FaultSpec] = sorted(faults or [], key=lambda f: f.sort_key)
+
+    def add(self, fault: FaultSpec) -> "FaultSchedule":
+        self._faults.append(fault)
+        self._faults.sort(key=lambda f: f.sort_key)
+        return self
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self._faults)
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __getitem__(self, i: int) -> FaultSpec:
+        return self._faults[i]
+
+    def kinds(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self._faults:
+            out[f.kind.value] = out.get(f.kind.value, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def random(
+        cls,
+        *,
+        horizon: float,
+        n_nodes: int,
+        seed: int = 0,
+        rates: Mapping[FaultKind, float],
+        duration: float = 30.0,
+        severity: float = 0.5,
+        tier: TierKind = TierKind.CXL,
+    ) -> "FaultSchedule":
+        """Draw a Poisson fault schedule over ``[0, horizon)``.
+
+        ``rates`` maps each fault kind to its mean arrival rate in faults
+        per second; inter-arrival gaps are exponential, drawn from one
+        named stream per kind so adding a kind never perturbs the others.
+        """
+        require(horizon > 0, "horizon must be positive")
+        require(n_nodes > 0, "n_nodes must be positive")
+        factory = RngFactory(seed)
+        faults: list[FaultSpec] = []
+        for kind in sorted(rates, key=lambda k: k.value):
+            rate = rates[kind]
+            if rate <= 0:
+                continue
+            rng = factory.stream(f"faults.{kind.value}")
+            t = float(rng.exponential(1.0 / rate))
+            while t < horizon:
+                faults.append(
+                    FaultSpec(
+                        kind=kind,
+                        time=t,
+                        node=int(rng.integers(n_nodes)),
+                        tier=tier if kind in _TIERED else None,
+                        duration=duration,
+                        severity=severity,
+                    )
+                )
+                t += float(rng.exponential(1.0 / rate))
+        return cls(faults)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<FaultSchedule n={len(self._faults)} kinds={self.kinds()}>"

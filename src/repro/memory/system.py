@@ -20,9 +20,9 @@ from typing import Iterable, Optional
 import numpy as np
 
 from ..util.errors import AllocationError
-from ..util.validation import require
+from ..util.validation import check_fraction, require
 from .pageset import UNMAPPED, PageSet
-from .tiers import DRAM, NUM_TIERS, SWAP, TierKind, TierSpec
+from .tiers import DRAM, MEMORY_TIERS, NUM_TIERS, SWAP, TierKind, TierSpec
 
 __all__ = ["NodeMemorySystem", "MemoryTrafficStats"]
 
@@ -69,6 +69,12 @@ class NodeMemorySystem:
         )
         self._used = np.zeros(NUM_TIERS, dtype=np.int64)
         self._page_cache_used: int = 0
+        #: tiers whose device/link has failed; they report zero capacity
+        #: and refuse placements until brought back online
+        self._offline = np.zeros(NUM_TIERS, dtype=bool)
+        #: per-tier bandwidth multiplier (1.0 = healthy; a degraded CXL
+        #: link or PMem device delivers only a fraction of its rated BW)
+        self._bw_scale = np.ones(NUM_TIERS, dtype=np.float64)
         self._pagesets: dict[str, PageSet] = {}
         self.stats = MemoryTrafficStats()
         #: bytes migrated since the executor last sampled (for the
@@ -79,6 +85,8 @@ class NodeMemorySystem:
     # capacity queries
     # ------------------------------------------------------------------ #
     def capacity(self, tier: TierKind) -> int:
+        if self._offline[int(tier)]:
+            return 0
         return int(self._capacity[int(tier)])
 
     def used(self, tier: TierKind) -> int:
@@ -147,6 +155,8 @@ class NodeMemorySystem:
         require(bool(np.all(ps.tier[idx] == UNMAPPED)), "place() requires unmapped chunks")
         nbytes = int(idx.size) * ps.chunk_size
         t = int(tier)
+        if self._offline[t]:
+            raise AllocationError(f"node {self.node_id}: tier {tier.name} is offline")
         if self._capacity[t] - self._used[t] - (self._page_cache_used if tier == DRAM else 0) < nbytes:
             if tier == DRAM and self._capacity[t] - self._used[t] >= nbytes:
                 self._reclaim_page_cache(nbytes - (self._capacity[t] - self._used[t] - self._page_cache_used))
@@ -177,6 +187,8 @@ class NodeMemorySystem:
             return 0
         nbytes = int(moving.size) * ps.chunk_size
         d = int(dst)
+        if self._offline[d]:
+            raise AllocationError(f"node {self.node_id}: tier {dst.name} is offline")
         headroom = self._capacity[d] - self._used[d] - (self._page_cache_used if dst == DRAM else 0)
         if headroom < nbytes:
             if dst == DRAM and self._capacity[d] - self._used[d] >= nbytes:
@@ -267,6 +279,74 @@ class NodeMemorySystem:
         the overhead model can charge for it.
         """
         self.stats.compactions += 1
+
+    # ------------------------------------------------------------------ #
+    # tier faults (device failure / link degradation)
+    # ------------------------------------------------------------------ #
+    def tier_online(self, tier: TierKind) -> bool:
+        return not bool(self._offline[int(tier)])
+
+    def offline_tier(self, tier: TierKind) -> tuple[int, dict[str, np.ndarray]]:
+        """Take ``tier`` offline, evacuating its pages to surviving tiers.
+
+        Models a PMem device failure or a severed CXL link: the tier stops
+        accepting placements and reports zero capacity, and every resident
+        chunk is migrated into whatever byte-addressable headroom survives,
+        spilling to swap as the last resort (graceful degradation — the
+        one sanctioned exception to "pinned chunks never migrate").
+
+        Returns ``(evacuated_bytes, stranded)`` where ``stranded`` maps
+        pageset owners to the chunk indices that fit nowhere; their tasks
+        must be killed by the caller.
+        """
+        require(tier != SWAP, "swap cannot be taken offline")
+        t = int(tier)
+        if self._offline[t]:
+            return 0, {}
+        self._offline[t] = True
+        if tier == DRAM:
+            # shadows live in DRAM; the cache dies with the device
+            for ps in self._pagesets.values():
+                self._drop_shadows(ps, np.flatnonzero(ps.in_page_cache))
+        survivors = [
+            d for d in (*MEMORY_TIERS, SWAP)
+            if d != tier and self.capacity(d) > 0
+        ]
+        evacuated = 0
+        stranded: dict[str, np.ndarray] = {}
+        for ps in list(self._pagesets.values()):
+            victims = np.flatnonzero(ps.tier == t)
+            for dst in survivors:
+                if victims.size == 0:
+                    break
+                headroom = (
+                    self.free_excluding_page_cache(dst) if dst == DRAM else self.free(dst)
+                )
+                room = max(0, headroom) // ps.chunk_size
+                take = victims[: int(room)]
+                if take.size == 0:
+                    continue
+                evacuated += self.migrate(ps, take, dst)
+                victims = victims[int(room):]
+            if victims.size:
+                stranded[ps.owner] = victims
+        return evacuated, stranded
+
+    def online_tier(self, tier: TierKind) -> None:
+        """Bring a failed tier back (empty — pages are not moved back)."""
+        self._offline[int(tier)] = False
+
+    def set_tier_degraded(self, tier: TierKind, scale: float) -> None:
+        """Throttle ``tier``'s bandwidth to ``scale`` of its rated value."""
+        check_fraction(scale, "scale")
+        self._bw_scale[int(tier)] = scale
+
+    def clear_tier_degradation(self, tier: TierKind) -> None:
+        self._bw_scale[int(tier)] = 1.0
+
+    def tier_health(self) -> np.ndarray:
+        """Per-tier bandwidth multiplier: 0 when offline, else ``_bw_scale``."""
+        return np.where(self._offline, 0.0, self._bw_scale)
 
     # ------------------------------------------------------------------ #
     # inspection

@@ -1,6 +1,6 @@
 """Measurement collection, timelines, and report formatting."""
 
-from .collector import MetricsRegistry, TaskMetrics
+from .collector import FaultStats, MetricsRegistry, TaskMetrics
 from .report import (
     best_of,
     format_pct,
@@ -12,6 +12,7 @@ from .report import (
 from .timeline import UtilizationSampler
 
 __all__ = [
+    "FaultStats",
     "MetricsRegistry",
     "TaskMetrics",
     "UtilizationSampler",

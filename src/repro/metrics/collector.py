@@ -18,7 +18,7 @@ from ..memory.system import NodeMemorySystem
 from ..memory.tiers import CXL
 from ..util.validation import require
 
-__all__ = ["TaskMetrics", "MetricsRegistry"]
+__all__ = ["TaskMetrics", "FaultStats", "MetricsRegistry"]
 
 
 @dataclass
@@ -36,6 +36,10 @@ class TaskMetrics:
     failure_reason: str = ""
     major_faults: int = 0
     minor_faults: int = 0
+    #: cgroup OOM-kill count (from :class:`~repro.containers.cgroup.MemoryCgroup`)
+    oom_kills: int = 0
+    #: scheduler requeues after fault-induced interruptions
+    retries: int = 0
     phase_durations: list[float] = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
@@ -69,11 +73,55 @@ class TaskMetrics:
         return self.finished_at is not None and not self.failed
 
 
+@dataclass
+class FaultStats:
+    """Experiment-level resilience counters (the ``ext_resilience`` series).
+
+    Populated by the fault injector, the scheduler's requeue path, the
+    node agents' evacuation path, and the container runtime's pull
+    retries.  All counters stay zero when no faults are injected.
+    """
+
+    #: injections by fault kind (``FaultKind.value`` → count)
+    injected: dict[str, int] = field(default_factory=dict)
+    #: running tasks killed by a fault (node crash / stranded evacuation)
+    tasks_interrupted: int = 0
+    #: jobs put back on the queue after a fault-induced failure
+    job_requeues: int = 0
+    #: jobs that exhausted ``max_retries`` and were marked failed
+    retries_exhausted: int = 0
+    #: image pulls retried after a transient pull failure
+    pull_retries: int = 0
+    #: shared-CXL staging reads degraded to a network pull
+    pull_fallbacks: int = 0
+    #: tier-offline events that triggered a page evacuation
+    tier_evacuations: int = 0
+    #: bytes moved off failing tiers onto survivors
+    evacuated_bytes: int = 0
+    #: per-fault time from injection to recovery completion (feeds MTTR)
+    recovery_times: list[float] = field(default_factory=list)
+
+    def record_injection(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    @property
+    def mttr(self) -> float:
+        """Mean time to recovery over every recovered fault (0 if none)."""
+        if not self.recovery_times:
+            return 0.0
+        return float(np.mean(self.recovery_times))
+
+
 class MetricsRegistry:
     """All task metrics of one experiment run, plus node-level roll-ups."""
 
     def __init__(self) -> None:
         self._tasks: dict[str, TaskMetrics] = {}
+        self.faults = FaultStats()
 
     def task(self, owner: str, wclass: str = "GENERIC") -> TaskMetrics:
         tm = self._tasks.get(owner)
@@ -108,6 +156,27 @@ class MetricsRegistry:
         start = min(t.submitted_at for t in done)
         end = max(t.finished_at for t in done)  # type: ignore[arg-type]
         return end - start
+
+    def total_oom_kills(self) -> int:
+        """Cluster-wide OOM kills, sourced from the cgroup counters."""
+        return sum(t.oom_kills for t in self._tasks.values())
+
+    def total_retries(self) -> int:
+        return sum(t.retries for t in self._tasks.values())
+
+    def goodput(self) -> float:
+        """Completed workflows per simulated hour of makespan.
+
+        The survival-oriented throughput figure for the resilience
+        experiments; 0 when nothing completed.
+        """
+        done = self.completed()
+        if not done:
+            return 0.0
+        span = self.makespan()
+        if span <= 0:
+            return 0.0
+        return len(done) / span * 3600.0
 
     def mean_execution_time(self, wclass: Optional[str] = None) -> float:
         pool = [
@@ -147,6 +216,8 @@ class MetricsRegistry:
                     "turnaround": t.turnaround if t.finished_at is not None else None,
                     "failed": t.failed,
                     "failure_reason": t.failure_reason,
+                    "oom_kills": t.oom_kills,
+                    "retries": t.retries,
                     "major_faults": t.major_faults,
                     "minor_faults": t.minor_faults,
                     "phases": len(t.phase_durations),

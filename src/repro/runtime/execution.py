@@ -80,6 +80,11 @@ class TaskExecution:
         #: cgroup memory.max enforcement (None limit = uncapped)
         self.cgroup = MemoryCgroup(spec.name, spec.memory_limit)
         self._region_charges: dict[int, int] = {}
+        #: set when a fault (node crash, stranded evacuation) killed this
+        #: task mid-run — the scheduler requeues those, unlike OOM kills
+        self.interrupted = False
+        #: straggler throttle installed by the fault injector (1.0 = healthy)
+        self.rate_scale = 1.0
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -230,12 +235,35 @@ class TaskExecution:
         if self.on_finish is not None:
             self.on_finish(self)
 
+    def interrupt(self, reason: str) -> bool:
+        """Kill a running task from the outside (node crash, lost tier).
+
+        Returns ``True`` if the task was actually running and is now dead;
+        interrupted tasks are eligible for scheduler requeue, whereas
+        OOM/allocation failures stay terminal.
+        """
+        if self.state is not TaskState.RUNNING:
+            return False
+        self.interrupted = True
+        self._fail(reason)
+        return True
+
     def _fail(self, reason: str) -> None:
         agent = self.agent
         self.state = TaskState.FAILED
         self.metrics.failed = True
         self.metrics.failure_reason = reason
         self.metrics.finished_at = agent.engine.now
+        if self.cgroup.oom_kills:
+            self.metrics.oom_kills += self.cgroup.oom_kills
+            agent.trace(
+                "oom",
+                self.spec.name,
+                event="oom-kill",
+                charged=self.cgroup.charged,
+                limit=self.cgroup.limit,
+                node=agent.memory.node_id,
+            )
         self._cancel_completion()
         self._release_shared_inputs()
         if agent.memory.get_pageset(self.pageset.owner) is not None:
@@ -251,6 +279,7 @@ class TaskExecution:
         """Install a new progress rate and reschedule phase completion."""
         if self.state is not TaskState.RUNNING or self.tracker is None:
             return
+        rate *= self.rate_scale
         engine = self.agent.engine
         self.tracker.set_rate(engine.now, rate)
         self.current_rate = rate

@@ -91,6 +91,8 @@ class NodeAgent:
         self._traced_migrated_bytes = 0
         #: callbacks fired when a task releases its cores (scheduler pump)
         self.on_capacity_freed: list[Callable[[], None]] = []
+        #: node crashed (fault injection); refuses placements until restored
+        self.down = False
 
     # ------------------------------------------------------------------ #
     # fault accounting (wired into the PolicyContext)
@@ -109,7 +111,7 @@ class NodeAgent:
         return self.cores - self.cores_used
 
     def can_host(self, spec: TaskSpec) -> bool:
-        return self.cores_free >= spec.cores
+        return not self.down and self.cores_free >= spec.cores
 
     def start_task(
         self,
@@ -157,6 +159,67 @@ class NodeAgent:
         self.recompute_rates()
 
     # ------------------------------------------------------------------ #
+    # fault handling (driven by the injector / scheduler)
+    # ------------------------------------------------------------------ #
+    def crash(self, reason: str = "node crash") -> int:
+        """Kill the node: interrupt every running task, stop the daemon.
+
+        Returns the number of tasks killed.  Idempotent — crashing a dead
+        node is a no-op.
+        """
+        if self.down:
+            return 0
+        self.down = True
+        killed = 0
+        for te in list(self.running.values()):
+            if te.interrupt(reason):
+                killed += 1
+        self.metrics.faults.tasks_interrupted += killed
+        self.stop()
+        self.trace(
+            "fault", self.memory.node_id, event="node-crash", killed=killed
+        )
+        return killed
+
+    def restore(self) -> None:
+        """Bring a crashed node back into service (memory comes up empty)."""
+        if not self.down:
+            return
+        self.down = False
+        self.trace("fault", self.memory.node_id, event="node-restored")
+
+    def handle_tier_offline(self, tier: TierKind) -> int:
+        """A memory tier failed: evacuate it, kill stranded tasks.
+
+        Returns the number of tasks killed because their pages fit nowhere.
+        """
+        evacuated, stranded = self.memory.offline_tier(tier)
+        if evacuated or stranded:
+            self.metrics.faults.tier_evacuations += 1
+            self.metrics.faults.evacuated_bytes += evacuated
+        self.trace(
+            "fault",
+            self.memory.node_id,
+            event="tier-offline",
+            tier=tier.name,
+            evacuated_bytes=evacuated,
+            stranded=len(stranded),
+        )
+        killed = 0
+        for owner in stranded:
+            te = self.running.get(owner)
+            if te is not None and te.interrupt(f"tier {tier.name} offline, pages stranded"):
+                killed += 1
+        self.metrics.faults.tasks_interrupted += killed
+        self.recompute_rates()
+        return killed
+
+    def handle_tier_online(self, tier: TierKind) -> None:
+        self.memory.online_tier(tier)
+        self.trace("fault", self.memory.node_id, event="tier-online", tier=tier.name)
+        self.recompute_rates()
+
+    # ------------------------------------------------------------------ #
     # rate model
     # ------------------------------------------------------------------ #
     def recompute_rates(self) -> None:
@@ -165,14 +228,16 @@ class NodeAgent:
             self.memory.migration_bytes_window = 0
             return
         demands = np.stack([te.demand_vector() for te in tasks])
-        achieved = allocate_bandwidth(self._bw_capacities, demands)
+        # offline tiers deliver no bandwidth; degraded links a fraction
+        capacities = self._bw_capacities * self.memory.tier_health()
+        achieved = allocate_bandwidth(capacities, demands)
         per_task_bw = achieved.sum(axis=1)
         penalty = self._migration_penalty()
         utilization = None
         if self.rate_config.loaded_latency:
             with np.errstate(divide="ignore", invalid="ignore"):
                 utilization = np.where(
-                    self._bw_capacities > 0, achieved.sum(axis=0) / self._bw_capacities, 0.0
+                    capacities > 0, achieved.sum(axis=0) / capacities, 0.0
                 )
         for te, bw in zip(tasks, per_task_bw):
             slowdown = phase_slowdown(

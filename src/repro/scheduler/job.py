@@ -45,6 +45,11 @@ class Job:
     state: JobState = JobState.PENDING
     node_index: Optional[int] = None
     on_done: Optional[Callable[["Job"], None]] = None
+    #: times the scheduler has requeued this job after a fault
+    retries: int = 0
+    #: dispatch epoch; container-ready callbacks from a superseded dispatch
+    #: (the node crashed and the job was requeued) carry a stale epoch
+    _dispatch_seq: int = 0
     _listeners: list[Callable[["Job"], None]] = field(default_factory=list)
     #: cores held beyond spec.cores while an exclusive job runs
     _exclusive_hold: int = 0

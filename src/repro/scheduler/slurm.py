@@ -48,20 +48,34 @@ class SlurmScheduler:
         *,
         backfill: bool = True,
         placement: str = "least-loaded",
+        max_retries: int = 2,
+        retry_backoff: float = 4.0,
     ) -> None:
         require(len(agents) > 0, "scheduler needs at least one node")
         require(placement in self.PLACEMENTS, f"placement must be one of {self.PLACEMENTS}")
+        require(max_retries >= 0, "max_retries must be >= 0")
+        require(retry_backoff >= 0, "retry_backoff must be >= 0")
         self.engine = engine
         self.agents = list(agents)
         self.containers = containers
         self.metrics = metrics
         self.backfill = backfill
         self.placement = placement
+        #: requeue budget per job for fault-induced failures (node crash,
+        #: stranded evacuation, exhausted pull retries); OOM kills are
+        #: terminal — rerunning an out-of-memory workflow cannot succeed
+        self.max_retries = int(max_retries)
+        #: base delay of the exponential requeue backoff (seconds)
+        self.retry_backoff = float(retry_backoff)
         self.queue: deque[Job] = deque()
         self.jobs: dict[int, Job] = {}
         self._next_job_id = 1
         self._reserved_cores = [0] * len(agents)
         self._pumping = False
+        #: nodes administratively removed from placement (``scontrol drain``)
+        self.drained: set[int] = set()
+        #: total fault-induced requeues across the run
+        self.requeues = 0
         for agent in self.agents:
             agent.on_capacity_freed.append(self._pump)
 
@@ -119,13 +133,16 @@ class SlurmScheduler:
     def _free_cores(self, i: int) -> int:
         return self.agents[i].cores_free - self._reserved_cores[i]
 
+    def _available(self, i: int) -> bool:
+        return i not in self.drained and not self.agents[i].down
+
     def _pick_node(self, spec: TaskSpec) -> Optional[int]:
         """Choose a node with enough cores by the configured strategy:
         ``least-loaded`` maximises free cores; ``memory-aware`` maximises
         free byte-addressable memory (DRAM + PMem + CXL)."""
         best, best_score = None, None
         for i in range(len(self.agents)):
-            if self._free_cores(i) < spec.cores:
+            if not self._available(i) or self._free_cores(i) < spec.cores:
                 continue
             if self.placement == "memory-aware":
                 mem = self.agents[i].memory
@@ -164,6 +181,8 @@ class SlurmScheduler:
     def _pick_exclusive_node(self, spec: TaskSpec) -> Optional[int]:
         """A bare-metal job needs a completely idle node."""
         for i, agent in enumerate(self.agents):
+            if not self._available(i):
+                continue
             if agent.cores_used == 0 and self._reserved_cores[i] == 0:
                 if agent.cores >= spec.cores:
                     return i
@@ -172,24 +191,40 @@ class SlurmScheduler:
     def _dispatch(self, job: Job, node_index: int) -> None:
         job.state = JobState.STARTING
         job.node_index = node_index
+        job._dispatch_seq += 1
+        seq = job._dispatch_seq
         job._reserved = self.agents[node_index].cores if job.exclusive else job.spec.cores
         self._reserved_cores[node_index] += job._reserved
         tm = self.metrics.get(job.spec.name)
         tm.scheduled_at = self.engine.now
         if job.exclusive:
             # bare metal: no container image, no instantiation delay
-            self._container_ready(job)
+            self._container_ready(job, seq)
         else:
             self.containers.prepare(
-                node_index, job.spec.image, lambda: self._container_ready(job)
+                node_index,
+                job.spec.image,
+                lambda: self._container_ready(job, seq),
+                on_failed=lambda: self._pull_failed(job, seq),
             )
 
-    def _container_ready(self, job: Job) -> None:
+    def _stale(self, job: Job, seq: int) -> bool:
+        """A callback from a dispatch the scheduler has since abandoned."""
+        return job.state is not JobState.STARTING or seq != job._dispatch_seq
+
+    def _container_ready(self, job: Job, seq: int) -> None:
+        if self._stale(job, seq):
+            return
         assert job.node_index is not None
         agent = self.agents[job.node_index]
+        if agent.down:
+            # the node died while the image was in flight
+            self._release_reservation(job)
+            self._requeue_or_fail(job, f"node {agent.memory.node_id} down")
+            return
         tm = self.metrics.get(job.spec.name)
         tm.container_ready_at = self.engine.now
-        self._reserved_cores[job.node_index] -= job._reserved
+        self._release_reservation(job)
         job.state = JobState.RUNNING
         try:
             agent.start_task(
@@ -203,13 +238,102 @@ class SlurmScheduler:
             job._exclusive_hold = agent.cores_free
             agent.cores_used += job._exclusive_hold
 
+    def _pull_failed(self, job: Job, seq: int) -> None:
+        """The container runtime gave up on the image pull."""
+        if self._stale(job, seq):
+            return
+        self._release_reservation(job)
+        self._requeue_or_fail(job, f"image pull failed for {job.spec.image!r}")
+
+    def _release_reservation(self, job: Job) -> None:
+        if job._reserved and job.node_index is not None:
+            self._reserved_cores[job.node_index] -= job._reserved
+            job._reserved = 0
+
     def _task_done(self, job: Job, te: TaskExecution) -> None:
         if job._exclusive_hold:
             self.agents[job.node_index].cores_used -= job._exclusive_hold
             job._exclusive_hold = 0
+        if te.state is TaskState.FAILED and te.interrupted:
+            # fault-induced death (node crash / stranded evacuation):
+            # eligible for requeue, unlike OOM or allocation failures
+            self._requeue_or_fail(job, te.metrics.failure_reason)
+            return
         job.state = JobState.FAILED if te.state is TaskState.FAILED else JobState.DONE
         job.notify_done()
         self._pump()
+
+    # ------------------------------------------------------------------ #
+    # fault recovery (requeue / drain)
+    # ------------------------------------------------------------------ #
+    def _requeue_or_fail(self, job: Job, reason: str) -> None:
+        """Requeue a fault-killed job with exponential backoff, or mark it
+        failed once its retry budget is spent."""
+        tm = self.metrics.get(job.spec.name)
+        if job.retries >= self.max_retries:
+            self.metrics.faults.retries_exhausted += 1
+            job.state = JobState.FAILED
+            job.node_index = None
+            tm.failed = True
+            tm.failure_reason = f"{reason} (retries exhausted)"
+            if tm.finished_at is None:
+                tm.finished_at = self.engine.now
+            job.notify_done()
+            self._pump()
+            return
+        job.retries += 1
+        self.requeues += 1
+        self.metrics.faults.job_requeues += 1
+        tm.retries += 1
+        tm.failed = False
+        tm.failure_reason = ""
+        tm.finished_at = None
+        job.state = JobState.PENDING
+        job.node_index = None
+        delay = self.retry_backoff * (2 ** (job.retries - 1))
+        self.engine.schedule(
+            delay, lambda: self._enqueue_retry(job), f"requeue.{job.name}"
+        )
+
+    def _enqueue_retry(self, job: Job) -> None:
+        if job.state is not JobState.PENDING:
+            return
+        self.queue.append(job)
+        if job.priority:
+            self.queue = deque(
+                sorted(self.queue, key=lambda j: (-j.priority, j.job_id))
+            )
+        self._pump()
+
+    def drain(self, node_index: int) -> None:
+        """Remove a node from placement without touching running work."""
+        require(0 <= node_index < len(self.agents), "node_index out of range")
+        self.drained.add(node_index)
+
+    def undrain(self, node_index: int) -> None:
+        self.drained.discard(node_index)
+        self._pump()
+
+    def node_failed(self, node_index: int, reason: str = "node crash") -> None:
+        """A node died: drain it, kill its tasks, requeue in-flight jobs.
+
+        Running tasks die through :meth:`NodeAgent.crash` (their jobs come
+        back via the normal ``_task_done`` requeue path); jobs still in
+        container preparation are requeued here directly.
+        """
+        require(0 <= node_index < len(self.agents), "node_index out of range")
+        self.drain(node_index)
+        self.agents[node_index].crash(reason)
+        for job in list(self.jobs.values()):
+            if job.state is JobState.STARTING and job.node_index == node_index:
+                job._dispatch_seq += 1  # invalidate the in-flight callback
+                self._release_reservation(job)
+                self._requeue_or_fail(job, reason)
+
+    def node_restored(self, node_index: int) -> None:
+        """Bring a crashed node back and return it to the placement pool."""
+        self.agents[node_index].restore()
+        self.undrain(node_index)
 
     # ------------------------------------------------------------------ #
     # queries

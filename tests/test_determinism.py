@@ -47,6 +47,27 @@ class TestHarnessDeterminism:
         b = run_fig01(scale=TINY, instances_per_class=1, chunk_size=CHUNK)
         assert a.series == b.series
 
+    def test_resilience_fault_schedule_reproduces(self):
+        # the chaos run draws victims, stragglers, and pull failures from
+        # named RngFactory streams: same seed -> identical metrics
+        from repro.experiments import run_resilience
+
+        a = run_resilience(scale=TINY, instances=2, chunk_size=CHUNK)
+        b = run_resilience(scale=TINY, instances=2, chunk_size=CHUNK)
+        assert a.series == b.series
+
+    def test_random_fault_schedule_reproduces(self):
+        from repro.faults import FaultKind, FaultSchedule
+
+        rates = {FaultKind.NODE_CRASH: 0.01, FaultKind.TASK_STRAGGLER: 0.05}
+        a = FaultSchedule.random(horizon=500.0, n_nodes=4, seed=11, rates=rates)
+        b = FaultSchedule.random(horizon=500.0, n_nodes=4, seed=11, rates=rates)
+        assert [(f.kind, f.time, f.node) for f in a] == [
+            (f.kind, f.time, f.node) for f in b
+        ]
+        c = FaultSchedule.random(horizon=500.0, n_nodes=4, seed=12, rates=rates)
+        assert [(f.kind, f.time) for f in a] != [(f.kind, f.time) for f in c]
+
 
 class TestDriftingPattern:
     def test_distribution(self):

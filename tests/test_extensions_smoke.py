@@ -10,6 +10,7 @@ from repro.experiments import (
     run_failures,
     run_open_system,
     run_predictor_learning,
+    run_resilience,
     run_shared_inputs,
     run_validation,
 )
@@ -31,6 +32,54 @@ class TestFailuresSmoke:
         r = run_failures(scale=TINY, instances=3, chunk_size=CHUNK)
         assert r.value("IMME", "oom-killed") == 0.0
         assert r.value("CBE", "oom-killed") == 3.0
+        # oom-killed is now sourced from the cgroup counter; here every
+        # CBE/TME failure is an OOM kill, so the two columns agree
+        assert r.value("CBE", "failed") == r.value("CBE", "oom-killed")
+
+    def test_zero_margin_single_instance_reports_zero_makespan(self):
+        # limit == footprint exactly: even the base allocation plus one
+        # rounding chunk overruns, so nothing completes anywhere it OOMs
+        r = run_failures(
+            scale=TINY, instances=1, limit_margin=0.0, chunk_size=CHUNK
+        )
+        assert r.value("CBE", "completed") == 0.0
+        makespan = r.value("CBE", "makespan (s)")
+        assert makespan == 0.0  # used to be NaN
+        assert makespan == makespan  # explicitly not NaN
+
+    def test_imme_all_tiers_full(self):
+        # IMME's CAP cascade never falls to swap: when DRAM, PMem, and
+        # CXL together cannot hold the footprint, allocation must raise
+        # OutOfMemoryError and the task is recorded as failed (not hung)
+        from repro.envs.environments import EnvKind, make_environment
+        from repro.util.units import MiB
+        from repro.workflows.library import scientific_task
+
+        spec = scientific_task(scale=TINY)
+        env = make_environment(
+            EnvKind.IMME,
+            dram_capacity=MiB(8),
+            pmem_capacity=MiB(8),
+            cxl_capacity=MiB(8),
+            chunk_size=CHUNK,
+        )
+        assert spec.max_footprint > 3 * MiB(8)
+        metrics = env.run_batch([spec], max_time=1e6)
+        env.stop()
+        tm = metrics.get(spec.name)
+        assert tm.failed
+        assert "cannot back" in tm.failure_reason  # the OutOfMemoryError text
+
+
+class TestResilienceSmoke:
+    def test_imme_survives_chaos(self):
+        r = run_resilience(scale=TINY, instances=3, chunk_size=CHUNK)
+        imme = r.value("IMME", "completed")
+        assert imme >= r.value("CBE", "completed")
+        assert imme >= r.value("TME", "completed")
+        assert imme == 3.0  # every workflow recovers despite the faults
+        assert r.value("IMME", "faults") > 0.0
+        assert r.value("IMME", "mttr (s)") > 0.0
 
 
 class TestOpenSystemSmoke:
