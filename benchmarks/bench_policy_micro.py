@@ -39,6 +39,23 @@ def big_node(policy_cls=None, n_tasks=8, task_bytes=GiB(32)):
     return node, ctx, policy
 
 
+def test_victim_selection_cost(benchmark):
+    """coldest_in/hottest_in top-k on a 128k-chunk pageset (a 512 GiB node
+    at 4 MiB chunks) — the inner loop of every eviction decision."""
+    rng = np.random.default_rng(0)
+    n = 131072
+    ps = PageSet("victims", n * MiB(4), MiB(4))
+    ps.assign(np.arange(n), 0)
+    ps.temperature = rng.random(n).astype(np.float32)
+    k = 512
+
+    def select():
+        return ps.coldest_in(0, k), ps.hottest_in(0, k)
+
+    cold, hot = benchmark(select)
+    assert cold.size == k and hot.size == k
+
+
 def test_manager_tick_cost(benchmark):
     """One IMME daemon tick over 8 x 32 GiB tasks (256 GiB of metadata)."""
     node, ctx, policy = big_node()

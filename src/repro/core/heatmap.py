@@ -51,12 +51,20 @@ class PageHeatmap:
 
     def advance(self, ps: PageSet, dt: float, access_rate: float = 1.0) -> None:
         """Decay and accumulate one pageset's temperatures over ``dt``
-        seconds of the current phase's access distribution."""
+        seconds of the current phase's access distribution.
+
+        Pagesets that are stone cold (all-zero temperatures) with no
+        incoming accesses are skipped outright — idle tasks dominate large
+        colocations and decaying zeros is pure waste.
+        """
         if dt <= 0:
+            return
+        gains = access_rate > 0 and bool(ps.access_weight.any())
+        if not gains and not ps.temperature.any():
             return
         decay = math.exp(-dt / self.config.tau)
         ps.temperature *= np.float32(decay)
-        if access_rate > 0:
+        if gains:
             ps.temperature += ps.access_weight * np.float32(access_rate * dt)
 
     def advance_node(

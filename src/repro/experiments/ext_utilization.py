@@ -18,10 +18,47 @@ from __future__ import annotations
 from ..envs.environments import EnvKind
 from ..memory.tiers import CXL, DRAM, PMEM
 from ..metrics.timeline import UtilizationSampler
-from .common import CHUNK, SCALE, FigureResult, build_env, colocated_mix
+from .common import (
+    CHUNK,
+    SCALE,
+    FigureResult,
+    SweepSpec,
+    build_env,
+    colocated_mix,
+    sweep,
+)
 from .fig05_exec_time import DEFAULT_MIX
 
 __all__ = ["run_utilization"]
+
+
+def _utilization_cell(
+    kind: EnvKind,
+    scale: float,
+    dram_fraction: float,
+    chunk_size: int,
+    sample_interval: float,
+    seed: int,
+) -> list[float]:
+    """[DRAM util %, tiered util %, jobs/hour] for one environment."""
+    specs = colocated_mix(dict(DEFAULT_MIX), scale=scale, seed=seed)
+    env = build_env(kind, specs, dram_fraction=dram_fraction, chunk_size=chunk_size)
+    sampler = UtilizationSampler(env.engine, env.topology.nodes, sample_interval)
+    sampler.start()
+    metrics = env.run_batch(specs, max_time=1e7)
+    sampler.stop()
+    dram_util = sampler.mean_utilization(DRAM)
+    resident = sum(
+        sampler.cluster_series(t).mean() if sampler.n_samples else 0.0
+        for t in (DRAM, PMEM, CXL)
+    )
+    # normalise tiered residency against the *workload*, not the huge
+    # nominal CXL pool: how much of the footprint stayed byte-addressable
+    total_footprint = sum(s.max_footprint for s in specs)
+    tiered_util = resident / total_footprint
+    throughput = len(metrics.completed()) / metrics.makespan() * 3600.0
+    env.stop()
+    return [100.0 * dram_util, 100.0 * tiered_util, throughput]
 
 
 def run_utilization(
@@ -31,35 +68,27 @@ def run_utilization(
     chunk_size: int = CHUNK,
     sample_interval: float = 2.0,
     seed: int = 0,
+    jobs: int = 1,
 ) -> FigureResult:
-    specs = colocated_mix(dict(DEFAULT_MIX), scale=scale, seed=seed)
     result = FigureResult(
         figure="ext-utilization",
         description="Memory utilisation and productive throughput per environment",
         xlabels=["DRAM util (%)", "tiered util (%)", "jobs/hour"],
     )
+    spec = SweepSpec("ext-utilization", base_seed=seed)
     for kind in (EnvKind.IE, EnvKind.CBE, EnvKind.TME, EnvKind.IMME):
-        env = build_env(kind, specs, dram_fraction=dram_fraction, chunk_size=chunk_size)
-        sampler = UtilizationSampler(env.engine, env.topology.nodes, sample_interval)
-        sampler.start()
-        metrics = env.run_batch(specs, max_time=1e7)
-        sampler.stop()
-        dram_util = sampler.mean_utilization(DRAM)
-        # utilisation of all byte-addressable memory actually provisioned
-        caps = {t: sum(n.capacity(t) for n in env.topology.nodes) for t in (DRAM, PMEM, CXL)}
-        resident = sum(
-            sampler.cluster_series(t).mean() if sampler.n_samples else 0.0
-            for t in (DRAM, PMEM, CXL)
+        spec.add(
+            kind.name,
+            _utilization_cell,
+            kind=kind,
+            scale=scale,
+            dram_fraction=dram_fraction,
+            chunk_size=chunk_size,
+            sample_interval=sample_interval,
+            seed=seed,
         )
-        # normalise tiered residency against the *workload*, not the huge
-        # nominal CXL pool: how much of the footprint stayed byte-addressable
-        total_footprint = sum(s.max_footprint for s in specs)
-        tiered_util = resident / total_footprint
-        throughput = len(metrics.completed()) / metrics.makespan() * 3600.0
-        result.add_series(
-            kind.name, [100.0 * dram_util, 100.0 * tiered_util, throughput]
-        )
-        env.stop()
+    for key, series in sweep(spec, jobs=jobs).items():
+        result.add_series(key, series)
     result.notes.append(
         "CBE fills DRAM with thrash (high occupancy, low throughput); IMME "
         "keeps the footprint byte-addressable across tiers and completes the "

@@ -17,10 +17,12 @@ from .common import (
     CHUNK,
     CLASS_ORDER,
     FigureResult,
+    SweepSpec,
     build_env,
     colocated_mix,
     per_class_exec_time,
     run_and_collect,
+    sweep,
 )
 
 __all__ = ["run_fig05", "ENV_ORDER"]
@@ -39,6 +41,23 @@ DEFAULT_MIX = {
 }
 
 
+def _fig05_cell(
+    kind: EnvKind,
+    instances_per_class: "int | dict[WorkloadClass, int]",
+    scale: float,
+    dram_fraction: float,
+    chunk_size: int,
+    seed: int,
+) -> list[float]:
+    """One environment's per-class mean execution times (hermetic: the
+    workload is rebuilt deterministically from the seed in-process)."""
+    specs = colocated_mix(instances_per_class, scale=scale, seed=seed)
+    env = build_env(kind, specs, dram_fraction=dram_fraction, chunk_size=chunk_size)
+    metrics = run_and_collect(env, specs)
+    times = per_class_exec_time(metrics)
+    return [times[cls] for cls in CLASS_ORDER]
+
+
 def run_fig05(
     *,
     scale: float = SCALE,
@@ -46,20 +65,29 @@ def run_fig05(
     dram_fraction: float = 0.25,
     chunk_size: int = CHUNK,
     seed: int = 0,
+    jobs: int = 1,
 ) -> FigureResult:
     if instances_per_class is None:
         instances_per_class = dict(DEFAULT_MIX)
-    specs = colocated_mix(instances_per_class, scale=scale, seed=seed)
     result = FigureResult(
         figure="fig05",
         description="Fig 5: mean workflow execution time (s) per environment",
         xlabels=[cls.name for cls in CLASS_ORDER],
     )
+    spec = SweepSpec("fig05", base_seed=seed)
     for kind in ENV_ORDER:
-        env = build_env(kind, specs, dram_fraction=dram_fraction, chunk_size=chunk_size)
-        metrics = run_and_collect(env, specs)
-        times = per_class_exec_time(metrics)
-        result.add_series(kind.name, [times[cls] for cls in CLASS_ORDER])
+        spec.add(
+            kind.name,
+            _fig05_cell,
+            kind=kind,
+            instances_per_class=instances_per_class,
+            scale=scale,
+            dram_fraction=dram_fraction,
+            chunk_size=chunk_size,
+            seed=seed,
+        )
+    for key, series in sweep(spec, jobs=jobs).items():
+        result.add_series(key, series)
 
     best = {}
     for base in (EnvKind.IE, EnvKind.CBE, EnvKind.TME):

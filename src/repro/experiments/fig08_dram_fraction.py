@@ -16,11 +16,41 @@ from ..util.rng import RngFactory
 from ..workflows.ensembles import make_ensemble
 from ..workflows.library import paper_workload_suite
 from ..workflows.task import WorkloadClass
-from .common import SCALE, CHUNK, CLASS_ORDER, FigureResult, run_and_collect
+from .common import (
+    SCALE,
+    CHUNK,
+    CLASS_ORDER,
+    FigureResult,
+    SweepSpec,
+    run_and_collect,
+    sweep,
+)
 
 __all__ = ["run_fig08"]
 
 ENVS = (EnvKind.IE, EnvKind.TME, EnvKind.IMME)
+
+
+def _fig08_cell(
+    cls: WorkloadClass,
+    kind: EnvKind,
+    fractions: tuple[float, ...],
+    scale: float,
+    instances_per_class: int,
+    chunk_size: int,
+    seed: int,
+) -> list[float]:
+    """Makespan series over DRAM fractions for one (class, environment)."""
+    suite = paper_workload_suite(scale)
+    specs = make_ensemble(suite[cls], instances_per_class, rng_factory=RngFactory(seed))
+    wss_total = sum(s.wss for s in specs)
+    series = []
+    for f in fractions:
+        dram = max(int(wss_total * f), 16 * chunk_size)
+        env = make_environment(kind, dram_capacity=dram, chunk_size=chunk_size)
+        metrics = run_and_collect(env, specs)
+        series.append(metrics.makespan())
+    return series
 
 
 def run_fig08(
@@ -31,8 +61,8 @@ def run_fig08(
     chunk_size: int = CHUNK,
     seed: int = 0,
     classes: tuple[WorkloadClass, ...] = CLASS_ORDER,
+    jobs: int = 1,
 ) -> FigureResult:
-    suite = paper_workload_suite(scale)
     result = FigureResult(
         figure="fig08",
         description="Fig 8: makespan (s) vs. DRAM as % of working-set size",
@@ -40,19 +70,23 @@ def run_fig08(
     )
     gains_vs_ie: dict[WorkloadClass, list[float]] = {c: [] for c in classes}
     gains_vs_tme: dict[WorkloadClass, list[float]] = {c: [] for c in classes}
+    spec = SweepSpec("fig08", base_seed=seed)
     for cls in classes:
-        specs = make_ensemble(
-            suite[cls], instances_per_class, rng_factory=RngFactory(seed)
-        )
-        wss_total = sum(s.wss for s in specs)
         for kind in ENVS:
-            series = []
-            for f in fractions:
-                dram = max(int(wss_total * f), 16 * chunk_size)
-                env = make_environment(kind, dram_capacity=dram, chunk_size=chunk_size)
-                metrics = run_and_collect(env, specs)
-                series.append(metrics.makespan())
-            result.add_series(f"{kind.name}:{cls.name}", series)
+            spec.add(
+                f"{kind.name}:{cls.name}",
+                _fig08_cell,
+                cls=cls,
+                kind=kind,
+                fractions=fractions,
+                scale=scale,
+                instances_per_class=instances_per_class,
+                chunk_size=chunk_size,
+                seed=seed,
+            )
+    for key, series in sweep(spec, jobs=jobs).items():
+        result.add_series(key, series)
+    for cls in classes:
         for i in range(len(fractions)):
             ie = result.series[f"IE:{cls.name}"][i]
             tme = result.series[f"TME:{cls.name}"][i]

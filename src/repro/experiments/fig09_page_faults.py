@@ -21,16 +21,40 @@ from .common import (
     CHUNK,
     CLASS_ORDER,
     FigureResult,
+    SweepSpec,
     build_env,
     colocated_mix,
     per_class_exec_time,
     per_class_faults,
     run_and_collect,
+    sweep,
 )
 
 __all__ = ["run_fig09"]
 
 ENVS = (EnvKind.CBE, EnvKind.TME, EnvKind.IMME)
+
+
+def _fig09_cell(
+    kind: EnvKind,
+    instances_per_class: "int | dict",
+    scale: float,
+    dram_fraction: float,
+    chunk_size: int,
+    seed: int,
+) -> dict:
+    """One environment's fault counts, mean exec time, and traffic."""
+    specs = colocated_mix(instances_per_class, scale=scale, seed=seed)
+    env = build_env(kind, specs, dram_fraction=dram_fraction, chunk_size=chunk_size)
+    metrics = run_and_collect(env, specs)
+    faults = per_class_faults(metrics)
+    times = per_class_exec_time(metrics)
+    return {
+        "major": [float(faults[c][0]) for c in CLASS_ORDER],
+        "minor": [float(faults[c][1]) for c in CLASS_ORDER],
+        "exec_mean": float(np.mean([times[c] for c in CLASS_ORDER])),
+        "traffic": env.node_traffic(),
+    }
 
 
 def run_fig09(
@@ -40,30 +64,34 @@ def run_fig09(
     dram_fraction: float = 0.25,
     chunk_size: int = CHUNK,
     seed: int = 0,
+    jobs: int = 1,
 ) -> FigureResult:
     if instances_per_class is None:
         instances_per_class = dict(DEFAULT_MIX)
-    specs = colocated_mix(instances_per_class, scale=scale, seed=seed)
     result = FigureResult(
         figure="fig09",
         description="Fig 9: page faults (majors/minors) and data movement per environment",
         xlabels=[cls.name for cls in CLASS_ORDER],
     )
+    spec = SweepSpec("fig09", base_seed=seed)
+    for kind in ENVS:
+        spec.add(
+            kind.name,
+            _fig09_cell,
+            kind=kind,
+            instances_per_class=instances_per_class,
+            scale=scale,
+            dram_fraction=dram_fraction,
+            chunk_size=chunk_size,
+            seed=seed,
+        )
     exec_means = {}
     traffic = {}
-    for kind in ENVS:
-        env = build_env(kind, specs, dram_fraction=dram_fraction, chunk_size=chunk_size)
-        metrics = run_and_collect(env, specs)
-        faults = per_class_faults(metrics)
-        result.add_series(
-            f"{kind.name}:major", [float(faults[c][0]) for c in CLASS_ORDER]
-        )
-        result.add_series(
-            f"{kind.name}:minor", [float(faults[c][1]) for c in CLASS_ORDER]
-        )
-        times = per_class_exec_time(metrics)
-        exec_means[kind.name] = float(np.mean([times[c] for c in CLASS_ORDER]))
-        traffic[kind.name] = env.node_traffic()
+    for key, cell in sweep(spec, jobs=jobs).items():
+        result.add_series(f"{key}:major", cell["major"])
+        result.add_series(f"{key}:minor", cell["minor"])
+        exec_means[key] = cell["exec_mean"]
+        traffic[key] = cell["traffic"]
 
     gain = improvement(exec_means["CBE"], exec_means["IMME"])
     result.notes.append(

@@ -15,11 +15,37 @@ from ..envs.environments import EnvKind
 from ..metrics.report import improvement
 from ..util.rng import RngFactory
 from ..workflows.ensembles import paper_batch
-from .common import SCALE, CHUNK, FigureResult, build_env, run_and_collect
+from .common import (
+    SCALE,
+    CHUNK,
+    FigureResult,
+    SweepSpec,
+    build_env,
+    run_and_collect,
+    sweep,
+)
 
 __all__ = ["run_fig10"]
 
 ENVS = (EnvKind.IE, EnvKind.CBE, EnvKind.TME, EnvKind.IMME)
+
+
+def _fig10_cell(
+    kind: EnvKind,
+    n_nodes: int,
+    dram_per_node: int,
+    total_instances: int,
+    scale: float,
+    chunk_size: int,
+    seed: int,
+) -> tuple[float, float]:
+    """(makespan, mean container startup) for one (environment, cluster size)."""
+    specs = paper_batch(total_instances, scale=scale, rng_factory=RngFactory(seed))
+    env = build_env(
+        kind, specs, n_nodes=n_nodes, chunk_size=chunk_size, dram_per_node=dram_per_node
+    )
+    metrics = run_and_collect(env, specs)
+    return metrics.makespan(), metrics.mean_startup_time()
 
 
 def run_fig10(
@@ -30,6 +56,7 @@ def run_fig10(
     dram_fraction: float = 0.30,
     chunk_size: int = CHUNK,
     seed: int = 0,
+    jobs: int = 1,
 ) -> FigureResult:
     specs = paper_batch(total_instances, scale=scale, rng_factory=RngFactory(seed))
     result = FigureResult(
@@ -44,23 +71,27 @@ def run_fig10(
     # the same DRAM, so aggregate memory grows with the cluster
     total = sum(s.max_footprint for s in specs)
     per_node_dram = int(total * dram_fraction / min(node_counts))
-    startup = {}
+    spec = SweepSpec("fig10", base_seed=seed)
     for kind in ENVS:
-        series = []
         for n in node_counts:
-            env = build_env(
-                kind,
-                specs,
+            spec.add(
+                f"{kind.name}:{n}n",
+                _fig10_cell,
+                kind=kind,
                 n_nodes=n,
-                chunk_size=chunk_size,
                 dram_per_node=(
                     per_node_dram if kind is not EnvKind.IE else int(total * 1.5 / n)
                 ),
+                total_instances=total_instances,
+                scale=scale,
+                chunk_size=chunk_size,
+                seed=seed,
             )
-            metrics = run_and_collect(env, specs)
-            series.append(metrics.makespan())
-            if n == node_counts[-1]:
-                startup[kind.name] = metrics.mean_startup_time()
+    cells = sweep(spec, jobs=jobs)
+    startup = {}
+    for kind in ENVS:
+        series = [cells[f"{kind.name}:{n}n"][0] for n in node_counts]
+        startup[kind.name] = cells[f"{kind.name}:{node_counts[-1]}n"][1]
         result.add_series(kind.name, series)
 
     gains = {

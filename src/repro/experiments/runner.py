@@ -2,15 +2,21 @@
 
 ``python -m repro.experiments`` regenerates all figures at laptop scale
 and prints their tables; ``--out FILE`` also writes a markdown report
-(the source of EXPERIMENTS.md's measured numbers).
+(the source of EXPERIMENTS.md's measured numbers).  ``--jobs N`` fans
+independent experiments out across ``N`` worker processes (0 = all
+cores) — tables are byte-identical to the sequential run because results
+are collected in registry order and every experiment is hermetic.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from typing import Callable, Optional, Sequence
+
+from ..parallel import map_ordered
 
 from .cold_pages import run_cold_pages
 from .common import FigureResult
@@ -58,18 +64,45 @@ ALL_EXPERIMENTS: dict[str, Callable[[], FigureResult]] = {
 }
 
 
+def _run_one(name: str, jobs: int = 1) -> tuple[FigureResult, float]:
+    """Run one experiment, forwarding ``jobs`` to harnesses whose inner
+    sweeps accept it.  Top-level and picklable, so it can be a pool task."""
+    fn = ALL_EXPERIMENTS[name]
+    t0 = time.perf_counter()
+    if jobs != 1 and "jobs" in inspect.signature(fn).parameters:
+        result = fn(jobs=jobs)
+    else:
+        result = fn()
+    return result, time.perf_counter() - t0
+
+
+def _run_one_cell(name: str) -> tuple[FigureResult, float]:
+    return _run_one(name)
+
+
 def run_all(
-    names: Optional[Sequence[str]] = None, *, verbose: bool = True
+    names: Optional[Sequence[str]] = None,
+    *,
+    verbose: bool = True,
+    jobs: int = 1,
 ) -> dict[str, FigureResult]:
-    """Run the selected experiments (all by default), returning results."""
+    """Run the selected experiments (all by default), returning results.
+
+    With ``jobs != 1`` and several experiments selected, whole experiments
+    fan out across a process pool; a single selected experiment instead
+    forwards ``jobs`` to its internal sweep.  Results (and printed tables)
+    keep selection order either way.
+    """
     selected = list(names) if names else list(ALL_EXPERIMENTS)
-    results: dict[str, FigureResult] = {}
     for name in selected:
         if name not in ALL_EXPERIMENTS:
             raise KeyError(f"unknown experiment {name!r}; choose from {list(ALL_EXPERIMENTS)}")
-        t0 = time.perf_counter()
-        result = ALL_EXPERIMENTS[name]()
-        elapsed = time.perf_counter() - t0
+    if jobs != 1 and len(selected) == 1:
+        outcomes = [_run_one(selected[0], jobs=jobs)]
+    else:
+        outcomes = map_ordered(_run_one_cell, selected, jobs=jobs)
+    results: dict[str, FigureResult] = {}
+    for name, (result, elapsed) in zip(selected, outcomes):
         results[name] = result
         if verbose:
             print(result.to_table())
@@ -102,8 +135,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--out", help="also write a markdown report to this path")
     parser.add_argument("--quiet", action="store_true", help="suppress per-figure tables")
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for independent experiments (0 = all cores, default 1)",
+    )
     args = parser.parse_args(argv)
-    results = run_all(args.experiments or None, verbose=not args.quiet)
+    results = run_all(args.experiments or None, verbose=not args.quiet, jobs=args.jobs)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(to_markdown(results))

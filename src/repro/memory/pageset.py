@@ -34,6 +34,25 @@ NO_REGION: int = -1
 DEFAULT_CHUNK_SIZE: int = MiB(4)
 
 
+def _stable_top_k(keys: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` smallest ``keys``, ascending, ties broken by
+    position — exactly ``np.argsort(keys, kind="stable")[:k]`` but O(n)
+    via ``np.partition`` instead of a full O(n log n) sort.
+
+    The boundary needs care: everything strictly below the k-th order
+    statistic is certainly selected (at most k-1 values), then boundary
+    ties are admitted in position order, which is precisely the stable
+    tie-break of the full sort.
+    """
+    if k >= keys.size:
+        return np.argsort(keys, kind="stable")
+    kth = np.partition(keys, k - 1)[k - 1]
+    sel = np.flatnonzero(keys < kth)
+    ties = np.flatnonzero(keys == kth)
+    sel = np.concatenate([sel, ties[: k - sel.size]])
+    return sel[np.argsort(keys[sel], kind="stable")]
+
+
 class PageSet:
     """Page metadata for one task's memory footprint.
 
@@ -164,16 +183,14 @@ class PageSet:
             cand = cand[self.region[cand] != rid]
         if cand.size == 0:
             return cand
-        order = np.argsort(self.temperature[cand], kind="stable")
-        return cand[order[:max_chunks]]
+        return cand[_stable_top_k(self.temperature[cand], max_chunks)]
 
     def hottest_in(self, tier: TierKind, max_chunks: int) -> np.ndarray:
         """Up to ``max_chunks`` chunk indices in ``tier``, hottest first."""
         cand = self.chunks_in(tier)
         if cand.size == 0 or max_chunks == 0:
             return cand[:0]
-        order = np.argsort(-self.temperature[cand], kind="stable")
-        return cand[order[:max_chunks]]
+        return cand[_stable_top_k(-self.temperature[cand], max_chunks)]
 
     # ------------------------------------------------------------------ #
     # access statistics
@@ -190,11 +207,14 @@ class PageSet:
 
     def weight_by_tier(self) -> np.ndarray:
         """``float64[NUM_TIERS]`` — fraction of accesses hitting each tier."""
-        out = np.zeros(NUM_TIERS, dtype=np.float64)
         mask = self.mapped_mask
         if not mask.any():
-            return out
-        np.add.at(out, self.tier[mask].astype(np.int64), self.access_weight[mask])
+            return np.zeros(NUM_TIERS, dtype=np.float64)
+        out = np.bincount(
+            self.tier[mask].astype(np.int64),
+            weights=self.access_weight[mask],
+            minlength=NUM_TIERS,
+        )
         total = out.sum()
         if total > 0:
             out /= total

@@ -1,0 +1,81 @@
+"""Ordered process-pool fan-out with a safe in-process fallback.
+
+The contract is deliberately narrow: :func:`map_ordered` applies a
+picklable callable to a sequence of picklable items and returns the
+results *in input order*, so callers (sweep harnesses, ``run_all``) emit
+byte-identical tables whether cells ran sequentially or across a pool.
+
+Workers are forked (cheap, inherits the imported modules) when the
+platform offers it; when it does not — or when ``jobs`` resolves to 1 or
+there is nothing worth fanning out — execution degrades to a plain
+in-process loop, which is also what keeps nested sweeps from spawning
+pools inside pool workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Optional, Sequence, TypeVar
+
+from ..util.validation import require
+
+__all__ = ["available_parallelism", "map_ordered", "resolve_jobs", "supports_fork"]
+
+_T = TypeVar("_T")
+
+#: set in forked workers so nested map_ordered calls stay in-process
+_IN_WORKER = False
+
+
+def available_parallelism() -> int:
+    """Usable CPU count (>= 1)."""
+    return os.cpu_count() or 1
+
+
+def supports_fork() -> bool:
+    """Whether this platform can fork workers (Linux/macOS yes, Windows no)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: ``None`` → 1 (sequential), ``0`` or
+    negative → all available cores, anything else is taken literally."""
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs <= 0:
+        return available_parallelism()
+    return jobs
+
+
+def _call(fn: Callable[[Any], _T], item: Any) -> _T:
+    global _IN_WORKER
+    _IN_WORKER = True
+    return fn(item)
+
+
+def map_ordered(
+    fn: Callable[[Any], _T],
+    items: Sequence[Any],
+    *,
+    jobs: Optional[int] = None,
+) -> list[_T]:
+    """``[fn(item) for item in items]`` — possibly across a process pool.
+
+    Results always come back in input order.  Falls back to the
+    in-process loop when the effective job count is 1, the platform
+    cannot fork, there are fewer than two items, or we are already
+    inside a worker (no nested pools).  Worker exceptions propagate to
+    the caller; the pool is torn down either way.
+    """
+    items = list(items)
+    n_jobs = min(resolve_jobs(jobs), len(items))
+    require(callable(fn), "fn must be callable")
+    if n_jobs <= 1 or len(items) < 2 or not supports_fork() or _IN_WORKER:
+        return [fn(item) for item in items]
+    ctx = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(max_workers=n_jobs, mp_context=ctx) as pool:
+        # Executor.map preserves input order and re-raises worker errors.
+        return list(pool.map(_call, [fn] * len(items), items))

@@ -39,6 +39,7 @@ class SimulationEngine:
         self.now: float = float(start_time)
         self._heap: list[Event] = []
         self._seq: int = 0
+        self._live: int = 0
         self._running: bool = False
         self.events_fired: int = 0
         self.events_cancelled: int = 0
@@ -68,6 +69,7 @@ class SimulationEngine:
         self._seq += 1
         ev = Event(max(time, self.now), self._seq, fn, label)
         heapq.heappush(self._heap, ev)
+        self._live += 1
         return ev
 
     def cancel(self, event: Optional[Event]) -> None:
@@ -75,6 +77,8 @@ class SimulationEngine:
         if event is not None and not event.cancelled:
             event.cancel()
             self.events_cancelled += 1
+            if not event.fired:
+                self._live -= 1
 
     # ------------------------------------------------------------------ #
     # execution
@@ -94,6 +98,8 @@ class SimulationEngine:
             raise SimulationError(f"clock went backwards: {ev!r} at now={self.now}")
         self.now = ev.time
         self.events_fired += 1
+        ev.fired = True
+        self._live -= 1
         ev.fn()
         return True
 
@@ -125,8 +131,13 @@ class SimulationEngine:
             self.now = until
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        O(1): a counter maintained by ``schedule``/``cancel``/``step``
+        rather than a scan of the heap (which grows to hundreds of
+        thousands of lazily-cancelled entries in cluster runs).
+        """
+        return self._live
 
     # ------------------------------------------------------------------ #
     # internals

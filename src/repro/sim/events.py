@@ -27,17 +27,21 @@ class Event:
         Zero-argument callable invoked when the event fires.
     cancelled:
         True once :meth:`cancel` has been called; the engine skips it.
+    fired:
+        True once the engine has invoked ``fn`` — lets the engine's live
+        count distinguish cancelling a queued event from a stale handle.
     label:
         Optional human-readable tag for tracing and error messages.
     """
 
-    __slots__ = ("time", "seq", "fn", "cancelled", "label")
+    __slots__ = ("time", "seq", "fn", "cancelled", "fired", "label")
 
     def __init__(self, time: float, seq: int, fn: Callable[[], Any], label: str = "") -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
         self.cancelled = False
+        self.fired = False
         self.label = label
 
     def cancel(self) -> None:

@@ -39,6 +39,18 @@ class TestFigureResult:
         out = r.to_table()
         assert "desc" in out and "hello note" in out
 
+    def test_csv_round_trips_through_standard_reader(self):
+        import csv
+        import io
+
+        r = FigureResult("f", "d", xlabels=["a", "b", "c"])
+        r.add_series("s1", [1.0, 0.1 + 0.2, 1e-17])
+        r.add_series("s2", [-3.5, 12345.678, 0.0])
+        rows = list(csv.reader(io.StringIO(r.to_csv())))
+        assert rows[0] == ["f", "a", "b", "c"]
+        parsed = {row[0]: [float(v) for v in row[1:]] for row in rows[1:]}
+        assert parsed == r.series  # exact, not approximate
+
 
 class TestColocatedMix:
     def test_int_count_applies_to_all_classes(self):

@@ -161,3 +161,85 @@ class TestProperties:
         got = ps.coldest_in(DRAM, k)
         assert got.size <= min(n, k)
         assert len(set(got.tolist())) == got.size  # no duplicates
+
+
+class TestStableTopK:
+    """coldest_in/hottest_in use argpartition top-k; these pin the results
+    to the reference full stable argsort, especially under temperature ties."""
+
+    @staticmethod
+    def reference_coldest(ps, tier, k):
+        cand = ps.chunks_in(tier)
+        cand = cand[~ps.pinned[cand]]
+        order = np.argsort(ps.temperature[cand], kind="stable")
+        return cand[order[:k]]
+
+    @staticmethod
+    def reference_hottest(ps, tier, k):
+        cand = ps.chunks_in(tier)
+        order = np.argsort(-ps.temperature[cand], kind="stable")
+        return cand[order[:k]]
+
+    def test_matches_argsort_random_temps(self):
+        rng = np.random.default_rng(0)
+        ps = ps_of(257)
+        ps.assign(np.arange(257), DRAM)
+        ps.temperature = rng.random(257).astype(np.float32)
+        for k in (0, 1, 7, 64, 256, 257, 500):
+            np.testing.assert_array_equal(
+                ps.coldest_in(DRAM, k), self.reference_coldest(ps, DRAM, k)
+            )
+            np.testing.assert_array_equal(
+                ps.hottest_in(DRAM, k), self.reference_hottest(ps, DRAM, k)
+            )
+
+    def test_matches_argsort_with_ties(self):
+        # few distinct values → heavy ties at every selection boundary
+        rng = np.random.default_rng(1)
+        ps = ps_of(200)
+        ps.assign(np.arange(200), CXL)
+        ps.temperature = rng.integers(0, 4, 200).astype(np.float32)
+        for k in range(1, 201, 13):
+            np.testing.assert_array_equal(
+                ps.coldest_in(CXL, k), self.reference_coldest(ps, CXL, k)
+            )
+            np.testing.assert_array_equal(
+                ps.hottest_in(CXL, k), self.reference_hottest(ps, CXL, k)
+            )
+
+    def test_all_equal_temperatures_tie_break_by_index(self):
+        ps = ps_of(50)
+        ps.assign(np.arange(50), DRAM)
+        ps.temperature[:] = 2.5
+        np.testing.assert_array_equal(ps.coldest_in(DRAM, 10), np.arange(10))
+        np.testing.assert_array_equal(ps.hottest_in(DRAM, 10), np.arange(10))
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=64),
+        st.integers(min_value=1, max_value=70),
+    )
+    def test_property_matches_reference(self, temps, k):
+        n = len(temps)
+        ps = ps_of(n)
+        ps.assign(np.arange(n), DRAM)
+        ps.temperature = np.array(temps, dtype=np.float32)
+        np.testing.assert_array_equal(
+            ps.coldest_in(DRAM, k), self.reference_coldest(ps, DRAM, k)
+        )
+        np.testing.assert_array_equal(
+            ps.hottest_in(DRAM, k), self.reference_hottest(ps, DRAM, k)
+        )
+
+    def test_weight_by_tier_matches_add_at(self):
+        rng = np.random.default_rng(2)
+        ps = ps_of(300)
+        tiers = rng.integers(0, NUM_TIERS, 300)
+        ps.assign(np.arange(300), DRAM)
+        ps.tier[:] = tiers.astype(np.int8)
+        ps.tier[::7] = UNMAPPED
+        ps.access_weight = rng.random(300).astype(np.float32)
+        ref = np.zeros(NUM_TIERS, dtype=np.float64)
+        mask = ps.mapped_mask
+        np.add.at(ref, ps.tier[mask].astype(np.int64), ps.access_weight[mask])
+        ref /= ref.sum()
+        np.testing.assert_allclose(ps.weight_by_tier(), ref, rtol=0, atol=0)

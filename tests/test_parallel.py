@@ -1,0 +1,117 @@
+"""Parallel sweep layer: executor contract, SweepSpec seed derivation,
+and determinism of parallel vs sequential experiment runs."""
+
+import os
+
+import pytest
+
+from repro.experiments.common import SweepSpec, sweep
+from repro.experiments.runner import run_all
+from repro.parallel import (
+    available_parallelism,
+    map_ordered,
+    resolve_jobs,
+    supports_fork,
+)
+from repro.util.rng import derive_seed
+
+#: fast experiments used for whole-suite determinism checks
+FAST_SUBSET = ["validation", "cold-pages"]
+
+
+def square(x):
+    return x * x
+
+
+def whoami(_):
+    return os.getpid()
+
+
+def boom(x):
+    raise ValueError(f"cell {x} exploded")
+
+
+def seeded_draw(seed: int, scale: float = 1.0):
+    import numpy as np
+
+    return float(np.random.default_rng(seed).random()) * scale
+
+
+class TestExecutor:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) == available_parallelism()
+        assert resolve_jobs(-1) == available_parallelism()
+
+    def test_map_ordered_sequential(self):
+        assert map_ordered(square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    @pytest.mark.skipif(not supports_fork(), reason="no fork on this platform")
+    def test_map_ordered_parallel_preserves_order(self):
+        assert map_ordered(square, list(range(20)), jobs=4) == [i * i for i in range(20)]
+
+    @pytest.mark.skipif(not supports_fork(), reason="no fork on this platform")
+    def test_parallel_runs_in_worker_processes(self):
+        pids = map_ordered(whoami, [0, 1, 2, 3], jobs=2)
+        assert os.getpid() not in pids
+
+    def test_single_item_stays_in_process(self):
+        assert map_ordered(whoami, [0], jobs=8) == [os.getpid()]
+
+    def test_empty_items(self):
+        assert map_ordered(square, [], jobs=4) == []
+
+    @pytest.mark.skipif(not supports_fork(), reason="no fork on this platform")
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="exploded"):
+            map_ordered(boom, [1, 2, 3], jobs=2)
+
+
+class TestSweepSpec:
+    def test_cell_seed_is_stable_and_name_scoped(self):
+        spec = SweepSpec("s", base_seed=7)
+        assert spec.cell_seed("a") == derive_seed(7, "s/a")
+        assert spec.cell_seed("a") == SweepSpec("s", base_seed=7).cell_seed("a")
+        assert spec.cell_seed("a") != spec.cell_seed("b")
+        assert spec.cell_seed("a") != SweepSpec("other", base_seed=7).cell_seed("a")
+
+    def test_duplicate_keys_rejected(self):
+        spec = SweepSpec("s")
+        spec.add("a", square, x=1)
+        with pytest.raises(Exception, match="duplicate"):
+            spec.add("a", square, x=2)
+
+    def test_add_seeded_injects_derived_seed(self):
+        spec = SweepSpec("replicates", base_seed=3)
+        for i in range(4):
+            spec.add_seeded(f"r{i}", seeded_draw)
+        results = sweep(spec)
+        assert list(results) == [f"r{i}" for i in range(4)]
+        assert len(set(results.values())) == 4  # distinct streams
+        assert results == sweep(spec)  # and reproducible
+
+    @pytest.mark.skipif(not supports_fork(), reason="no fork on this platform")
+    def test_sweep_parallel_matches_sequential(self):
+        spec = SweepSpec("replicates", base_seed=11)
+        for i in range(6):
+            spec.add_seeded(f"r{i}", seeded_draw, scale=2.0)
+        assert sweep(spec, jobs=4) == sweep(spec, jobs=1)
+
+
+class TestRunAllParallel:
+    @pytest.mark.skipif(not supports_fork(), reason="no fork on this platform")
+    def test_jobs4_matches_jobs1(self):
+        par = run_all(FAST_SUBSET, verbose=False, jobs=4)
+        seq = run_all(FAST_SUBSET, verbose=False, jobs=1)
+        assert list(par) == list(seq)
+        for name in seq:
+            assert par[name].xlabels == seq[name].xlabels
+            assert par[name].series == seq[name].series
+            assert par[name].notes == seq[name].notes
+            assert par[name].to_table() == seq[name].to_table()
+
+    def test_unknown_name_rejected_before_fanout(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_all(["fig99"], verbose=False, jobs=4)

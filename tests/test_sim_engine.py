@@ -128,3 +128,46 @@ class TestRunControl:
         eng.schedule(1.0, lambda: None)
         eng.run()
         assert eng.now == 101.0
+
+
+class TestLiveEventCounter:
+    """pending() is a maintained counter, not a heap scan — these pin the
+    counter to the ground-truth scan through every mutation path."""
+
+    @staticmethod
+    def scan(engine):
+        return sum(1 for ev in engine._heap if not ev.cancelled)
+
+    def test_counter_matches_scan_through_lifecycle(self, engine):
+        events = [engine.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert engine.pending() == self.scan(engine) == 10
+        engine.cancel(events[3])
+        engine.cancel(events[7])
+        assert engine.pending() == self.scan(engine) == 8
+        engine.step()
+        assert engine.pending() == self.scan(engine) == 7
+        engine.run(until=5.0)
+        assert engine.pending() == self.scan(engine)
+        engine.run()
+        assert engine.pending() == self.scan(engine) == 0
+
+    def test_double_cancel_counts_once(self, engine):
+        ev = engine.schedule(1.0, lambda: None)
+        engine.cancel(ev)
+        engine.cancel(ev)
+        assert engine.pending() == self.scan(engine) == 0
+
+    def test_cancel_after_fire_does_not_underflow(self, engine):
+        ev = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.run(until=1.5)
+        engine.cancel(ev)  # stale handle: already fired
+        assert engine.pending() == self.scan(engine) == 1
+
+    def test_counter_tracks_reschedule_churn(self, engine):
+        # the rate model's pattern: cancel-and-reschedule completion events
+        handle = engine.schedule(10.0, lambda: None)
+        for i in range(100):
+            engine.cancel(handle)
+            handle = engine.schedule(10.0 + i, lambda: None)
+            assert engine.pending() == self.scan(engine) == 1
