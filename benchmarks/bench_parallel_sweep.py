@@ -22,13 +22,17 @@ def _series(results):
 
 
 def test_parallel_sweep_matches_and_speeds_up(benchmark):
+    # cache off on both sides: this benchmark measures *live* execution
+    # (bench_cache.py measures the cache)
     t0 = time.perf_counter()
-    sequential = run_all(SWEEP, verbose=False, jobs=1)
+    sequential = run_all(SWEEP, verbose=False, jobs=1, cache_dir=None)
     t_seq = time.perf_counter() - t0
 
     jobs = available_parallelism()
     parallel = benchmark.pedantic(
-        lambda: run_all(SWEEP, verbose=False, jobs=jobs), rounds=1, iterations=1
+        lambda: run_all(SWEEP, verbose=False, jobs=jobs, cache_dir=None),
+        rounds=1,
+        iterations=1,
     )
     t_par = benchmark.stats.stats.mean
 

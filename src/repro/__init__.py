@@ -17,7 +17,7 @@ simulation of tiered-memory HPC clusters.  Public entry points:
 from importlib import import_module
 from typing import TYPE_CHECKING
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 _EXPORTS = {
     # environments
@@ -52,6 +52,9 @@ _EXPORTS = {
     "SlurmScheduler": "repro.scheduler",
     "NodeAgent": "repro.runtime",
     "WorkflowManager": "repro.wms",
+    # result cache
+    "CacheStats": "repro.cache",
+    "ResultCache": "repro.cache",
     # fault injection
     "FaultInjector": "repro.faults",
     "FaultKind": "repro.faults",
@@ -80,6 +83,7 @@ def __dir__():
 
 
 if TYPE_CHECKING:  # pragma: no cover - static typing only
+    from .cache import CacheStats, ResultCache  # noqa: F401
     from .core import (  # noqa: F401
         FlagPredictor,
         IntelligentPageMovement,

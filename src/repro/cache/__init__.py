@@ -1,0 +1,46 @@
+"""Content-addressed result cache for sweep cells.
+
+PR 2 made every sweep cell hermetic and seed-deterministic, so a cell's
+result is a pure function of (code, kwargs, seed).  This package turns
+that into incremental recompute: results persist on disk keyed by a
+digest of exactly those inputs, re-runs serve hits without dispatching
+workers, and editing a source module invalidates only the cells whose
+import closure contains it.
+
+* :mod:`~repro.cache.fingerprint` — static import-closure code digests.
+* :mod:`~repro.cache.keys` — cell-id / content-key derivation.
+* :mod:`~repro.cache.codec` — exact, versioned result serialization.
+* :mod:`~repro.cache.store` — atomic disk store with hit/miss stats.
+
+Wired through :func:`repro.parallel.map_ordered`,
+:func:`repro.experiments.common.sweep`, and the experiment runner
+(``python -m repro.experiments --cache-dir/--no-cache/--cache-stats``).
+"""
+
+from .codec import CODEC_VERSION, CodecError, decode, encode
+from .fingerprint import (
+    clear_fingerprint_caches,
+    closure_fingerprint,
+    import_closure,
+    module_fingerprint,
+)
+from .keys import CacheKey, CacheKeyError, canonicalize, cell_keys
+from .store import CacheStats, ResultCache, default_cache_dir
+
+__all__ = [
+    "CODEC_VERSION",
+    "CacheKey",
+    "CacheKeyError",
+    "CacheStats",
+    "CodecError",
+    "ResultCache",
+    "canonicalize",
+    "cell_keys",
+    "clear_fingerprint_caches",
+    "closure_fingerprint",
+    "decode",
+    "default_cache_dir",
+    "encode",
+    "import_closure",
+    "module_fingerprint",
+]

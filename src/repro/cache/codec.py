@@ -1,0 +1,188 @@
+"""Versioned, exact (de)serialization of sweep-cell results.
+
+The cache must hand back *byte-identical* tables, so the codec's contract
+is exactness, not generality: every value a cell returns — floats, ints,
+strings, lists, tuples, dicts with arbitrary keys, enums, dataclasses
+(:class:`~repro.experiments.common.FigureResult` included), numpy arrays
+and scalars — round-trips to an ``==``-equal object with the same types
+and the same numpy dtypes.  Floats travel as their shortest round-trip
+``repr`` (what :mod:`json` emits), numpy payloads as raw little-endian
+bytes next to their dtype string, so no precision is ever lost.
+
+The wire format is a JSON envelope ``{"codec": N, "payload": ...}``.
+Bumping :data:`CODEC_VERSION` makes every existing file unreadable, which
+the store treats as a miss — old caches age out instead of being
+misdecoded.  Anything the codec does not recognise raises
+:class:`CodecError` on encode (the cell is simply not cached) and on
+decode (the file is treated as corrupt).
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import enum
+import json
+from importlib import import_module
+from typing import Any
+
+import numpy as np
+
+__all__ = ["CODEC_VERSION", "CodecError", "decode", "encode"]
+
+#: bump when the wire format changes incompatibly
+CODEC_VERSION = 1
+
+#: numpy dtype kinds with stable, buffer-exact byte representations
+_NUMPY_KINDS = frozenset("biufcSU")
+
+#: tag key — plain dicts containing it are escaped into the tagged form
+_TAG = "__t__"
+
+
+class CodecError(ValueError):
+    """Raised for values the codec cannot represent or parse."""
+
+
+def _classpath(cls: type) -> str:
+    if "<locals>" in cls.__qualname__:
+        raise CodecError(f"cannot serialize local class {cls.__qualname__}")
+    return f"{cls.__module__}:{cls.__qualname__}"
+
+
+def _resolve_class(path: Any) -> type:
+    if not isinstance(path, str) or ":" not in path:
+        raise CodecError(f"malformed class path {path!r}")
+    modname, _, qualname = path.partition(":")
+    try:
+        obj: Any = import_module(modname)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+    except (ImportError, AttributeError) as exc:
+        raise CodecError(f"cannot resolve class {path!r}: {exc}") from exc
+    if not isinstance(obj, type):
+        raise CodecError(f"{path!r} is not a class")
+    return obj
+
+
+def _pack_bytes(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def _pack_array(arr: np.ndarray) -> dict[str, Any]:
+    if arr.dtype.kind not in _NUMPY_KINDS:
+        raise CodecError(f"unsupported ndarray dtype {arr.dtype!r}")
+    return {
+        _TAG: "nd",
+        "dtype": arr.dtype.str,
+        "shape": list(arr.shape),
+        "data": _pack_bytes(np.ascontiguousarray(arr).tobytes()),
+    }
+
+
+def _pack(obj: Any) -> Any:
+    # numpy scalars first: np.float64 subclasses float and would otherwise
+    # lose its dtype through the primitive branch
+    if isinstance(obj, np.ndarray):
+        return _pack_array(obj)
+    if isinstance(obj, np.generic):
+        if obj.dtype.kind not in _NUMPY_KINDS:
+            raise CodecError(f"unsupported numpy scalar dtype {obj.dtype!r}")
+        return {
+            _TAG: "npv",
+            "dtype": obj.dtype.str,
+            "data": _pack_bytes(obj.tobytes()),
+        }
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj
+    if isinstance(obj, bytes):
+        return {_TAG: "bytes", "data": _pack_bytes(obj)}
+    if isinstance(obj, enum.Enum):
+        return {_TAG: "enum", "cls": _classpath(type(obj)), "name": obj.name}
+    if isinstance(obj, tuple):
+        return {_TAG: "tuple", "v": [_pack(v) for v in obj]}
+    if isinstance(obj, list):
+        return [_pack(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        raise CodecError("sets have no deterministic order; not cacheable")
+    if isinstance(obj, dict):
+        if all(isinstance(k, str) for k in obj) and _TAG not in obj:
+            return {k: _pack(v) for k, v in obj.items()}
+        return {_TAG: "dict", "v": [[_pack(k), _pack(v)] for k, v in obj.items()]}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: _pack(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+            if f.init
+        }
+        return {_TAG: "dc", "cls": _classpath(type(obj)), "fields": fields}
+    raise CodecError(f"cannot serialize {type(obj).__name__} value")
+
+
+def _unpack(obj: Any) -> Any:
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, list):
+        return [_unpack(v) for v in obj]
+    if isinstance(obj, dict):
+        tag = obj.get(_TAG)
+        if tag is None:
+            return {k: _unpack(v) for k, v in obj.items()}
+        if tag == "tuple":
+            return tuple(_unpack(v) for v in obj["v"])
+        if tag == "dict":
+            return {_unpack(k): _unpack(v) for k, v in obj["v"]}
+        if tag == "bytes":
+            return base64.b64decode(obj["data"])
+        if tag == "enum":
+            cls = _resolve_class(obj["cls"])
+            if not issubclass(cls, enum.Enum):
+                raise CodecError(f"{obj['cls']!r} is not an Enum")
+            return cls[obj["name"]]
+        if tag == "nd":
+            arr = np.frombuffer(
+                base64.b64decode(obj["data"]), dtype=np.dtype(obj["dtype"])
+            )
+            return arr.reshape(obj["shape"]).copy()
+        if tag == "npv":
+            dtype = np.dtype(obj["dtype"])
+            return np.frombuffer(base64.b64decode(obj["data"]), dtype=dtype)[0]
+        if tag == "dc":
+            cls = _resolve_class(obj["cls"])
+            if not dataclasses.is_dataclass(cls):
+                raise CodecError(f"{obj['cls']!r} is not a dataclass")
+            return cls(**{k: _unpack(v) for k, v in obj["fields"].items()})
+        raise CodecError(f"unknown tag {tag!r}")
+    raise CodecError(f"cannot deserialize {type(obj).__name__} node")
+
+
+def encode(obj: Any) -> bytes:
+    """Serialize ``obj``; raises :class:`CodecError` for unsupported values."""
+    try:
+        envelope = {"codec": CODEC_VERSION, "payload": _pack(obj)}
+        return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError, OverflowError) as exc:
+        if isinstance(exc, CodecError):
+            raise
+        raise CodecError(str(exc)) from exc
+
+
+def decode(data: bytes) -> Any:
+    """Inverse of :func:`encode`; raises :class:`CodecError` for anything
+    malformed, truncated, or written by a different codec version."""
+    try:
+        envelope = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"unreadable cache payload: {exc}") from exc
+    if not isinstance(envelope, dict) or envelope.get("codec") != CODEC_VERSION:
+        raise CodecError("missing or incompatible codec version")
+    if "payload" not in envelope:
+        raise CodecError("envelope has no payload")
+    try:
+        return _unpack(envelope["payload"])
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, CodecError):
+            raise
+        raise CodecError(str(exc)) from exc

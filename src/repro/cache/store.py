@@ -1,0 +1,159 @@
+"""Disk-backed, content-addressed store for sweep-cell results.
+
+Layout: one file per logical cell, named by the cell id
+(``<root>/<id[:2]>/<id>.json``), each holding a codec envelope of
+``{"content_key": ..., "result": ...}``.  Reads validate the stored
+content key against the probe's; a mismatch means the code fingerprint or
+repro version moved underneath the result — counted as an
+*invalidation* and served as a miss, after which the recompute's
+:meth:`ResultCache.put` overwrites the stale file in place.
+
+Writes are crash- and concurrency-safe under the fork pool and under
+concurrent CLI runs: the envelope is written to a temp file in the same
+directory and :func:`os.replace`-d over the target, so readers only ever
+see complete files and the last writer wins.  Anything unreadable —
+truncated, corrupt, foreign codec version — is a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+from .codec import CodecError, decode, encode
+from .keys import CacheKey
+
+__all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
+
+#: environment override for the default cache location
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro/cells``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    return Path("~/.cache/repro/cells").expanduser()
+
+
+@dataclass
+class CacheStats:
+    """Probe/write counters for one :class:`ResultCache` instance.
+
+    ``invalidations`` and ``corrupt`` are subsets of ``misses``;
+    ``uncacheable`` counts results the codec refused to serialize.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    corrupt: int = 0
+    writes: int = 0
+    uncacheable: int = 0
+
+    def merge(self, other: "CacheStats") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def summary(self) -> str:
+        out = f"{self.hits} hits / {self.misses} misses"
+        if self.invalidations:
+            out += f" ({self.invalidations} invalidated)"
+        if self.corrupt:
+            out += f" ({self.corrupt} corrupt)"
+        return out
+
+
+class ResultCache:
+    """Content-addressed result cache rooted at one directory.
+
+    Instances are cheap (a path plus counters) and picklable, so they can
+    ride into pool workers; counters are per-instance and are *not*
+    shared across processes — callers who fan out collect each worker's
+    :attr:`stats` snapshot and merge.
+    """
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def path_for(self, key: CacheKey) -> Path:
+        return self.root / key.cell_id[:2] / f"{key.cell_id}.json"
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: Optional[CacheKey]) -> Tuple[bool, Any]:
+        """``(True, result)`` on a valid hit, else ``(False, None)``.
+
+        ``None`` keys (uncacheable cells) are misses.  Unreadable files
+        and stale content keys are misses too — never exceptions.
+        """
+        if key is None:
+            self.stats.misses += 1
+            return False, None
+        path = self.path_for(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return False, None
+        try:
+            envelope = decode(data)
+            stored_key = envelope["content_key"]
+            result = envelope["result"]
+        except (CodecError, KeyError, TypeError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return False, None
+        if stored_key != key.content_key:
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return False, None
+        self.stats.hits += 1
+        return True, result
+
+    def put(self, key: Optional[CacheKey], result: Any) -> bool:
+        """Atomically persist ``result``; False when it cannot be cached."""
+        if key is None:
+            return False
+        try:
+            data = encode({"content_key": key.content_key, "result": result})
+        except CodecError:
+            self.stats.uncacheable += 1
+            return False
+        path = self.path_for(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            return False
+        self.stats.writes += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached result; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("??/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ResultCache({str(self.root)!r}, {self.stats.summary()})"

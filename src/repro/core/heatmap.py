@@ -71,9 +71,19 @@ class PageHeatmap:
         self, memory: NodeMemorySystem, dt: float, rates: dict[str, float] | None = None
     ) -> None:
         """Advance every registered pageset; ``rates`` optionally maps
-        owner → relative access rate (idle tasks decay only)."""
+        owner → relative access rate (idle tasks decay only).
+
+        The zero-work skip is hoisted here: an idle owner (rate 0) whose
+        pageset is stone cold gets no :meth:`advance` call at all, so the
+        idle majority of a large colocation costs one ``any()`` per tick
+        instead of a call plus decay arithmetic.
+        """
+        if dt <= 0:
+            return
         for ps in memory.pagesets():
             rate = 1.0 if rates is None else rates.get(ps.owner, 0.0)
+            if rate <= 0.0 and not ps.temperature.any():
+                continue
             self.advance(ps, dt, rate)
 
     # ------------------------------------------------------------------ #

@@ -101,6 +101,10 @@ class IntelligentPageMovement:
         for ps in list(mem.pagesets()):
             if budget_bytes <= 0:
                 return
+            # all-cold pagesets can never clear promote_threshold, so skip
+            # the candidate scan outright (idle tasks dominate large nodes)
+            if cfg.promote_threshold > 0 and not ps.temperature.any():
+                continue
             hot_swap = ps.hottest_in(SWAP, budget_bytes // ps.chunk_size)
             hot_swap = hot_swap[ps.temperature[hot_swap] >= cfg.promote_threshold]
             if hot_swap.size:
@@ -115,6 +119,8 @@ class IntelligentPageMovement:
         for ps in list(mem.pagesets()):
             if budget_bytes <= 0:
                 return
+            if cfg.promote_threshold > 0 and not ps.temperature.any():
+                continue
             for tier in (PMEM, CXL):
                 hot = ps.hottest_in(tier, budget_bytes // ps.chunk_size)
                 hot = hot[ps.temperature[hot] >= cfg.promote_threshold]

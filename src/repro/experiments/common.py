@@ -13,7 +13,8 @@ functions accept overrides so tests can run smaller still.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Optional, Sequence
+from functools import partial
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -30,6 +31,9 @@ from ..workflows.ensembles import make_ensemble
 from ..workflows.library import paper_workload_suite
 from ..workflows.task import TaskSpec, WorkloadClass
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.store import ResultCache
+
 __all__ = [
     "SCALE",
     "CHUNK",
@@ -37,6 +41,7 @@ __all__ = [
     "FigureResult",
     "SweepCell",
     "SweepSpec",
+    "cell_cache_key",
     "sweep",
     "colocated_mix",
     "build_env",
@@ -150,15 +155,47 @@ def _run_sweep_cell(cell: SweepCell) -> Any:
     return cell.run()
 
 
-def sweep(spec: SweepSpec, *, jobs: Optional[int] = None) -> dict[str, Any]:
+def cell_cache_key(spec: SweepSpec, cell: SweepCell):
+    """The cell's :class:`~repro.cache.CacheKey`, or ``None`` when some
+    kwarg has no canonical form (the cell then always runs live)."""
+    from ..cache.keys import CacheKeyError, cell_keys
+
+    try:
+        return cell_keys(
+            cell.fn,
+            cell.kwargs,
+            seed=spec.cell_seed(cell.key),
+            extra={"sweep": spec.name, "cell": cell.key, "base_seed": spec.base_seed},
+        )
+    except CacheKeyError:
+        return None
+
+
+def sweep(
+    spec: SweepSpec,
+    *,
+    jobs: Optional[int] = None,
+    cache: "Optional[ResultCache]" = None,
+) -> dict[str, Any]:
     """Run every cell of ``spec`` and return ``{key: result}`` in cell order.
 
     ``jobs`` follows :func:`~repro.parallel.resolve_jobs` (``None``/1 →
     in-process, 0 → all cores).  Collection order is the cell order
     regardless of which worker finished first, so downstream tables are
     byte-identical to a sequential run.
+
+    With a ``cache`` (:class:`~repro.cache.ResultCache`), cells whose
+    stored result is still valid are served without dispatching a worker;
+    only the misses execute, and their results are written back atomically
+    from this process after ordered collection.
     """
-    results = map_ordered(_run_sweep_cell, spec.cells, jobs=jobs)
+    results = map_ordered(
+        _run_sweep_cell,
+        spec.cells,
+        jobs=jobs,
+        cache=cache,
+        cache_key=None if cache is None else partial(cell_cache_key, spec),
+    )
     return {cell.key: res for cell, res in zip(spec.cells, results)}
 
 

@@ -15,6 +15,8 @@ into strictly more completed work.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..envs.environments import EnvKind
 from ..memory.tiers import CXL, DRAM, PMEM
 from ..metrics.timeline import UtilizationSampler
@@ -28,6 +30,9 @@ from .common import (
     sweep,
 )
 from .fig05_exec_time import DEFAULT_MIX
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.store import ResultCache
 
 __all__ = ["run_utilization"]
 
@@ -69,6 +74,7 @@ def run_utilization(
     sample_interval: float = 2.0,
     seed: int = 0,
     jobs: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="ext-utilization",
@@ -87,7 +93,7 @@ def run_utilization(
             sample_interval=sample_interval,
             seed=seed,
         )
-    for key, series in sweep(spec, jobs=jobs).items():
+    for key, series in sweep(spec, jobs=jobs, cache=cache).items():
         result.add_series(key, series)
     result.notes.append(
         "CBE fills DRAM with thrash (high occupancy, low throughput); IMME "

@@ -9,6 +9,8 @@ for bandwidth-intensive workflows (multi-path tier striping).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..envs.environments import EnvKind
 from ..metrics.report import improvement
 from ..workflows.task import WorkloadClass
@@ -24,6 +26,9 @@ from .common import (
     run_and_collect,
     sweep,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.store import ResultCache
 
 __all__ = ["run_fig05", "ENV_ORDER"]
 
@@ -66,6 +71,7 @@ def run_fig05(
     chunk_size: int = CHUNK,
     seed: int = 0,
     jobs: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> FigureResult:
     if instances_per_class is None:
         instances_per_class = dict(DEFAULT_MIX)
@@ -86,7 +92,7 @@ def run_fig05(
             chunk_size=chunk_size,
             seed=seed,
         )
-    for key, series in sweep(spec, jobs=jobs).items():
+    for key, series in sweep(spec, jobs=jobs, cache=cache).items():
         result.add_series(key, series)
 
     best = {}

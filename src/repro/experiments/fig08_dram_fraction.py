@@ -10,6 +10,8 @@ classes showing the biggest IMME-vs-IE gaps (85 % / 71 % on average).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..envs.environments import EnvKind, make_environment
 from ..metrics.report import improvement
 from ..util.rng import RngFactory
@@ -25,6 +27,9 @@ from .common import (
     run_and_collect,
     sweep,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.store import ResultCache
 
 __all__ = ["run_fig08"]
 
@@ -62,6 +67,7 @@ def run_fig08(
     seed: int = 0,
     classes: tuple[WorkloadClass, ...] = CLASS_ORDER,
     jobs: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="fig08",
@@ -84,7 +90,7 @@ def run_fig08(
                 chunk_size=chunk_size,
                 seed=seed,
             )
-    for key, series in sweep(spec, jobs=jobs).items():
+    for key, series in sweep(spec, jobs=jobs, cache=cache).items():
         result.add_series(key, series)
     for cls in classes:
         for i in range(len(fractions)):

@@ -11,6 +11,8 @@ versus default swapping.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..envs.environments import EnvKind
@@ -29,6 +31,9 @@ from .common import (
     run_and_collect,
     sweep,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.store import ResultCache
 
 __all__ = ["run_fig09"]
 
@@ -65,6 +70,7 @@ def run_fig09(
     chunk_size: int = CHUNK,
     seed: int = 0,
     jobs: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> FigureResult:
     if instances_per_class is None:
         instances_per_class = dict(DEFAULT_MIX)
@@ -87,7 +93,7 @@ def run_fig09(
         )
     exec_means = {}
     traffic = {}
-    for key, cell in sweep(spec, jobs=jobs).items():
+    for key, cell in sweep(spec, jobs=jobs, cache=cache).items():
         result.add_series(f"{key}:major", cell["major"])
         result.add_series(f"{key}:minor", cell["minor"])
         exec_means[key] = cell["exec_mean"]

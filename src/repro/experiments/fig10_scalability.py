@@ -11,6 +11,8 @@ because shared CXL image staging removes the network pull storm
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..envs.environments import EnvKind
 from ..metrics.report import improvement
 from ..util.rng import RngFactory
@@ -24,6 +26,9 @@ from .common import (
     run_and_collect,
     sweep,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.store import ResultCache
 
 __all__ = ["run_fig10"]
 
@@ -57,6 +62,7 @@ def run_fig10(
     chunk_size: int = CHUNK,
     seed: int = 0,
     jobs: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> FigureResult:
     specs = paper_batch(total_instances, scale=scale, rng_factory=RngFactory(seed))
     result = FigureResult(
@@ -87,7 +93,7 @@ def run_fig10(
                 chunk_size=chunk_size,
                 seed=seed,
             )
-    cells = sweep(spec, jobs=jobs)
+    cells = sweep(spec, jobs=jobs, cache=cache)
     startup = {}
     for kind in ENVS:
         series = [cells[f"{kind.name}:{n}n"][0] for n in node_counts]

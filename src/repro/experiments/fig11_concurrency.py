@@ -9,6 +9,8 @@ the high end, and improvements up to 19 %/48 %/4 % vs IE/CBE/TME.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..envs.environments import EnvKind
 from ..metrics.report import improvement
 from ..util.rng import RngFactory
@@ -22,6 +24,9 @@ from .common import (
     run_and_collect,
     sweep,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.store import ResultCache
 
 __all__ = ["run_fig11"]
 
@@ -55,6 +60,7 @@ def run_fig11(
     chunk_size: int = CHUNK,
     seed: int = 0,
     jobs: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> FigureResult:
     result = FigureResult(
         figure="fig11",
@@ -84,7 +90,7 @@ def run_fig11(
                 chunk_size=chunk_size,
                 seed=seed,
             )
-    cells = sweep(spec, jobs=jobs)
+    cells = sweep(spec, jobs=jobs, cache=cache)
     for kind in ENVS:
         result.add_series(kind.name, [cells[f"{kind.name}:{c}"] for c in instance_counts])
 

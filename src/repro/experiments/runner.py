@@ -6,6 +6,16 @@ and prints their tables; ``--out FILE`` also writes a markdown report
 independent experiments out across ``N`` worker processes (0 = all
 cores) — tables are byte-identical to the sequential run because results
 are collected in registry order and every experiment is hermetic.
+
+Hermeticity also makes results cacheable: by default every run consults
+the content-addressed result cache (:mod:`repro.cache`), at two levels —
+whole experiments here, and individual sweep cells inside the harnesses
+that accept ``cache=``.  A warm re-run serves everything from disk with
+byte-identical tables; editing any module in an experiment's import
+closure (or bumping the repro version) invalidates exactly the entries
+that depend on it.  ``--no-cache`` restores pure live execution,
+``--cache-dir`` relocates the store, ``--cache-stats`` prints the
+per-experiment hit/miss/invalidation counts.
 """
 
 from __future__ import annotations
@@ -14,9 +24,12 @@ import argparse
 import inspect
 import sys
 import time
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 
 from ..parallel import map_ordered
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.store import ResultCache
 
 from .cold_pages import run_cold_pages
 from .common import FigureResult
@@ -64,20 +77,87 @@ ALL_EXPERIMENTS: dict[str, Callable[[], FigureResult]] = {
 }
 
 
-def _run_one(name: str, jobs: int = 1) -> tuple[FigureResult, float]:
+#: ``cache_dir`` sentinel: open the default store (REPRO_CACHE_DIR or
+#: ``~/.cache/repro/cells``); pass ``None`` to disable caching entirely.
+DEFAULT_CACHE = "auto"
+
+
+def _open_cache(cache_dir: Optional[str]) -> "Optional[ResultCache]":
+    if cache_dir is None:
+        return None
+    from ..cache.store import ResultCache, default_cache_dir
+
+    return ResultCache(default_cache_dir() if cache_dir == DEFAULT_CACHE else cache_dir)
+
+
+def _experiment_key(name: str, fn: Callable[..., FigureResult]):
+    """Whole-experiment cache key (kwargs-free: ``jobs``/``cache`` never
+    change the result), or ``None`` when no stable key exists."""
+    from ..cache.keys import CacheKeyError, cell_keys
+
+    try:
+        return cell_keys(fn, {}, seed=0, extra={"experiment": name})
+    except CacheKeyError:  # pragma: no cover - registry fns are plain
+        return None
+
+
+def _run_one(
+    name: str, jobs: int = 1, cache_dir: Optional[str] = None
+) -> tuple[FigureResult, float, Optional[dict[str, int]]]:
     """Run one experiment, forwarding ``jobs`` to harnesses whose inner
-    sweeps accept it.  Top-level and picklable, so it can be a pool task."""
+    sweeps accept it.  Top-level and picklable, so it can be a pool task.
+
+    With a cache, the whole experiment's :class:`FigureResult` is served
+    from disk when still valid; on a miss the harness runs (with per-cell
+    caching when it accepts ``cache=``) and the result is written back.
+    Returns ``(result, elapsed, cache stats or None)`` — stats come from
+    this process's cache instance, so pool workers report their own.
+    """
     fn = ALL_EXPERIMENTS[name]
+    cache = _open_cache(cache_dir)
     t0 = time.perf_counter()
-    if jobs != 1 and "jobs" in inspect.signature(fn).parameters:
-        result = fn(jobs=jobs)
+    kwargs: dict[str, Any] = {}
+    params = inspect.signature(fn).parameters
+    if jobs != 1 and "jobs" in params:
+        kwargs["jobs"] = jobs
+    if cache is not None and "cache" in params:
+        kwargs["cache"] = cache
+    if cache is not None:
+        key = _experiment_key(name, fn)
+        hit, result = cache.get(key)
+        if not hit:
+            result = fn(**kwargs)
+            cache.put(key, result)
     else:
-        result = fn()
-    return result, time.perf_counter() - t0
+        result = fn(**kwargs)
+    elapsed = time.perf_counter() - t0
+    stats = cache.stats.as_dict() if cache is not None else None
+    return result, elapsed, stats
 
 
-def _run_one_cell(name: str) -> tuple[FigureResult, float]:
-    return _run_one(name)
+def _run_one_cell(item: "tuple[str, Optional[str]]") -> tuple[FigureResult, float, Optional[dict[str, int]]]:
+    name, cache_dir = item
+    return _run_one(name, cache_dir=cache_dir)
+
+
+def _format_cache_stats(per_experiment: "dict[str, Optional[dict[str, int]]]") -> str:
+    lines = ["result cache (hits / misses / invalidated / corrupt / written):"]
+    total = {k: 0 for k in ("hits", "misses", "invalidations", "corrupt", "writes")}
+    for name, stats in per_experiment.items():
+        if stats is None:
+            lines.append(f"  {name:<18} (cache disabled)")
+            continue
+        lines.append(
+            f"  {name:<18} {stats['hits']:>4} / {stats['misses']:>4} / "
+            f"{stats['invalidations']:>4} / {stats['corrupt']:>4} / {stats['writes']:>4}"
+        )
+        for k in total:
+            total[k] += stats[k]
+    lines.append(
+        f"  {'total':<18} {total['hits']:>4} / {total['misses']:>4} / "
+        f"{total['invalidations']:>4} / {total['corrupt']:>4} / {total['writes']:>4}"
+    )
+    return "\n".join(lines)
 
 
 def run_all(
@@ -85,6 +165,8 @@ def run_all(
     *,
     verbose: bool = True,
     jobs: int = 1,
+    cache_dir: Optional[str] = DEFAULT_CACHE,
+    cache_stats: bool = False,
 ) -> dict[str, FigureResult]:
     """Run the selected experiments (all by default), returning results.
 
@@ -92,21 +174,39 @@ def run_all(
     fan out across a process pool; a single selected experiment instead
     forwards ``jobs`` to its internal sweep.  Results (and printed tables)
     keep selection order either way.
+
+    ``cache_dir`` controls the result cache: the default sentinel opens
+    the standard store, a path opens that store, and ``None`` disables
+    caching (pure live execution, zero cache overhead).  Cached re-runs
+    produce byte-identical tables; ``cache_stats=True`` prints the
+    per-experiment hit/miss/invalidation summary.
     """
     selected = list(names) if names else list(ALL_EXPERIMENTS)
     for name in selected:
         if name not in ALL_EXPERIMENTS:
             raise KeyError(f"unknown experiment {name!r}; choose from {list(ALL_EXPERIMENTS)}")
     if jobs != 1 and len(selected) == 1:
-        outcomes = [_run_one(selected[0], jobs=jobs)]
+        outcomes = [_run_one(selected[0], jobs=jobs, cache_dir=cache_dir)]
     else:
-        outcomes = map_ordered(_run_one_cell, selected, jobs=jobs)
+        outcomes = map_ordered(
+            _run_one_cell, [(name, cache_dir) for name in selected], jobs=jobs
+        )
     results: dict[str, FigureResult] = {}
-    for name, (result, elapsed) in zip(selected, outcomes):
+    per_experiment: dict[str, Optional[dict[str, int]]] = {}
+    for name, (result, elapsed, stats) in zip(selected, outcomes):
         results[name] = result
+        per_experiment[name] = stats
         if verbose:
+            line = f"  [{name} regenerated in {elapsed:.1f}s"
+            if stats is not None:
+                line += (
+                    f"; cache: {stats['hits']} hits, {stats['misses']} misses"
+                    + (f", {stats['invalidations']} invalidated" if stats["invalidations"] else "")
+                )
             print(result.to_table())
-            print(f"  [{name} regenerated in {elapsed:.1f}s]\n")
+            print(line + "]\n")
+    if cache_stats:
+        print(_format_cache_stats(per_experiment))
     return results
 
 
@@ -143,8 +243,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="N",
         help="worker processes for independent experiments (0 = all cores, default 1)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="result-cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro/cells)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache: recompute everything live",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print per-experiment cache hit/miss/invalidation counts",
+    )
     args = parser.parse_args(argv)
-    results = run_all(args.experiments or None, verbose=not args.quiet, jobs=args.jobs)
+    cache_dir = None if args.no_cache else (args.cache_dir or DEFAULT_CACHE)
+    results = run_all(
+        args.experiments or None,
+        verbose=not args.quiet,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        cache_stats=args.cache_stats,
+    )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(to_markdown(results))

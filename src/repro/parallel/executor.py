@@ -56,11 +56,24 @@ def _call(fn: Callable[[Any], _T], item: Any) -> _T:
     return fn(item)
 
 
+def _map_dispatch(fn: Callable[[Any], _T], items: "list[Any]", jobs: Optional[int]) -> list[_T]:
+    """The raw ordered fan-out: pool when worthwhile, loop otherwise."""
+    n_jobs = min(resolve_jobs(jobs), len(items))
+    if n_jobs <= 1 or len(items) < 2 or not supports_fork() or _IN_WORKER:
+        return [fn(item) for item in items]
+    ctx = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(max_workers=n_jobs, mp_context=ctx) as pool:
+        # Executor.map preserves input order and re-raises worker errors.
+        return list(pool.map(_call, [fn] * len(items), items))
+
+
 def map_ordered(
     fn: Callable[[Any], _T],
     items: Sequence[Any],
     *,
     jobs: Optional[int] = None,
+    cache: Optional[Any] = None,
+    cache_key: Optional[Callable[[Any], Any]] = None,
 ) -> list[_T]:
     """``[fn(item) for item in items]`` — possibly across a process pool.
 
@@ -69,13 +82,31 @@ def map_ordered(
     cannot fork, there are fewer than two items, or we are already
     inside a worker (no nested pools).  Worker exceptions propagate to
     the caller; the pool is torn down either way.
+
+    ``cache`` + ``cache_key`` enable memoization (the sweep-cell result
+    cache, :mod:`repro.cache`): ``cache_key(item)`` derives each item's
+    key (``None`` → uncacheable, always computed), ``cache.get(key)``
+    returns ``(hit, result)``, and ``cache.put(key, result)`` persists.
+    Hits skip worker dispatch entirely — only the misses fan out — and
+    write-back happens in *this* process after ordered collection, so
+    pool workers never touch the store.
     """
     items = list(items)
-    n_jobs = min(resolve_jobs(jobs), len(items))
     require(callable(fn), "fn must be callable")
-    if n_jobs <= 1 or len(items) < 2 or not supports_fork() or _IN_WORKER:
-        return [fn(item) for item in items]
-    ctx = multiprocessing.get_context("fork")
-    with ProcessPoolExecutor(max_workers=n_jobs, mp_context=ctx) as pool:
-        # Executor.map preserves input order and re-raises worker errors.
-        return list(pool.map(_call, [fn] * len(items), items))
+    if cache is None or cache_key is None:
+        return _map_dispatch(fn, items, jobs)
+    keys = [cache_key(item) for item in items]
+    results: list[Any] = [None] * len(items)
+    miss_idx: list[int] = []
+    for i, key in enumerate(keys):
+        hit, value = cache.get(key)
+        if hit:
+            results[i] = value
+        else:
+            miss_idx.append(i)
+    if miss_idx:
+        computed = _map_dispatch(fn, [items[i] for i in miss_idx], jobs)
+        for i, value in zip(miss_idx, computed):
+            results[i] = value
+            cache.put(keys[i], value)
+    return results

@@ -24,6 +24,25 @@ from repro.workflows.task import TaskPhase, TaskSpec, WorkloadClass
 CHUNK = KiB(64)
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_cache(tmp_path_factory):
+    """Point the default result cache at a per-session temp dir.
+
+    ``run_all`` caches by default; without this, test runs would write to
+    (and on re-runs read from) the user's ~/.cache, coupling test results
+    to whatever earlier runs left behind.
+    """
+    import os
+
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("result-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
 def small_specs(
     dram=MiB(4), pmem=MiB(8), cxl=MiB(64), swap=MiB(64)
 ) -> dict[TierKind, TierSpec]:

@@ -1,0 +1,244 @@
+"""Result-codec round-trips: every FigureResult the harnesses produce must
+survive encode/decode byte-identically (to_csv/to_table), and a cached run
+must be indistinguishable from a live one."""
+
+import dataclasses
+import enum
+
+import numpy as np
+import pytest
+
+from repro.cache import CODEC_VERSION, CodecError, ResultCache, cell_keys, decode, encode
+from repro.experiments import (
+    run_ablations,
+    run_cold_pages,
+    run_colocation,
+    run_decomposition,
+    run_failures,
+    run_fig05,
+    run_fig08,
+    run_fig09,
+    run_fig10,
+    run_fig11,
+    run_open_system,
+    run_predictor_learning,
+    run_resilience,
+    run_shared_inputs,
+    run_utilization,
+    run_validation,
+)
+from repro.experiments.common import FigureResult
+from repro.util.units import KiB
+from repro.workflows.task import WorkloadClass
+
+TINY = 1.0 / 512.0
+CHUNK = KiB(256)
+MIX1 = {
+    WorkloadClass.DL: 2,
+    WorkloadClass.DM: 2,
+    WorkloadClass.DC: 1,
+    WorkloadClass.SC: 1,
+}
+
+
+def roundtrip(obj):
+    return decode(encode(obj))
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -(2**40),
+            1.5,
+            -0.0,
+            float("inf"),
+            "text",
+            "uniçode",
+            b"\x00\xffraw",
+            (1, (2, "a")),
+            [1.0, [2.0]],
+            {"k": [1, 2], "nested": {"x": (1,)}},
+            {1: "int-key", (2, 3): "tuple-key"},
+            {"__t__": "looks-tagged"},
+            WorkloadClass.DL,
+            {WorkloadClass.SC: 4},
+        ],
+    )
+    def test_exact_roundtrip(self, value):
+        out = roundtrip(value)
+        assert out == value
+        assert type(out) is type(value)
+
+    def test_nan_roundtrips(self):
+        out = roundtrip(float("nan"))
+        assert isinstance(out, float) and out != out
+
+    def test_float_precision_exact(self):
+        for v in [0.1, 1 / 3, 2**-1074, 1.7976931348623157e308]:
+            assert roundtrip(v) == v
+
+    def test_tuple_vs_list_preserved(self):
+        assert type(roundtrip((1, 2))) is tuple
+        assert type(roundtrip([1, 2])) is list
+
+
+class TestNumpy:
+    @pytest.mark.parametrize(
+        "arr",
+        [
+            np.arange(6, dtype=np.int32),
+            np.linspace(0, 1, 7, dtype=np.float32),
+            np.array([], dtype=np.float64),
+            np.array([[1, 2], [3, 4]], dtype=np.uint8),
+            np.array([True, False]),
+            np.array([1 + 2j], dtype=np.complex128),
+        ],
+        ids=["i32", "f32", "empty", "2d-u8", "bool", "c128"],
+    )
+    def test_arrays_preserve_dtype_shape_values(self, arr):
+        out = roundtrip(arr)
+        assert out.dtype == arr.dtype
+        assert out.shape == arr.shape
+        np.testing.assert_array_equal(out, arr)
+
+    def test_scalars_preserve_type(self):
+        for v in [np.float64(2.5), np.float32(0.1), np.int64(-3), np.bool_(True)]:
+            out = roundtrip(v)
+            assert type(out) is type(v)
+            assert out == v
+
+    def test_object_arrays_rejected(self):
+        with pytest.raises(CodecError):
+            encode(np.array([object()], dtype=object))
+
+
+class TestStructured:
+    def test_dataclass_roundtrip(self):
+        r = FigureResult("figX", "desc", ["a", "b"])
+        r.add_series("s", [1.0, 2.0])
+        r.notes.append("note")
+        out = roundtrip(r)
+        assert isinstance(out, FigureResult)
+        assert out == r
+
+    def test_unsupported_types_rejected(self):
+        for bad in [object(), {1, 2}, lambda: None, type("L", (), {})()]:
+            with pytest.raises(CodecError):
+                encode(bad)
+
+    def test_local_dataclass_rejected(self):
+        @dataclasses.dataclass
+        class Local:
+            x: int = 1
+
+        with pytest.raises(CodecError):
+            encode(Local())
+
+    def test_local_enum_rejected(self):
+        class LocalE(enum.Enum):
+            A = 1
+
+        with pytest.raises(CodecError):
+            encode(LocalE.A)
+
+    def test_envelope_is_versioned(self):
+        import json
+
+        env = json.loads(encode({"x": 1}))
+        assert env["codec"] == CODEC_VERSION
+
+    def test_foreign_codec_version_rejected(self):
+        with pytest.raises(CodecError):
+            decode(b'{"codec": 0, "payload": null}')
+
+
+HARNESSES = [
+    ("fig05", lambda: run_fig05(scale=TINY, instances_per_class=MIX1, chunk_size=CHUNK)),
+    (
+        "fig08",
+        lambda: run_fig08(
+            scale=TINY,
+            instances_per_class=1,
+            fractions=(0.25, 1.0),
+            chunk_size=CHUNK,
+            classes=(WorkloadClass.DM,),
+        ),
+    ),
+    ("fig09", lambda: run_fig09(scale=TINY, instances_per_class=MIX1, chunk_size=CHUNK)),
+    (
+        "fig10",
+        lambda: run_fig10(scale=TINY, total_instances=8, node_counts=(2, 4), chunk_size=CHUNK),
+    ),
+    (
+        "fig11",
+        lambda: run_fig11(scale=TINY, instance_counts=(4, 12), n_nodes=2, chunk_size=CHUNK),
+    ),
+    ("ext-utilization", lambda: run_utilization(scale=TINY, chunk_size=CHUNK)),
+    ("ext-shared-inputs", lambda: run_shared_inputs(scale=TINY, instances=3, chunk_size=CHUNK)),
+    ("ext-failures", lambda: run_failures(scale=TINY, instances=3, chunk_size=CHUNK)),
+    ("ext-resilience", lambda: run_resilience(scale=TINY, instances=3, chunk_size=CHUNK)),
+    (
+        "ext-open-system",
+        lambda: run_open_system(scale=TINY, rates=(0.05, 0.2), stream_length=4, chunk_size=CHUNK),
+    ),
+    (
+        "ext-colocation",
+        lambda: run_colocation(scale=TINY, total_instances=8, n_nodes=2, chunk_size=CHUNK),
+    ),
+    ("ext-predictor", lambda: run_predictor_learning(scale=TINY, runs=2, chunk_size=CHUNK)),
+    ("ext-decomposition", lambda: run_decomposition(scale=TINY, dm_instances=2, chunk_size=CHUNK)),
+    ("ext-validation", lambda: run_validation(chunk_size=CHUNK)),
+    ("ext-ablations", lambda: run_ablations(scale=TINY, chunk_size=CHUNK)),
+    ("cold-pages", lambda: run_cold_pages(scale=TINY, chunk_size=CHUNK)),
+]
+
+
+class TestHarnessRoundTrips:
+    @pytest.mark.parametrize("fn", [fn for _, fn in HARNESSES], ids=[n for n, _ in HARNESSES])
+    def test_figure_result_roundtrips_byte_identical(self, fn):
+        live = fn()
+        cached = roundtrip(live)
+        assert isinstance(cached, FigureResult)
+        assert cached == live
+        assert cached.to_csv() == live.to_csv()
+        assert cached.to_table() == live.to_table()
+        for name, vals in cached.series.items():
+            assert [type(v) for v in vals] == [type(v) for v in live.series[name]]
+
+
+class TestCachedRunEqualsLive:
+    @pytest.mark.parametrize(
+        "fn",
+        [run_fig05, run_fig09, run_utilization],
+        ids=["fig05", "fig09", "ext-utilization"],
+    )
+    def test_cached_to_csv_byte_identical_to_live(self, fn, tmp_path):
+        kwargs = (
+            {"scale": TINY, "chunk_size": CHUNK}
+            if fn is run_utilization
+            else {"scale": TINY, "instances_per_class": MIX1, "chunk_size": CHUNK}
+        )
+        live = fn(**kwargs)
+        cache = ResultCache(tmp_path)
+        cold = fn(cache=cache, **kwargs)
+        assert cache.stats.writes > 0
+        warm_cache = ResultCache(tmp_path)
+        warm = fn(cache=warm_cache, **kwargs)
+        assert warm_cache.stats.hits > 0 and warm_cache.stats.misses == 0
+        assert cold.to_csv() == live.to_csv()
+        assert warm.to_csv() == live.to_csv()
+        assert warm.to_table() == live.to_table()
+
+    def test_store_roundtrip_of_full_result(self, tmp_path):
+        live = run_validation(chunk_size=CHUNK)
+        cache = ResultCache(tmp_path)
+        key = cell_keys(run_validation, {"chunk_size": CHUNK}, seed=0)
+        assert cache.put(key, live)
+        hit, cached = cache.get(key)
+        assert hit
+        assert cached.to_csv() == live.to_csv()

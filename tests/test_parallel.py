@@ -103,8 +103,10 @@ class TestSweepSpec:
 class TestRunAllParallel:
     @pytest.mark.skipif(not supports_fork(), reason="no fork on this platform")
     def test_jobs4_matches_jobs1(self):
-        par = run_all(FAST_SUBSET, verbose=False, jobs=4)
-        seq = run_all(FAST_SUBSET, verbose=False, jobs=1)
+        # cache off: this asserts *live* parallel-vs-sequential determinism
+        # (cache-on equivalence is covered by tests/test_cache.py)
+        par = run_all(FAST_SUBSET, verbose=False, jobs=4, cache_dir=None)
+        seq = run_all(FAST_SUBSET, verbose=False, jobs=1, cache_dir=None)
         assert list(par) == list(seq)
         for name in seq:
             assert par[name].xlabels == seq[name].xlabels
