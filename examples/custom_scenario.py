@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Author a scenario as TOML, load it, and run it — no harness code.
+
+The TOML below is the *entire* experiment definition: a memory-capped
+scientific ensemble on a two-node tiered cluster.  A team checks a file
+like this into their repo; ``python -m repro scenarios run spec.toml``
+(or the three lines of Python at the bottom) reproduces it anywhere,
+byte-identically, because the spec round-trips losslessly and every
+behaviour it references — workload builder, allocation policy, fault
+schedule — is *named*, never embedded.
+
+Run:  python examples/custom_scenario.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.scenarios import TierSizing, from_toml, load_scenario, run_scenario, to_toml
+
+SPEC_TOML = """\
+# repro scenario (spec version 1)
+name = "custom/sc-capped"
+env = "IMME"
+n_nodes = 2
+chunk_size = 1048576
+seed = 42
+
+[workload]
+source = "class-ensemble"
+scale = 0.015625
+wclass = "SC"
+instances = 4
+
+[workload.params]
+limit_margin = 0.05
+
+[sizing]
+dram_fraction = 0.3
+basis = "max-footprint"
+"""
+
+
+def main() -> None:
+    spec = from_toml(SPEC_TOML)
+    print(f"loaded {spec.name!r}: {spec.env.name}, "
+          f"{spec.workload.instances}x {spec.workload.wclass}, "
+          f"digest={spec.digest()[:12]}\n")
+
+    # the file form is equivalent — this is what `scenarios run` reads
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "sc-capped.toml"
+        path.write_text(SPEC_TOML, encoding="utf-8")
+        assert load_scenario(path) == spec  # lossless round trip
+
+    out = run_scenario(spec)
+    print(f"completed {out.completed}/{out.completed + out.failed} workflows "
+          f"in {out.makespan:.1f}s (mean startup {out.mean_startup:.2f}s)")
+
+    # tweak one field and the digest — hence the cache key — moves with it
+    tighter = spec.evolve(sizing=TierSizing(dram_fraction=0.15))
+    print(f"\nat 15% DRAM the digest becomes {tighter.digest()[:12]}; "
+          "serialized back out it reads:\n")
+    print(to_toml(tighter))
+
+
+if __name__ == "__main__":
+    main()

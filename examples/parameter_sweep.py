@@ -1,103 +1,65 @@
 #!/usr/bin/env python3
-"""Parameter sweeps and JSON workloads: the downstream-user workflow.
+"""Parameter sweeps, declaratively: the downstream-user workflow.
 
-1. Define a workload in JSON (as a team would check into their repo),
-   load it with :mod:`repro.workflows.serialization`.
-2. Use :func:`repro.analysis.sweep` to grid DRAM scarcity against
-   environment kinds.
-3. Use :func:`repro.analysis.replicate` to put error bars on one cell.
+1. Declare one base :class:`repro.ScenarioSpec` — environment kind, tier
+   sizing, and a named workload mix, all plain serializable data.
+2. ``evolve()`` it across a DRAM-scarcity x environment grid and run each
+   cell with :func:`repro.run_scenario`; every cell carries its own
+   content digest, so results are attributable and cacheable.
+3. Use :func:`repro.analysis.replicate` to put error bars on the
+   tightest cell by evolving only the seed.
 
 Run:  python examples/parameter_sweep.py
 """
 
-import json
+from repro.analysis import replicate
+from repro.envs import EnvKind
+from repro.scenarios import ScenarioSpec, TierSizing, WorkloadSpec, run_scenario
+from repro.util.units import MiB
 
-from repro.analysis import replicate, sweep
-from repro.envs import EnvKind, make_environment
-from repro.util.rng import RngFactory
-from repro.util.units import GBps, GiB, MiB
-from repro.workflows import load_specs, make_ensemble
-
-WORKLOAD_JSON = json.dumps(
-    [
-        {
-            "name": "etl",
-            "wclass": "DM",
-            "footprint": GiB(8) // 64,
-            "wss": GiB(6) // 64,
-            "flags": "LAT|SHL",
-            "cores": 2,
-            "phases": [
-                {
-                    "name": "scan",
-                    "base_time": 8.0,
-                    "compute_frac": 0.3,
-                    "lat_frac": 0.6,
-                    "bw_frac": 0.1,
-                    "demand_bandwidth": GBps(2.0),
-                    "pattern": {"type": "hot-cold", "hot_fraction": 0.4, "hot_share": 0.85},
-                    "touched_fraction": 0.9,
-                }
-            ],
-        },
-        {
-            "name": "sweep",
-            "wclass": "SC",
-            "footprint": GiB(32) // 64,
-            "wss": GiB(24) // 64,
-            "flags": "CAP",
-            "cores": 2,
-            "phases": [
-                {
-                    "name": "traverse",
-                    "base_time": 30.0,
-                    "compute_frac": 0.55,
-                    "lat_frac": 0.35,
-                    "bw_frac": 0.10,
-                    "demand_bandwidth": GBps(3.0),
-                    "pattern": {"type": "zipf", "alpha": 0.8},
-                    "touched_fraction": 0.95,
-                }
-            ],
-        },
-    ]
+#: the whole experiment, as data a team would check into their repo
+BASE = ScenarioSpec(
+    name="sweep/base",
+    env=EnvKind.IMME,
+    workload=WorkloadSpec(
+        source="colocated-mix",
+        scale=1.0 / 64.0,
+        instances_per_class=(("DM", 3), ("SC", 3)),
+    ),
+    sizing=TierSizing(dram_fraction=0.4),
+    chunk_size=MiB(1),
 )
 
 
-def main() -> None:
-    base_specs = load_specs(WORKLOAD_JSON)
-    print(f"Loaded {len(base_specs)} task specs from JSON\n")
-
-    specs = []
-    for s in base_specs:
-        specs.extend(make_ensemble(s, 3, rng_factory=RngFactory(1)))
-    total = sum(s.max_footprint for s in specs)
-
-    result = sweep(
-        name="dram-scarcity",
-        description="makespan (s) vs DRAM capacity as a fraction of the workload",
-        values=[0.2, 0.4, 0.8],
-        kinds=[EnvKind.CBE, EnvKind.TME, EnvKind.IMME],
-        build=lambda kind, f: make_environment(
-            kind, dram_capacity=max(int(total * f), MiB(8)), chunk_size=MiB(1)
-        ),
-        run=lambda env, f: env.run_batch(list(specs)),
-        xlabel=lambda f: f"{int(f * 100)}%",
+def cell(kind: EnvKind, fraction: float, seed: int = 0) -> ScenarioSpec:
+    return BASE.evolve(
+        name=f"sweep/{kind.name}:{int(fraction * 100)}",
+        env=kind,
+        sizing=TierSizing(dram_fraction=fraction),
+        seed=seed,
     )
-    print(result.to_table())
+
+
+def main() -> None:
+    fractions = [0.2, 0.4, 0.8]
+    kinds = [EnvKind.CBE, EnvKind.TME, EnvKind.IMME]
+
+    print("makespan (s) vs DRAM capacity as a fraction of the workload\n")
+    header = "env    " + "".join(f"{int(f * 100)}%".rjust(10) for f in fractions)
+    print(header)
+    for kind in kinds:
+        row = [run_scenario(cell(kind, f)) for f in fractions]
+        print(
+            f"{kind.name:<7}"
+            + "".join(f"{out.makespan:10.1f}" for out in row)
+            + f"   digest={row[0].digest[:12]}"
+        )
 
     print("\nError bars for the tightest cell (IMME @ 20% DRAM, 5 seeds):")
 
     def measure(seed: int) -> float:
-        jittered = []
-        for s in base_specs:
-            jittered.extend(make_ensemble(s, 3, rng_factory=RngFactory(seed)))
-        env = make_environment(
-            EnvKind.IMME, dram_capacity=int(total * 0.2), chunk_size=MiB(1)
-        )
-        makespan = env.run_batch(jittered).makespan()
-        env.stop()
-        return makespan
+        # only the seed changes: the jittered ensemble, and nothing else
+        return run_scenario(cell(EnvKind.IMME, 0.2, seed=seed)).makespan
 
     rep = replicate(measure, seeds=range(5), label="IMME@20%")
     print(f"  {rep}")

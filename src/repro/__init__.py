@@ -12,12 +12,15 @@ simulation of tiered-memory HPC clusters.  Public entry points:
 * :mod:`~repro.workflows` — the DL/DM/DC/SC evaluation workloads,
   workflow DAGs, and ensembles.
 * :mod:`~repro.experiments` — one harness per paper table/figure.
+* :mod:`~repro.scenarios` — the declarative scenario layer: typed,
+  serializable :class:`~repro.scenarios.ScenarioSpec` specs naming every
+  experiment, resolved through the scenario ``REGISTRY``.
 """
 
 from importlib import import_module
 from typing import TYPE_CHECKING
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 _EXPORTS = {
     # environments
@@ -60,6 +63,14 @@ _EXPORTS = {
     "FaultKind": "repro.faults",
     "FaultSchedule": "repro.faults",
     "FaultSpec": "repro.faults",
+    # scenario layer
+    "ScenarioFamily": "repro.scenarios",
+    "ScenarioSpec": "repro.scenarios",
+    "TierSizing": "repro.scenarios",
+    "WorkloadSpec": "repro.scenarios",
+    "load_scenario": "repro.scenarios",
+    "realize": "repro.scenarios",
+    "run_scenario": "repro.scenarios",
     # metrics
     "MetricsRegistry": "repro.metrics",
     "TaskMetrics": "repro.metrics",
@@ -106,6 +117,15 @@ if TYPE_CHECKING:  # pragma: no cover - static typing only
     )
     from .metrics import FaultStats, MetricsRegistry, TaskMetrics  # noqa: F401
     from .runtime import NodeAgent  # noqa: F401
+    from .scenarios import (  # noqa: F401
+        ScenarioFamily,
+        ScenarioSpec,
+        TierSizing,
+        WorkloadSpec,
+        load_scenario,
+        realize,
+        run_scenario,
+    )
     from .scheduler import SlurmScheduler  # noqa: F401
     from .sim import SimulationEngine  # noqa: F401
     from .wms import WorkflowManager  # noqa: F401

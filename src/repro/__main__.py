@@ -1,18 +1,27 @@
 """Top-level CLI: ``python -m repro`` delegates to the experiment runner.
 
 ``python -m repro --list`` enumerates everything that can be regenerated;
-any other arguments are passed straight to
-:mod:`repro.experiments.runner`.
+``python -m repro scenarios ...`` drops into the declarative scenario
+layer (:mod:`repro.scenarios.cli`); any other arguments are passed
+straight to :mod:`repro.experiments.runner`.
 """
 
 import sys
 
 from .experiments.runner import ALL_EXPERIMENTS, main
 
-if "--list" in sys.argv[1:]:
+argv = sys.argv[1:]
+
+if argv[:1] == ["scenarios"]:
+    from .scenarios.cli import main as scenarios_main
+
+    sys.exit(scenarios_main(argv[1:]))
+
+if "--list" in argv:
     print("available experiments (python -m repro <name> ...):")
     for name in ALL_EXPERIMENTS:
         print(f"  {name}")
+    print("scenario layer: python -m repro scenarios {list,show,run,verify}")
     sys.exit(0)
 
-sys.exit(main(sys.argv[1:]))
+sys.exit(main(argv))

@@ -111,6 +111,7 @@ def cell_keys(
     *,
     seed: Optional[int] = None,
     extra: Any = None,
+    scenario: Any = None,
     root: str = ROOT_PACKAGE,
 ) -> CacheKey:
     """Derive the :class:`CacheKey` for one cell invocation.
@@ -119,7 +120,11 @@ def cell_keys(
     separate from kwargs so sweeps that inject it and sweeps that pass it
     explicitly address the same way.  ``extra`` carries additional
     identity (sweep name, cell key) and must canonicalize like kwargs.
-    Raises :class:`CacheKeyError` when any input has no stable form.
+    ``scenario`` is anything with a stable ``digest()`` (a
+    :class:`~repro.scenarios.ScenarioSpec`); its digest is folded into the
+    *content* key, so editing any scenario field invalidates exactly the
+    cells that scenario describes.  Raises :class:`CacheKeyError` when any
+    input has no stable form.
     """
     cell_id = _digest(
         "cell-id",
@@ -130,10 +135,13 @@ def cell_keys(
     )
     from .. import __version__
 
-    content_key = _digest(
+    content_parts = [
         "content",
         cell_id,
         closure_fingerprint(fn.__module__, root=root),
         __version__,
-    )
+    ]
+    if scenario is not None:
+        content_parts.append(f"scenario:{scenario.digest()}")
+    content_key = _digest(*content_parts)
     return CacheKey(cell_id=cell_id, content_key=content_key)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
 from ..containers.image import ImageRegistry, default_images
 from ..containers.runtime import ContainerRuntime, NetworkFabric
@@ -29,7 +29,12 @@ from ..core.flags import MemFlag
 from ..core.manager import TieredMemoryManager
 from ..core.sharing import SharedMemoryManager
 from ..memory.pageset import DEFAULT_CHUNK_SIZE
-from ..memory.tiers import TierKind, TierSpec, constrained_tier_specs
+from ..memory.tiers import (
+    TierKind,
+    TierSpec,
+    constrained_tier_specs,
+    scaled_tier_capacities,
+)
 from ..memory.topology import MemoryTopology
 from ..metrics.collector import MetricsRegistry
 from ..policies.base import MemoryPolicy
@@ -42,6 +47,9 @@ from ..sim.engine import SimulationEngine
 from ..util.units import GBps, TiB
 from ..util.validation import check_positive, require
 from ..workflows.task import TaskSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a circular import)
+    from ..scenarios.spec import ScenarioSpec
 
 __all__ = ["EnvKind", "EnvironmentConfig", "Environment", "make_environment"]
 
@@ -254,10 +262,10 @@ class Environment:
 
 
 def make_environment(
-    kind: EnvKind,
+    kind: "EnvKind | ScenarioSpec",
     *,
     n_nodes: int = 1,
-    dram_capacity: int,
+    dram_capacity: int = 0,
     pmem_capacity: int = 0,
     cxl_capacity: int = 0,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
@@ -270,14 +278,30 @@ def make_environment(
 ) -> Environment:
     """Convenience factory used throughout the experiments.
 
+    Accepts either an :class:`EnvKind` plus explicit capacities, or a
+    :class:`~repro.scenarios.ScenarioSpec` — in which case the scenario
+    layer rebuilds the spec's workload, sizes the tiers against it, and
+    every keyword here is ignored (the spec is the whole description).
+
     For TME/IMME, PMem/CXL capacities default to the paper's per-node
-    ratios (2x DRAM of PMem, effectively-unlimited CXL) when not given.
+    ratios (2x DRAM of PMem, effectively-unlimited CXL) when not given
+    (:func:`~repro.memory.tiers.scaled_tier_capacities`).
     """
-    if kind in (EnvKind.TME, EnvKind.IMME):
-        if pmem_capacity == 0:
-            pmem_capacity = 2 * dram_capacity
-        if cxl_capacity == 0:
-            cxl_capacity = 64 * dram_capacity
+    if not isinstance(kind, EnvKind):
+        # a ScenarioSpec (lazy import: scenarios sits above this module)
+        from ..scenarios.build import build_workload, environment_for_tasks
+
+        tasks, _ = build_workload(kind.workload, kind.seed)
+        return environment_for_tasks(kind, tasks, policy_factory=policy_factory)
+    require(dram_capacity > 0, "dram_capacity is required when kind is an EnvKind")
+    dram_capacity, pmem_capacity, cxl_capacity = scaled_tier_capacities(
+        tiered=kind in (EnvKind.TME, EnvKind.IMME),
+        chunk_size=chunk_size,
+        dram_per_node=dram_capacity,
+        pmem_capacity=pmem_capacity,
+        cxl_capacity=cxl_capacity,
+        floor_chunks=0,  # explicit capacities are taken as given
+    )
     config = EnvironmentConfig(
         kind=kind,
         n_nodes=n_nodes,

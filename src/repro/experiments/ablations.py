@@ -10,46 +10,37 @@ DESIGN.md §6's list, runnable as ``python -m repro.experiments ablations``:
   network pulls,
 * ``no-striping`` — Algorithm 1's BW branch collapses to DRAM-only
   cascading: no multi-path bandwidth aggregation.
+
+Each variant is a registered scenario (named policy override or
+``stage_images`` flip), so the whole ablation grid serializes and caches.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING
 
-from ..core.manager import TieredMemoryManager
-from ..core.movement import MovementConfig
-from ..envs.environments import EnvKind
-from ..memory.tiers import DRAM, TierKind, TierSpec
-from ..policies.base import MemoryPolicy
-from .common import CHUNK, SCALE, FigureResult, build_env, colocated_mix
-from .fig05_exec_time import DEFAULT_MIX
+from ..scenarios.build import realize
+from ..scenarios.paper import ablations_family
+from ..scenarios.spec import ScenarioSpec
+from .common import CHUNK, SCALE, FigureResult, SweepSpec, family_provenance, sweep
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.store import ResultCache
 
 __all__ = ["run_ablations"]
 
 
-def _no_proactive(specs: dict[TierKind, TierSpec]) -> MemoryPolicy:
-    cfg = MovementConfig(proactive_threshold=1.0, proactive_target=1.0)
-    return TieredMemoryManager(specs, movement_config=cfg)
-
-
-def _no_pinning(specs: dict[TierKind, TierSpec]) -> MemoryPolicy:
-    return TieredMemoryManager(specs, pin_fraction=0.0)
-
-
-def _no_striping(specs: dict[TierKind, TierSpec]) -> MemoryPolicy:
-    mgr = TieredMemoryManager(specs)
-    mgr.allocator.bw_fractions = {DRAM: 1.0}
-    return mgr
-
-
-_VARIANTS: dict[str, tuple[Optional[Callable], bool]] = {
-    # name -> (policy factory override, stage images?)
-    "full-imme": (None, True),
-    "no-proactive": (_no_proactive, True),
-    "no-pinning": (_no_pinning, True),
-    "no-staging": (None, False),
-    "no-striping": (_no_striping, True),
-}
+def _ablation_cell(scenario: ScenarioSpec) -> list[float]:
+    """DM/DL exec means, mean startup, and page-cache inserts for one variant."""
+    realized = realize(scenario)
+    metrics = realized.execute()
+    traffic = realized.env.node_traffic()
+    return [
+        metrics.mean_execution_time("DM"),
+        metrics.mean_execution_time("DL"),
+        metrics.mean_startup_time(),
+        float(traffic["page_cache_inserts"]),
+    ]
 
 
 def run_ablations(
@@ -58,34 +49,23 @@ def run_ablations(
     dram_fraction: float = 0.25,
     chunk_size: int = CHUNK,
     seed: int = 0,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> FigureResult:
-    specs = colocated_mix(dict(DEFAULT_MIX), scale=scale, seed=seed)
+    family = ablations_family(
+        scale=scale, dram_fraction=dram_fraction, chunk_size=chunk_size, seed=seed
+    )
     result = FigureResult(
         figure="ablations",
         description="IMME ablations: one mechanism removed at a time",
         xlabels=["DM exec (s)", "DL exec (s)", "startup (s)", "pc-inserts"],
+        provenance=family_provenance(family, seed),
     )
-    for name, (factory, stage) in _VARIANTS.items():
-        env = build_env(
-            EnvKind.IMME,
-            specs,
-            dram_fraction=dram_fraction,
-            chunk_size=chunk_size,
-            policy_factory=factory,
-        )
-        env.config.stage_images = stage
-        metrics = env.run_batch(specs, max_time=1e7)
-        traffic = env.node_traffic()
-        result.add_series(
-            name,
-            [
-                metrics.mean_execution_time("DM"),
-                metrics.mean_execution_time("DL"),
-                metrics.mean_startup_time(),
-                float(traffic["page_cache_inserts"]),
-            ],
-        )
-        env.stop()
+    spec = SweepSpec("ablations", base_seed=seed)
+    for scenario in family:
+        spec.add_scenario(_ablation_cell, scenario)
+    for key, series in sweep(spec, jobs=jobs, cache=cache).items():
+        result.add_series(key, series)
     result.notes.append(
         "expected: no-proactive zeroes pc-inserts; no-pinning/no-proactive "
         "never improve DM; no-staging inflates startup; no-striping slows DL"

@@ -3,37 +3,35 @@
 "During the initial 120 seconds of training BERT, ~55%-80% of the
 allocated memory remains idle, thereby becoming cold memory pages."
 
-We run the DL workload alone on an ideal node, pause the engine at sample
-points, and measure the fraction of its mapped allocation that has never
-been touched (zero temperature).
+We realize the registered ``cold-pages`` scenario (the DL workload alone
+on an ideal node), pause the engine at sample points, and measure the
+fraction of its mapped allocation that has never been touched (zero
+temperature).
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..core.heatmap import idle_fraction
-from ..envs.environments import EnvKind, make_environment
-from ..workflows.library import deep_learning_task
-from .common import SCALE, CHUNK, FigureResult
+from ..scenarios.build import realize
+from ..scenarios.paper import cold_pages_family
+from ..scenarios.spec import ScenarioSpec
+from .common import CHUNK, SCALE, FigureResult, SweepSpec, family_provenance, sweep
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.store import ResultCache
 
 __all__ = ["run_cold_pages"]
 
 
-def run_cold_pages(
-    *,
-    scale: float = SCALE,
-    sample_times: tuple[float, ...] = (10.0, 30.0, 60.0, 90.0, 120.0),
-    chunk_size: int = CHUNK,
-) -> FigureResult:
-    spec = deep_learning_task(scale=scale)
-    env = make_environment(
-        EnvKind.IE, dram_capacity=spec.max_footprint * 2, chunk_size=chunk_size
-    )
+def _cold_pages_cell(
+    scenario: ScenarioSpec, sample_times: tuple[float, ...]
+) -> list[float]:
+    """Idle fraction of the DL task's allocation at each sample time."""
+    realized = realize(scenario)
+    env, spec = realized.env, realized.tasks[0]
     env.scheduler.submit(spec)
-    result = FigureResult(
-        figure="cold-pages",
-        description="§II-C: fraction of BERT's allocation still idle (never touched)",
-        xlabels=[f"t={int(t)}s" for t in sample_times],
-    )
     series = []
     for t in sample_times:
         env.engine.run(until=t)
@@ -44,9 +42,32 @@ def run_cold_pages(
                 break
         assert ps is not None, "DL task should still be running at sample times"
         series.append(idle_fraction(ps))
-    result.add_series("idle-fraction", series)
     env.scheduler.run_to_completion()
     env.stop()
+    return series
+
+
+def run_cold_pages(
+    *,
+    scale: float = SCALE,
+    sample_times: tuple[float, ...] = (10.0, 30.0, 60.0, 90.0, 120.0),
+    chunk_size: int = CHUNK,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
+) -> FigureResult:
+    family = cold_pages_family(scale=scale, chunk_size=chunk_size)
+    result = FigureResult(
+        figure="cold-pages",
+        description="§II-C: fraction of BERT's allocation still idle (never touched)",
+        xlabels=[f"t={int(t)}s" for t in sample_times],
+        provenance=family_provenance(family),
+    )
+    spec = SweepSpec("cold-pages")
+    spec.add_scenario(
+        _cold_pages_cell, family.scenarios[0], sample_times=tuple(sample_times)
+    )
+    cells = sweep(spec, jobs=jobs, cache=cache)
+    result.add_series("idle-fraction", cells["cold-pages"])
     result.notes.append(
         "paper: ~55-80% of the allocation is idle during the first 120s of training"
     )

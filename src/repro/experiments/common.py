@@ -18,21 +18,28 @@ from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, Sequence
 
 import numpy as np
 
-from ..envs.environments import EnvKind, Environment, make_environment
+from ..envs.environments import EnvKind, Environment
 from ..memory.tiers import TierKind, TierSpec
 from ..metrics.collector import MetricsRegistry
 from ..metrics.report import format_table
 from ..parallel import map_ordered
 from ..policies.base import MemoryPolicy
-from ..util.rng import RngFactory, derive_seed
-from ..util.units import MiB
+from ..scenarios.build import environment_for_tasks, realize
+from ..scenarios.spec import (
+    DEFAULT_CHUNK,
+    DEFAULT_SCALE,
+    ScenarioSpec,
+    TierSizing,
+    WorkloadSpec,
+)
+from ..scenarios.workloads import CLASS_ORDER, colocated_mix_tasks
+from ..util.rng import derive_seed
 from ..util.validation import require
-from ..workflows.ensembles import make_ensemble
-from ..workflows.library import paper_workload_suite
 from ..workflows.task import TaskSpec, WorkloadClass
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cache.store import ResultCache
+    from ..scenarios.spec import ScenarioFamily
 
 __all__ = [
     "SCALE",
@@ -45,17 +52,19 @@ __all__ = [
     "sweep",
     "colocated_mix",
     "build_env",
+    "family_provenance",
     "run_and_collect",
+    "scenario_class_times",
+    "scenario_makespan",
     "per_class_exec_time",
     "per_class_faults",
 ]
 
 #: default memory scale relative to the paper's testbed sizes
-SCALE = 1.0 / 64.0
+#: (canonical definition: :data:`repro.scenarios.spec.DEFAULT_SCALE`)
+SCALE = DEFAULT_SCALE
 #: default chunk size for scaled-down runs (4 MiB at full scale)
-CHUNK = MiB(1)
-
-CLASS_ORDER = (WorkloadClass.DL, WorkloadClass.DM, WorkloadClass.DC, WorkloadClass.SC)
+CHUNK = DEFAULT_CHUNK
 
 
 @dataclass
@@ -67,6 +76,9 @@ class FigureResult:
     xlabels: list[str]
     series: dict[str, list[float]] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
+    #: originating-scenario metadata (family name, scenario digest, seed);
+    #: emitted with every export so a result file names its inputs
+    provenance: dict[str, str] = field(default_factory=dict)
 
     def add_series(self, name: str, values: Sequence[float]) -> None:
         require(len(values) == len(self.xlabels), "series length must match xlabels")
@@ -81,6 +93,10 @@ class FigureResult:
         body = format_table(headers, rows, title=self.description, float_fmt=float_fmt)
         if self.notes:
             body += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        if self.provenance:
+            body += "\n" + "\n".join(
+                f"  provenance: {k}={v}" for k, v in sorted(self.provenance.items())
+            )
         return body
 
     def to_csv(self) -> str:
@@ -88,6 +104,8 @@ class FigureResult:
 
         Values are written plain (no ``repr`` wrapping) so the file
         round-trips through any standard CSV reader via ``float()``.
+        Provenance, when attached, is appended as ``#``-prefixed comment
+        rows that standard readers can skip.
         """
         import csv
         import io
@@ -97,6 +115,8 @@ class FigureResult:
         writer.writerow([self.figure] + self.xlabels)
         for name, vals in self.series.items():
             writer.writerow([name] + list(vals))
+        for key in sorted(self.provenance):
+            writer.writerow([f"# {key}", self.provenance[key]])
         return buf.getvalue()
 
     def __str__(self) -> str:  # pragma: no cover - convenience
@@ -111,11 +131,17 @@ class FigureResult:
 class SweepCell:
     """One independent unit of a sweep: a picklable top-level callable plus
     keyword arguments.  Cells rebuild their own specs/environments from
-    plain inputs, so they are hermetic and can run in any process."""
+    plain inputs, so they are hermetic and can run in any process.
+
+    ``scenario`` names the :class:`~repro.scenarios.ScenarioSpec` the cell
+    realizes (when it realizes one); its digest becomes part of the cache
+    content key so scenario edits invalidate exactly their own cells.
+    """
 
     key: str
     fn: Callable[..., Any]
     kwargs: dict[str, Any] = field(default_factory=dict)
+    scenario: Optional[ScenarioSpec] = None
 
     def run(self) -> Any:
         return self.fn(**self.kwargs)
@@ -139,10 +165,39 @@ class SweepSpec:
         """Deterministic seed for the cell named ``key``."""
         return derive_seed(self.base_seed, f"{self.name}/{key}")
 
-    def add(self, key: str, fn: Callable[..., Any], **kwargs: Any) -> SweepCell:
+    def add(
+        self,
+        key: str,
+        fn: Callable[..., Any],
+        *,
+        scenario: Optional[ScenarioSpec] = None,
+        **kwargs: Any,
+    ) -> SweepCell:
         """Append a cell; duplicate keys are rejected to keep results addressable."""
         require(all(c.key != key for c in self.cells), f"duplicate cell key {key!r}")
-        cell = SweepCell(key, fn, kwargs)
+        cell = SweepCell(key, fn, kwargs, scenario=scenario)
+        self.cells.append(cell)
+        return cell
+
+    def add_scenario(
+        self,
+        fn: Callable[..., Any],
+        scenario: ScenarioSpec,
+        *,
+        key: Optional[str] = None,
+        **kwargs: Any,
+    ) -> SweepCell:
+        """Add a scenario-driven cell: keyed by the spec's member name
+        (overridable via ``key`` when one spec feeds several cells), the
+        spec passed to ``fn`` as the ``scenario`` kwarg and folded into the
+        cache content key."""
+        key = key if key is not None else scenario.member
+        require(
+            all(c.key != key for c in self.cells), f"duplicate cell key {key!r}"
+        )
+        cell = SweepCell(
+            key, fn, {"scenario": scenario, **kwargs}, scenario=scenario
+        )
         self.cells.append(cell)
         return cell
 
@@ -166,6 +221,7 @@ def cell_cache_key(spec: SweepSpec, cell: SweepCell):
             cell.kwargs,
             seed=spec.cell_seed(cell.key),
             extra={"sweep": spec.name, "cell": cell.key, "base_seed": spec.base_seed},
+            scenario=cell.scenario,
         )
     except CacheKeyError:
         return None
@@ -211,18 +267,14 @@ def colocated_mix(
     classes: Sequence[WorkloadClass] = CLASS_ORDER,
 ) -> list[TaskSpec]:
     """N jittered instances of each studied workflow, submission-shuffled
-    deterministically so no class systematically allocates first."""
-    suite = paper_workload_suite(scale)
-    factory = RngFactory(seed)
-    specs: list[TaskSpec] = []
-    for cls in classes:
-        n = instances_per_class if isinstance(instances_per_class, int) else (
-            instances_per_class.get(cls, 0)
-        )
-        if n > 0:
-            specs.extend(make_ensemble(suite[cls], n, rng_factory=factory))
-    order = factory.stream("submission-order").permutation(len(specs))
-    return [specs[i] for i in order]
+    deterministically so no class systematically allocates first.
+
+    Thin wrapper over the scenario layer's named ``colocated-mix``
+    builder — the single implementation both paths share.
+    """
+    return colocated_mix_tasks(
+        instances_per_class, scale=scale, seed=seed, classes=tuple(classes)
+    )
 
 
 def total_footprint(specs: Sequence[TaskSpec]) -> int:
@@ -254,31 +306,60 @@ def build_env(
     Environment gets ``ideal_headroom`` x so nothing ever swaps.
     ``dram_per_node`` overrides both — the fixed-hardware scaling of the
     cluster experiments (each added server brings its own 512 GB).
+
+    Thin wrapper over the scenario layer: the sizing knobs become an
+    ad-hoc :class:`~repro.scenarios.ScenarioSpec` realized against the
+    already-built workload, so harness and scenario paths share one
+    environment-construction pipeline.  ``policy_factory`` stays a raw
+    callable escape hatch; registered scenarios use policy *names*.
     """
-    total = total_footprint(specs)
-    if dram_per_node is not None:
-        dram = int(dram_per_node)
-    elif kind is EnvKind.IE:
-        dram = int(total * ideal_headroom / n_nodes)
-    else:
-        dram = int(total * dram_fraction / n_nodes)
-    dram = max(dram, 16 * chunk_size)
-    return make_environment(
-        kind,
+    fraction = ideal_headroom if kind is EnvKind.IE else dram_fraction
+    spec = ScenarioSpec(
+        name=f"adhoc/{kind.name}",
+        env=kind,
+        workload=WorkloadSpec(),  # unused: tasks are supplied directly
+        sizing=TierSizing(dram_fraction=fraction, dram_per_node=dram_per_node),
         n_nodes=n_nodes,
-        dram_capacity=dram,
-        chunk_size=chunk_size,
-        cxl_fraction=cxl_fraction,
-        policy_factory=policy_factory,
         cores_per_node=cores_per_node,
+        chunk_size=chunk_size,
         daemon_interval=daemon_interval,
+        cxl_fraction=cxl_fraction,
     )
+    return environment_for_tasks(spec, specs, policy_factory=policy_factory)
+
+
+def family_provenance(family: "ScenarioFamily", seed: Optional[int] = None) -> dict[str, str]:
+    """Self-describing export metadata for a result produced from ``family``."""
+    out = {"scenario_family": family.name, "scenario_digest": family.digest()}
+    if seed is not None:
+        out["seed"] = str(seed)
+    return out
 
 
 def run_and_collect(env: Environment, specs: Sequence[TaskSpec]) -> MetricsRegistry:
     metrics = env.run_batch(specs, max_time=1e7)
     env.stop()
     return metrics
+
+
+# --------------------------------------------------------------------------- #
+# generic scenario cells
+# --------------------------------------------------------------------------- #
+#
+# Top-level (picklable) sweep cells shared by the harnesses whose per-cell
+# result is a standard extraction.  The cell's whole input is the spec, so
+# the cache addresses these purely by scenario digest.
+
+def scenario_class_times(scenario: ScenarioSpec) -> list[float]:
+    """Realize ``scenario``, run it, and return the per-class mean
+    execution times in :data:`CLASS_ORDER`."""
+    times = per_class_exec_time(realize(scenario).execute())
+    return [times[cls] for cls in CLASS_ORDER]
+
+
+def scenario_makespan(scenario: ScenarioSpec) -> float:
+    """Realize ``scenario``, run it, and return the batch makespan."""
+    return float(realize(scenario).execute().makespan())
 
 
 # --------------------------------------------------------------------------- #

@@ -3,27 +3,42 @@
 The paper's premise (§I/§II-B): traditional HPC allocates whole nodes per
 job, leaving memory stranded and cores idle; containerization "enables
 efficient resource utilization by colocating multiple workflows on the
-same host".  We run the same batch both ways on the same IMME cluster and
-report makespan and core utilisation.
+same host".  We run the same batch both ways on the same IMME cluster
+(the registered ``ext-colocation`` scenarios — the ``exclusive`` flag is
+part of the spec) and report makespan and core utilisation.
 """
 
 from __future__ import annotations
 
-from ..envs.environments import EnvKind, make_environment
-from ..metrics.collector import MetricsRegistry
-from ..util.rng import RngFactory
-from ..workflows.ensembles import paper_batch
-from .common import CHUNK, SCALE, FigureResult
+from typing import TYPE_CHECKING
+
+from ..scenarios.build import realize
+from ..scenarios.paper import ext_colocation_family
+from ..scenarios.spec import ScenarioSpec
+from .common import CHUNK, SCALE, FigureResult, SweepSpec, family_provenance, sweep
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.store import ResultCache
 
 __all__ = ["run_colocation"]
 
 
-def _core_utilization(metrics: MetricsRegistry, total_cores: int) -> float:
-    """Busy core-seconds over available core-seconds for the batch."""
-    done = metrics.completed()
-    busy = sum(t.execution_time for t in done)  # 1 core-weight per task entry
-    # weight by actual cores: execution_time already per task; recompute
-    return busy / max(1e-9, metrics.makespan() * total_cores)
+def _colocation_cell(scenario: ScenarioSpec) -> list[float]:
+    """[makespan, core utilisation %, mean queue wait] for one mode."""
+    realized = realize(scenario)
+    batch = realized.tasks
+    metrics = realized.execute()
+    core_seconds = sum(
+        t.execution_time * spec.cores
+        for t, spec in zip((metrics.get(s.name) for s in batch), batch)
+        if t.done
+    )
+    util = core_seconds / (
+        metrics.makespan() * scenario.n_nodes * scenario.cores_per_node
+    )
+    completed = metrics.completed()
+    mean_wait = sum(t.queue_wait for t in completed) / max(1, len(completed))
+    return [metrics.makespan(), 100.0 * util, mean_wait]
 
 
 def run_colocation(
@@ -33,52 +48,30 @@ def run_colocation(
     n_nodes: int = 2,
     chunk_size: int = CHUNK,
     seed: int = 0,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> FigureResult:
-    from ..workflows.task import WorkloadClass
-
-    # long-job-heavy mix: exclusivity serialises these into waves
-    mix = {
-        WorkloadClass.DL: 2,
-        WorkloadClass.SC: 6,
-        WorkloadClass.DC: 4,
-        WorkloadClass.DM: 4,
-    }
-    batch = paper_batch(
-        total_instances, scale=scale, mix=mix, rng_factory=RngFactory(seed)
+    family = ext_colocation_family(
+        scale=scale,
+        total_instances=total_instances,
+        n_nodes=n_nodes,
+        chunk_size=chunk_size,
+        seed=seed,
     )
-    total = sum(s.max_footprint for s in batch)
-    cores_per_node = 64
-
     result = FigureResult(
         figure="ext-colocation",
         description=(
             f"Containerized colocation vs bare-metal exclusivity: "
-            f"{len(batch)} jobs on {n_nodes} nodes"
+            f"{total_instances} jobs on {n_nodes} nodes"
         ),
         xlabels=["makespan (s)", "mean core util (%)", "mean queue wait (s)"],
+        provenance=family_provenance(family, seed),
     )
-    for label, exclusive in (("bare-metal", True), ("containerized", False)):
-        env = make_environment(
-            EnvKind.IMME,
-            n_nodes=n_nodes,
-            dram_capacity=int(total * 0.5 / n_nodes),
-            chunk_size=chunk_size,
-            cores_per_node=cores_per_node,
-        )
-        metrics = env.run_batch(batch, exclusive=exclusive, max_time=1e7)
-        core_seconds = sum(
-            t.execution_time * spec.cores
-            for t, spec in zip(
-                (metrics.get(s.name) for s in batch), batch
-            )
-            if t.done
-        )
-        util = core_seconds / (metrics.makespan() * n_nodes * cores_per_node)
-        mean_wait = sum(t.queue_wait for t in metrics.completed()) / max(
-            1, len(metrics.completed())
-        )
-        result.add_series(label, [metrics.makespan(), 100.0 * util, mean_wait])
-        env.stop()
+    spec = SweepSpec("ext-colocation", base_seed=seed)
+    for scenario in family:
+        spec.add_scenario(_colocation_cell, scenario)
+    for key, series in sweep(spec, jobs=jobs, cache=cache).items():
+        result.add_series(key, series)
 
     speedup = result.value("bare-metal", "makespan (s)") / result.value(
         "containerized", "makespan (s)"

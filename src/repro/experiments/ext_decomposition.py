@@ -3,25 +3,63 @@
 §I: deconstructed workflows "enable node-level colocation ... and address
 stranded memory problems".  Two big multi-phase jobs (DL training, DC
 compression) run alongside a stream of latency-sensitive DM work on one
-memory-tight node — once as monoliths holding their full footprint for
-their whole lifetime, once deconstructed into per-phase sub-tasks that
-only hold what they touch.
+memory-tight node (the registered ``ext-decomposition`` scenario) — once
+as monoliths holding their full footprint for their whole lifetime, once
+deconstructed into per-phase sub-tasks that only hold what they touch.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
-from ..envs.environments import EnvKind, make_environment
-from ..util.rng import RngFactory
+from ..scenarios.build import realize
+from ..scenarios.paper import ext_decomposition_family
+from ..scenarios.spec import ScenarioSpec
 from ..wms.decompose import decompose_task
 from ..wms.planner import WorkflowManager
 from ..workflows.dag import chain_workflow
-from ..workflows.ensembles import make_ensemble
-from ..workflows.library import data_compression_task, data_mining_task, deep_learning_task
-from .common import CHUNK, SCALE, FigureResult
+from .common import CHUNK, SCALE, FigureResult, SweepSpec, family_provenance, sweep
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.store import ResultCache
 
 __all__ = ["run_decomposition"]
+
+_LABELS = (("monolithic", False), ("deconstructed", True))
+
+
+def _decomposition_cell(scenario: ScenarioSpec, decomposed: bool) -> list[float]:
+    """[makespan, mean DM exec, peak big-job MiB] for one execution mode."""
+    # the decomposition source puts the two big jobs first in the batch
+    realized = realize(scenario)
+    env = realized.env
+    big_jobs, dm_stream = realized.tasks[:2], realized.tasks[2:]
+    mgr = WorkflowManager(env.scheduler)
+    peak_big = 0
+    if decomposed:
+        for spec in big_jobs:
+            mgr.submit(decompose_task(spec))
+    else:
+        for spec in big_jobs:
+            mgr.submit(chain_workflow(f"{spec.name}.chain", [spec]))
+    for spec in dm_stream:
+        env.scheduler.submit(spec)
+    while not (mgr.all_complete and env.scheduler.all_done):
+        env.engine.step()
+        big_resident = sum(
+            ps.mapped_bytes
+            for node in env.topology.nodes
+            for ps in node.pagesets()
+            if ps.owner.startswith("big-")
+        )
+        peak_big = max(peak_big, big_resident)
+    metrics = env.metrics
+    dm_times = [t.execution_time for t in metrics.completed() if t.wclass == "DM"]
+    out = [metrics.makespan(), float(np.mean(dm_times)), peak_big / (1 << 20)]
+    env.stop()
+    return out
 
 
 def run_decomposition(
@@ -31,16 +69,16 @@ def run_decomposition(
     dram_fraction: float = 0.35,
     chunk_size: int = CHUNK,
     seed: int = 0,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> FigureResult:
-    big_jobs = [
-        deep_learning_task("big-dl", scale=scale, epochs=3),
-        data_compression_task("big-dc", scale=scale),
-    ]
-    dm_stream = make_ensemble(
-        data_mining_task(scale=scale), dm_instances, rng_factory=RngFactory(seed)
+    family = ext_decomposition_family(
+        scale=scale,
+        dm_instances=dm_instances,
+        dram_fraction=dram_fraction,
+        chunk_size=chunk_size,
+        seed=seed,
     )
-    total = sum(s.max_footprint for s in big_jobs + dm_stream)
-
     result = FigureResult(
         figure="ext-decomposition",
         description=(
@@ -48,45 +86,15 @@ def run_decomposition(
             "memory-tight node"
         ),
         xlabels=["makespan (s)", "mean DM exec (s)", "peak big-job bytes (MiB)"],
+        provenance=family_provenance(family, seed),
     )
-    for label, decomposed in (("monolithic", False), ("deconstructed", True)):
-        env = make_environment(
-            EnvKind.IMME,
-            dram_capacity=int(total * dram_fraction),
-            chunk_size=chunk_size,
+    spec = SweepSpec("ext-decomposition", base_seed=seed)
+    for label, decomposed in _LABELS:
+        spec.add_scenario(
+            _decomposition_cell, family.scenarios[0], key=label, decomposed=decomposed
         )
-        mgr = WorkflowManager(env.scheduler)
-        peak_big = 0
-        if decomposed:
-            for spec in big_jobs:
-                mgr.submit(decompose_task(spec))
-        else:
-            for spec in big_jobs:
-                mgr.submit(chain_workflow(f"{spec.name}.chain", [spec]))
-        for spec in dm_stream:
-            env.scheduler.submit(spec)
-        while not (mgr.all_complete and env.scheduler.all_done):
-            env.engine.step()
-            big_resident = sum(
-                ps.mapped_bytes
-                for node in env.topology.nodes
-                for ps in node.pagesets()
-                if ps.owner.startswith("big-")
-            )
-            peak_big = max(peak_big, big_resident)
-        metrics = env.metrics
-        dm_times = [
-            t.execution_time for t in metrics.completed() if t.wclass == "DM"
-        ]
-        result.add_series(
-            label,
-            [
-                metrics.makespan(),
-                float(np.mean(dm_times)),
-                peak_big / (1 << 20),
-            ],
-        )
-        env.stop()
+    for key, series in sweep(spec, jobs=jobs, cache=cache).items():
+        result.add_series(key, series)
     saved = result.value("monolithic", "peak big-job bytes (MiB)") - result.value(
         "deconstructed", "peak big-job bytes (MiB)"
     )

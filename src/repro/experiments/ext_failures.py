@@ -8,23 +8,39 @@ memory or fixed memory allocations".
 
 We reproduce the mechanism directly: an ensemble of scientific workflows
 runs with a cgroup ``memory.max`` equal to its requested allocation plus a
-small margin, and every instance requests extra frontier memory mid-run.
-Without tiered memory the expansion lands in charged local memory/swap and
-the OOM killer fires; with the Tiered Memory Manager the CAP-flagged
-expansion goes to CXL outside the cap and every workflow survives.
+small margin, and every instance requests extra frontier memory mid-run
+(the registered ``ext-failures`` scenarios).  Without tiered memory the
+expansion lands in charged local memory/swap and the OOM killer fires;
+with the Tiered Memory Manager the CAP-flagged expansion goes to CXL
+outside the cap and every workflow survives.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+from typing import TYPE_CHECKING
 
-from ..envs.environments import EnvKind, make_environment
-from ..util.rng import RngFactory
-from ..workflows.ensembles import make_ensemble
-from ..workflows.library import scientific_task
-from .common import CHUNK, SCALE, FigureResult
+from ..scenarios.build import realize
+from ..scenarios.paper import ext_failures_family
+from ..scenarios.spec import ScenarioSpec
+from .common import CHUNK, SCALE, FigureResult, SweepSpec, family_provenance, sweep
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.store import ResultCache
 
 __all__ = ["run_failures"]
+
+
+def _failures_cell(scenario: ScenarioSpec) -> list[float]:
+    """[completed, oom-killed, failed, makespan] for one environment."""
+    metrics = realize(scenario).execute()
+    completed = len(metrics.completed())
+    # oom-killed counts actual cgroup OOM kills; "failed" is any failure
+    return [
+        float(completed),
+        float(metrics.total_oom_kills()),
+        float(len(metrics.failed())),
+        metrics.makespan() if completed else 0.0,
+    ]
 
 
 def run_failures(
@@ -34,14 +50,16 @@ def run_failures(
     limit_margin: float = 0.05,
     chunk_size: int = CHUNK,
     seed: int = 0,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> FigureResult:
-    base = scientific_task(scale=scale, request_extra=True)
-    members = [
-        replace(m, memory_limit=int(m.footprint * (1.0 + limit_margin)))
-        for m in make_ensemble(base, instances, rng_factory=RngFactory(seed))
-    ]
-    total = sum(m.footprint for m in members)
-
+    family = ext_failures_family(
+        scale=scale,
+        instances=instances,
+        limit_margin=limit_margin,
+        chunk_size=chunk_size,
+        seed=seed,
+    )
     result = FigureResult(
         figure="ext-failures",
         description=(
@@ -50,21 +68,13 @@ def run_failures(
             "~25% extra memory mid-run"
         ),
         xlabels=["completed", "oom-killed", "failed", "makespan (s)"],
+        provenance=family_provenance(family, seed),
     )
-    for kind in (EnvKind.CBE, EnvKind.TME, EnvKind.IMME):
-        env = make_environment(
-            kind, dram_capacity=int(total * 1.2), chunk_size=chunk_size
-        )
-        metrics = env.run_batch(members, max_time=1e7)
-        completed = len(metrics.completed())
-        failed = len(metrics.failed())
-        # oom-killed counts actual cgroup OOM kills; "failed" is any failure
-        oom_killed = metrics.total_oom_kills()
-        makespan = metrics.makespan() if completed else 0.0
-        result.add_series(
-            kind.name, [float(completed), float(oom_killed), float(failed), makespan]
-        )
-        env.stop()
+    spec = SweepSpec("ext-failures", base_seed=seed)
+    for scenario in family:
+        spec.add_scenario(_failures_cell, scenario)
+    for key, series in sweep(spec, jobs=jobs, cache=cache).items():
+        result.add_series(key, series)
     result.notes.append(
         "CBE's expansions hit the container's fixed allocation (OOM kill); "
         "TME's oblivious demand allocation also places them in charged local "

@@ -5,19 +5,32 @@ as a Poisson stream on a node already hosting long capacity/bandwidth
 jobs.  As the offered rate grows, the constrained baseline's turnaround
 explodes (each arrival triggers reclaim into an already-thrashing node)
 while IMME absorbs the stream — the §IV-D4 "reduced startup + execution
-time at scale" effect, viewed open-loop.
+time at scale" effect, viewed open-loop.  The arrival process lives in
+the scenario's workload spec (``open-system`` source), so each
+(environment, rate) point is one registered scenario.
 """
 
 from __future__ import annotations
 
-from ..envs.environments import EnvKind, make_environment
-from ..util.rng import RngFactory
-from ..workflows.arrivals import poisson_arrivals
-from ..workflows.ensembles import make_ensemble
-from ..workflows.library import data_mining_task, deep_learning_task, scientific_task
-from .common import CHUNK, SCALE, FigureResult
+from typing import TYPE_CHECKING
+
+from ..envs.environments import EnvKind
+from ..scenarios.build import realize
+from ..scenarios.paper import ext_open_system_family
+from ..scenarios.spec import ScenarioSpec
+from .common import CHUNK, SCALE, FigureResult, SweepSpec, family_provenance, sweep
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.store import ResultCache
 
 __all__ = ["run_open_system"]
+
+
+def _open_system_cell(scenario: ScenarioSpec) -> float:
+    """Mean DM turnaround (s) for one (environment, offered rate)."""
+    metrics = realize(scenario).execute()
+    dm_turnaround = [t.turnaround for t in metrics.completed() if t.wclass == "DM"]
+    return sum(dm_turnaround) / max(1, len(dm_turnaround))
 
 
 def run_open_system(
@@ -27,17 +40,16 @@ def run_open_system(
     stream_length: int = 12,
     chunk_size: int = CHUNK,
     seed: int = 0,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> FigureResult:
-    factory = RngFactory(seed)
-    background = [
-        deep_learning_task("bg-dl", scale=scale),
-        scientific_task("bg-sc", scale=scale),
-    ]
-    stream = make_ensemble(
-        data_mining_task(scale=scale), stream_length, rng_factory=factory
+    family = ext_open_system_family(
+        scale=scale,
+        rates=rates,
+        stream_length=stream_length,
+        chunk_size=chunk_size,
+        seed=seed,
     )
-    total = sum(s.max_footprint for s in background + stream)
-
     result = FigureResult(
         figure="ext-open-system",
         description=(
@@ -45,27 +57,16 @@ def run_open_system(
             "background jobs — mean DM turnaround (s) vs offered rate"
         ),
         xlabels=[f"{r:.2f}/s" for r in rates],
+        provenance=family_provenance(family, seed),
     )
+    spec = SweepSpec("ext-open-system", base_seed=seed)
+    for scenario in family:
+        spec.add_scenario(_open_system_cell, scenario)
+    cells = sweep(spec, jobs=jobs, cache=cache)
     for kind in (EnvKind.CBE, EnvKind.IMME):
-        series = []
-        for rate in rates:
-            env = make_environment(
-                kind, dram_capacity=int(total * 0.30), chunk_size=chunk_size
-            )
-            arrivals = [0.0] * len(background) + poisson_arrivals(
-                rate,
-                stream_length,
-                rng_factory=RngFactory(seed),
-                stream=f"open.{rate}",
-                start=5.0,
-            )
-            metrics = env.run_arrivals(background + stream, arrivals, max_time=1e7)
-            dm_turnaround = [
-                t.turnaround for t in metrics.completed() if t.wclass == "DM"
-            ]
-            series.append(sum(dm_turnaround) / max(1, len(dm_turnaround)))
-            env.stop()
-        result.add_series(kind.name, series)
+        result.add_series(
+            kind.name, [cells[f"{kind.name}:{rate:.2f}"] for rate in rates]
+        )
     worst = max(
         c / i for c, i in zip(result.series["CBE"], result.series["IMME"])
     )

@@ -5,7 +5,8 @@ either single or multiple flags to each workflow based on the previous
 execution logs, heuristics, and predictor."
 
 We submit the *same* latency-sensitive workflow repeatedly with **no
-flags**.  The first run uses the conservative cold-start heuristic (a
+flags** (the registered ``ext-predictor`` scenario's ``predictor-probes``
+workload).  The first run uses the conservative cold-start heuristic (a
 small LAT slice, the rest CAP→CXL), so part of the hot set lands remote;
 at completion the manager learns the workload's real heat profile
 (§III-C2's 512 MB-of-40 GB example), and later runs place the measured hot
@@ -14,40 +15,34 @@ set in DRAM from the start.
 
 from __future__ import annotations
 
-from ..core.flags import MemFlag
-from ..envs.environments import EnvKind, make_environment
-from ..util.units import GBps
-from ..workflows.patterns import HotColdPattern
-from ..workflows.task import TaskPhase, TaskSpec, WorkloadClass
-from .common import CHUNK, SCALE, FigureResult
+from typing import TYPE_CHECKING
+
+from ..scenarios.build import realize
+from ..scenarios.paper import ext_predictor_family
+from ..scenarios.spec import ScenarioSpec
+from .common import CHUNK, SCALE, FigureResult, SweepSpec, family_provenance, sweep
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.store import ResultCache
 
 __all__ = ["run_predictor_learning"]
 
 
-def _probe_task(name: str, scale: float) -> TaskSpec:
-    """A DM-style task with a large, well-defined hot set and NO flags."""
-    from ..util.units import GiB
+def _predictor_cell(scenario: ScenarioSpec) -> list[float]:
+    """Per-run execution times of the unflagged probe under one manager.
 
-    footprint = max(1, int(GiB(8) * scale))
-    return TaskSpec(
-        name=name,
-        wclass=WorkloadClass.GENERIC,  # no class default flags either
-        footprint=footprint,
-        wss=int(footprint * 0.75),
-        phases=(
-            TaskPhase(
-                name="lookup",
-                base_time=12.0,
-                compute_frac=0.30,
-                lat_frac=0.65,
-                bw_frac=0.05,
-                demand_bandwidth=GBps(2.0),
-                pattern=HotColdPattern(hot_fraction=0.40, hot_share=0.90),
-            ),
-        ),
-        flags=MemFlag.NONE,
-        cores=2,
-    )
+    The probes must run back to back (the manager's learning carries
+    across runs), so they are submitted one at a time instead of batched.
+    """
+    realized = realize(scenario)
+    env = realized.env
+    series = []
+    for task in realized.tasks:
+        env.scheduler.submit(task)
+        env.scheduler.run_to_completion(max_time=scenario.max_time)
+        series.append(env.metrics.get(task.name).execution_time)
+    env.stop()
+    return series
 
 
 def run_predictor_learning(
@@ -55,14 +50,10 @@ def run_predictor_learning(
     scale: float = SCALE,
     runs: int = 4,
     chunk_size: int = CHUNK,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> FigureResult:
-    first = _probe_task("probe-0", scale)
-    # DRAM big enough for the hot set (40%), far too small for everything
-    env = make_environment(
-        EnvKind.IMME,
-        dram_capacity=int(first.footprint * 0.55),
-        chunk_size=chunk_size,
-    )
+    family = ext_predictor_family(scale=scale, runs=runs, chunk_size=chunk_size)
     result = FigureResult(
         figure="ext-predictor",
         description=(
@@ -70,15 +61,12 @@ def run_predictor_learning(
             "under IMME — execution time (s) per run"
         ),
         xlabels=[f"run-{i}" for i in range(runs)],
+        provenance=family_provenance(family),
     )
-    series = []
-    for i in range(runs):
-        spec = _probe_task(f"probe-{i}", scale)
-        env.scheduler.submit(spec)
-        env.scheduler.run_to_completion(max_time=1e7)
-        series.append(env.metrics.get(spec.name).execution_time)
+    spec = SweepSpec("ext-predictor")
+    spec.add_scenario(_predictor_cell, family.scenarios[0])
+    series = sweep(spec, jobs=jobs, cache=cache)["ext-predictor"]
     result.add_series("IMME(no flags)", series)
-    env.stop()
     gain = (series[0] - series[-1]) / series[0] if series[0] else 0.0
     result.notes.append(
         f"run-0 pays the cold-start heuristic; the execution-log predictor "

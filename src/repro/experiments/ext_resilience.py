@@ -4,7 +4,9 @@ The chaos companion to ``ext_failures``: the same memory-capped scientific
 ensemble (each instance requests ~25% extra memory mid-run) runs while a
 deterministic :class:`~repro.faults.FaultSchedule` disturbs the cluster —
 a registry outage, a straggling task, a degraded PMem device, a node
-crash, and a CXL link flap.  CBE/TME instances die to the OOM killer
+crash, and a CXL link flap.  The schedule is *named* in the scenario
+(``fault_schedule="default-chaos"``), so the whole disturbance replay
+serializes with the spec.  CBE/TME instances die to the OOM killer
 exactly as in ``ext_failures``; IMME's CAP expansions land in uncharged
 CXL, so its workflows survive the memory pressure and the recovery paths
 (requeue with backoff, tier evacuation, pull retry/fallback) carry them
@@ -13,38 +15,31 @@ through the faults.
 
 from __future__ import annotations
 
-from dataclasses import replace
+from typing import TYPE_CHECKING
 
-from ..envs.environments import EnvKind, make_environment
-from ..faults.spec import FaultKind, FaultSchedule, FaultSpec
-from ..memory.tiers import PMEM
-from ..util.rng import RngFactory
-from ..workflows.ensembles import make_ensemble
-from ..workflows.library import scientific_task
-from .common import CHUNK, SCALE, FigureResult
+from ..scenarios.build import default_chaos_schedule, realize
+from ..scenarios.paper import ext_resilience_family
+from ..scenarios.spec import ScenarioSpec
+from .common import CHUNK, SCALE, FigureResult, SweepSpec, family_provenance, sweep
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.store import ResultCache
 
 __all__ = ["run_resilience", "default_chaos_schedule"]
 
 
-def default_chaos_schedule(n_nodes: int) -> FaultSchedule:
-    """The fixed disturbance scenario the experiment replays per env."""
-    return FaultSchedule(
-        [
-            # registry outage while the first pulls are in flight
-            FaultSpec(FaultKind.IMAGE_PULL_FAILURE, time=0.0, duration=30.0, severity=0.6),
-            # one early task limps at 40% speed for a while
-            FaultSpec(FaultKind.TASK_STRAGGLER, time=20.0, duration=40.0, severity=0.4),
-            # a PMem DIMM on node 0 drops to half bandwidth
-            FaultSpec(
-                FaultKind.TIER_DEGRADED, time=35.0, node=0, tier=PMEM,
-                duration=30.0, severity=0.5,
-            ),
-            # the last node dies mid-run and comes back 45 s later
-            FaultSpec(FaultKind.NODE_CRASH, time=50.0, node=n_nodes - 1, duration=45.0),
-            # node 0 loses its CXL link: pages evacuate, staging degrades
-            FaultSpec(FaultKind.CXL_LINK_FLAP, time=140.0, node=0, duration=20.0),
-        ]
-    )
+def _resilience_cell(scenario: ScenarioSpec) -> list[float]:
+    """[completed, failed, requeues, faults, mttr, makespan] per environment."""
+    metrics = realize(scenario).execute()
+    completed = len(metrics.completed())
+    return [
+        float(completed),
+        float(len(metrics.failed())),
+        float(metrics.faults.job_requeues),
+        float(metrics.faults.total_injected),
+        metrics.faults.mttr,
+        metrics.makespan() if completed else 0.0,
+    ]
 
 
 def run_resilience(
@@ -56,47 +51,34 @@ def run_resilience(
     seed: int = 0,
     n_nodes: int = 2,
     fault_seed: int = 7,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> FigureResult:
-    base = scientific_task(scale=scale, request_extra=True)
-    members = [
-        replace(m, memory_limit=int(m.footprint * (1.0 + limit_margin)))
-        for m in make_ensemble(base, instances, rng_factory=RngFactory(seed))
-    ]
-    total = sum(m.footprint for m in members)
-    schedule = default_chaos_schedule(n_nodes)
-
+    family = ext_resilience_family(
+        scale=scale,
+        instances=instances,
+        limit_margin=limit_margin,
+        chunk_size=chunk_size,
+        seed=seed,
+        n_nodes=n_nodes,
+        fault_seed=fault_seed,
+    )
+    n_faults = len(default_chaos_schedule(n_nodes))
     result = FigureResult(
         figure="ext-resilience",
         description=(
             f"Survival under faults: {instances} memory-capped SC instances on "
-            f"{n_nodes} nodes through {len(schedule)} injected faults "
+            f"{n_nodes} nodes through {n_faults} injected faults "
             "(registry outage, straggler, degraded PMem, node crash, CXL flap)"
         ),
         xlabels=["completed", "failed", "requeues", "faults", "mttr (s)", "makespan (s)"],
+        provenance=family_provenance(family, seed),
     )
-    for kind in (EnvKind.CBE, EnvKind.TME, EnvKind.IMME):
-        env = make_environment(
-            kind,
-            n_nodes=n_nodes,
-            dram_capacity=int(total * 1.2 / n_nodes),
-            chunk_size=chunk_size,
-        )
-        env.inject_faults(schedule, seed=fault_seed)
-        metrics = env.run_batch(members, max_time=1e7)
-        completed = len(metrics.completed())
-        makespan = metrics.makespan() if completed else 0.0
-        result.add_series(
-            kind.name,
-            [
-                float(completed),
-                float(len(metrics.failed())),
-                float(metrics.faults.job_requeues),
-                float(metrics.faults.total_injected),
-                metrics.faults.mttr,
-                makespan,
-            ],
-        )
-        env.stop()
+    spec = SweepSpec("ext-resilience", base_seed=seed)
+    for scenario in family:
+        spec.add_scenario(_resilience_cell, scenario)
+    for key, series in sweep(spec, jobs=jobs, cache=cache).items():
+        result.add_series(key, series)
     result.notes.append(
         "every fault either recovers (requeue within max_retries, tier "
         "evacuation, pull retry/fallback) or is recorded as a failed job; "

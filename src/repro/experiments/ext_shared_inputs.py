@@ -12,14 +12,49 @@ into their startup/exec improvements.
 
 from __future__ import annotations
 
-from ..envs.environments import EnvKind, make_environment
-from ..util.rng import RngFactory
+from typing import TYPE_CHECKING
+
+from ..envs.environments import EnvKind
+from ..scenarios.build import realize
+from ..scenarios.paper import ext_shared_inputs_family
+from ..scenarios.spec import ScenarioSpec
 from ..util.units import GiB
-from ..workflows.ensembles import make_ensemble
-from ..workflows.library import data_mining_task, with_shared_input
-from .common import CHUNK, SCALE, FigureResult
+from .common import CHUNK, SCALE, FigureResult, SweepSpec, family_provenance, sweep
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.store import ResultCache
 
 __all__ = ["run_shared_inputs"]
+
+
+def _shared_inputs_cell(scenario: ScenarioSpec) -> list[float]:
+    """[mean DM exec, peak resident MiB, staged copies] for one environment.
+
+    Steps the engine manually to sample cluster residency at every event,
+    which :meth:`Environment.run_batch` cannot do.
+    """
+    realized = realize(scenario)
+    env, members = realized.env, realized.tasks
+    env.scheduler.submit_batch(members)
+    peak_resident = 0
+    while not env.scheduler.all_done:
+        env.engine.step()
+        resident = sum(
+            node.rss(t) for node in env.topology.nodes for t in (0, 1, 2)
+        )
+        peak_resident = max(peak_resident, resident)
+    metrics = env.metrics
+    copies = (
+        1.0
+        if env.shared_memory is not None and env.shared_memory.stage_count >= 1
+        else float(len(members))
+    )
+    env.stop()
+    return [
+        metrics.mean_execution_time("DM"),
+        peak_resident / (1 << 20),
+        copies,
+    ]
 
 
 def run_shared_inputs(
@@ -29,55 +64,33 @@ def run_shared_inputs(
     input_bytes: int | None = None,
     chunk_size: int = CHUNK,
     seed: int = 0,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> FigureResult:
-    if input_bytes is None:
-        input_bytes = max(1, int(GiB(16) * scale))
-    base = data_mining_task(scale=scale)
-    members = [
-        with_shared_input(m, "census-dataset", input_bytes)
-        for m in make_ensemble(base, instances, rng_factory=RngFactory(seed))
-    ]
-    private_total = sum(s.max_footprint for s in members)
-    # size DRAM so the *private-copy* variant is heavily pressured while
-    # the shared variant (one staged copy) fits comfortably
-    dram = int(private_total * 0.30)
-
+    family = ext_shared_inputs_family(
+        scale=scale,
+        instances=instances,
+        input_bytes=input_bytes,
+        chunk_size=chunk_size,
+        seed=seed,
+    )
+    shown_bytes = input_bytes if input_bytes is not None else max(1, int(GiB(16) * scale))
     result = FigureResult(
         figure="ext-shared-inputs",
         description=(
             f"Shared-input extension: {instances} DM instances reading one "
-            f"{input_bytes >> 20} MiB dataset"
+            f"{shown_bytes >> 20} MiB dataset"
         ),
         xlabels=["exec time (s)", "resident bytes (MiB)", "staged copies"],
+        provenance=family_provenance(family, seed),
     )
-    for kind in (EnvKind.TME, EnvKind.IMME):
-        env = make_environment(kind, dram_capacity=dram, chunk_size=chunk_size)
-        peak_resident = 0
-
-        env.scheduler.submit_batch(members)
-        while not env.scheduler.all_done:
-            env.engine.step()
-            resident = sum(
-                node.rss(t) for node in env.topology.nodes for t in (0, 1, 2)
-            )
-            peak_resident = max(peak_resident, resident)
-        metrics = env.metrics
-        copies = (
-            1.0
-            if env.shared_memory is not None and env.shared_memory.stage_count >= 1
-            else float(instances)
-        )
-        result.add_series(
-            kind.name,
-            [
-                metrics.mean_execution_time("DM"),
-                peak_resident / (1 << 20),
-                copies,
-            ],
-        )
-        env.stop()
-    saved = result.value("TME", "resident bytes (MiB)") - result.value(
-        "IMME", "resident bytes (MiB)"
+    spec = SweepSpec("ext-shared-inputs", base_seed=seed)
+    for scenario in family:
+        spec.add_scenario(_shared_inputs_cell, scenario)
+    for key, series in sweep(spec, jobs=jobs, cache=cache).items():
+        result.add_series(key, series)
+    saved = result.value(EnvKind.TME.name, "resident bytes (MiB)") - result.value(
+        EnvKind.IMME.name, "resident bytes (MiB)"
     )
     result.notes.append(
         f"IMME stages the dataset once, saving ~{saved:.0f} MiB of per-node "

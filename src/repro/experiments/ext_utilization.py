@@ -17,19 +17,19 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..envs.environments import EnvKind
 from ..memory.tiers import CXL, DRAM, PMEM
 from ..metrics.timeline import UtilizationSampler
+from ..scenarios.build import realize
+from ..scenarios.paper import ext_utilization_family
+from ..scenarios.spec import ScenarioSpec
 from .common import (
     CHUNK,
     SCALE,
     FigureResult,
     SweepSpec,
-    build_env,
-    colocated_mix,
+    family_provenance,
     sweep,
 )
-from .fig05_exec_time import DEFAULT_MIX
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cache.store import ResultCache
@@ -37,20 +37,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["run_utilization"]
 
 
-def _utilization_cell(
-    kind: EnvKind,
-    scale: float,
-    dram_fraction: float,
-    chunk_size: int,
-    sample_interval: float,
-    seed: int,
-) -> list[float]:
-    """[DRAM util %, tiered util %, jobs/hour] for one environment."""
-    specs = colocated_mix(dict(DEFAULT_MIX), scale=scale, seed=seed)
-    env = build_env(kind, specs, dram_fraction=dram_fraction, chunk_size=chunk_size)
+def _utilization_cell(scenario: ScenarioSpec, sample_interval: float) -> list[float]:
+    """[DRAM util %, tiered util %, jobs/hour] for one environment.
+
+    Runs the batch manually so the sampler brackets exactly the run
+    (started before submission, stopped before teardown).
+    """
+    realized = realize(scenario)
+    env, specs = realized.env, realized.tasks
     sampler = UtilizationSampler(env.engine, env.topology.nodes, sample_interval)
     sampler.start()
-    metrics = env.run_batch(specs, max_time=1e7)
+    metrics = env.run_batch(specs, max_time=scenario.max_time)
     sampler.stop()
     dram_util = sampler.mean_utilization(DRAM)
     resident = sum(
@@ -76,23 +73,18 @@ def run_utilization(
     jobs: int = 1,
     cache: "ResultCache | None" = None,
 ) -> FigureResult:
+    family = ext_utilization_family(
+        scale=scale, dram_fraction=dram_fraction, chunk_size=chunk_size, seed=seed
+    )
     result = FigureResult(
         figure="ext-utilization",
         description="Memory utilisation and productive throughput per environment",
         xlabels=["DRAM util (%)", "tiered util (%)", "jobs/hour"],
+        provenance=family_provenance(family, seed),
     )
     spec = SweepSpec("ext-utilization", base_seed=seed)
-    for kind in (EnvKind.IE, EnvKind.CBE, EnvKind.TME, EnvKind.IMME):
-        spec.add(
-            kind.name,
-            _utilization_cell,
-            kind=kind,
-            scale=scale,
-            dram_fraction=dram_fraction,
-            chunk_size=chunk_size,
-            sample_interval=sample_interval,
-            seed=seed,
-        )
+    for scenario in family:
+        spec.add_scenario(_utilization_cell, scenario, sample_interval=sample_interval)
     for key, series in sweep(spec, jobs=jobs, cache=cache).items():
         result.add_series(key, series)
     result.notes.append(

@@ -15,20 +15,22 @@ more, with bandwidth-intensive workflows benefiting the most.
 
 from __future__ import annotations
 
-from ..envs.environments import EnvKind
-from ..memory.tiers import CXL, DRAM, PMEM
-from ..policies.interleave import DefaultAllocationPolicy
-from .fig05_exec_time import DEFAULT_MIX
+from typing import TYPE_CHECKING
+
+from ..scenarios.paper import fig01_family
 from .common import (
     SCALE,
     CHUNK,
     CLASS_ORDER,
     FigureResult,
-    build_env,
-    colocated_mix,
-    per_class_exec_time,
-    run_and_collect,
+    SweepSpec,
+    family_provenance,
+    scenario_class_times,
+    sweep,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.store import ResultCache
 
 __all__ = ["run_fig01"]
 
@@ -40,35 +42,27 @@ def run_fig01(
     dram_fraction: float = 0.25,
     chunk_size: int = CHUNK,
     seed: int = 0,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> FigureResult:
-    if instances_per_class is None:
-        instances_per_class = dict(DEFAULT_MIX)
-    specs = colocated_mix(instances_per_class, scale=scale, seed=seed)
+    family = fig01_family(
+        scale=scale,
+        instances_per_class=instances_per_class,
+        dram_fraction=dram_fraction,
+        chunk_size=chunk_size,
+        seed=seed,
+    )
     result = FigureResult(
         figure="fig01",
         description="Fig 1: workflow execution time (s) under three memory configurations",
         xlabels=[cls.name for cls in CLASS_ORDER],
+        provenance=family_provenance(family, seed),
     )
-
-    configs = {
-        "swap-constrained": dict(kind=EnvKind.CBE),
-        "tiered-alloc": dict(
-            kind=EnvKind.TME,
-            policy_factory=lambda specs_: DefaultAllocationPolicy((DRAM, PMEM, CXL)),
-        ),
-        "tiered+migration": dict(kind=EnvKind.TME),
-    }
-    for name, cfg in configs.items():
-        env = build_env(
-            cfg["kind"],
-            specs,
-            dram_fraction=dram_fraction,
-            chunk_size=chunk_size,
-            policy_factory=cfg.get("policy_factory"),
-        )
-        metrics = run_and_collect(env, specs)
-        times = per_class_exec_time(metrics)
-        result.add_series(name, [times[cls] for cls in CLASS_ORDER])
+    spec = SweepSpec("fig01", base_seed=seed)
+    for scenario in family:
+        spec.add_scenario(scenario_class_times, scenario)
+    for key, series in sweep(spec, jobs=jobs, cache=cache).items():
+        result.add_series(key, series)
 
     for cls in CLASS_ORDER:
         swap = result.value("swap-constrained", cls.name)

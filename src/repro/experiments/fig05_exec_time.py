@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING
 
 from ..envs.environments import EnvKind
 from ..metrics.report import improvement
+from ..scenarios.paper import DEFAULT_MIX, fig05_family
 from ..workflows.task import WorkloadClass
 from .common import (
     SCALE,
@@ -20,47 +21,17 @@ from .common import (
     CLASS_ORDER,
     FigureResult,
     SweepSpec,
-    build_env,
-    colocated_mix,
-    per_class_exec_time,
-    run_and_collect,
+    family_provenance,
+    scenario_class_times,
     sweep,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cache.store import ResultCache
 
-__all__ = ["run_fig05", "ENV_ORDER"]
+__all__ = ["run_fig05", "DEFAULT_MIX", "ENV_ORDER"]
 
 ENV_ORDER = (EnvKind.IE, EnvKind.CBE, EnvKind.TME, EnvKind.IMME)
-
-
-#: default colocation mix: instance counts leaning toward the paper's
-#: DM-heavy 150:1100:150:600 class ratio, sized so a single node sees real
-#: bandwidth contention and memory pressure.
-DEFAULT_MIX = {
-    WorkloadClass.DL: 6,
-    WorkloadClass.DM: 8,
-    WorkloadClass.DC: 3,
-    WorkloadClass.SC: 4,
-}
-
-
-def _fig05_cell(
-    kind: EnvKind,
-    instances_per_class: "int | dict[WorkloadClass, int]",
-    scale: float,
-    dram_fraction: float,
-    chunk_size: int,
-    seed: int,
-) -> list[float]:
-    """One environment's per-class mean execution times (hermetic: the
-    workload is rebuilt deterministically from the seed in-process)."""
-    specs = colocated_mix(instances_per_class, scale=scale, seed=seed)
-    env = build_env(kind, specs, dram_fraction=dram_fraction, chunk_size=chunk_size)
-    metrics = run_and_collect(env, specs)
-    times = per_class_exec_time(metrics)
-    return [times[cls] for cls in CLASS_ORDER]
 
 
 def run_fig05(
@@ -73,25 +44,22 @@ def run_fig05(
     jobs: int = 1,
     cache: "ResultCache | None" = None,
 ) -> FigureResult:
-    if instances_per_class is None:
-        instances_per_class = dict(DEFAULT_MIX)
+    family = fig05_family(
+        scale=scale,
+        instances_per_class=instances_per_class,
+        dram_fraction=dram_fraction,
+        chunk_size=chunk_size,
+        seed=seed,
+    )
     result = FigureResult(
         figure="fig05",
         description="Fig 5: mean workflow execution time (s) per environment",
         xlabels=[cls.name for cls in CLASS_ORDER],
+        provenance=family_provenance(family, seed),
     )
     spec = SweepSpec("fig05", base_seed=seed)
-    for kind in ENV_ORDER:
-        spec.add(
-            kind.name,
-            _fig05_cell,
-            kind=kind,
-            instances_per_class=instances_per_class,
-            scale=scale,
-            dram_fraction=dram_fraction,
-            chunk_size=chunk_size,
-            seed=seed,
-        )
+    for scenario in family:
+        spec.add_scenario(scenario_class_times, scenario)
     for key, series in sweep(spec, jobs=jobs, cache=cache).items():
         result.add_series(key, series)
 

@@ -9,20 +9,35 @@ time climbs with the CXL share; IMME stays nearly flat, up to 80 % better.
 
 from __future__ import annotations
 
-from ..envs.environments import EnvKind
+from typing import TYPE_CHECKING
+
 from ..metrics.report import improvement
-from .fig05_exec_time import DEFAULT_MIX
+from ..scenarios.build import realize
+from ..scenarios.paper import fig06_family
+from ..scenarios.spec import ScenarioSpec
 from .common import (
     SCALE,
     CHUNK,
     FigureResult,
-    build_env,
-    colocated_mix,
+    SweepSpec,
+    family_provenance,
     per_class_exec_time,
-    run_and_collect,
+    sweep,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.store import ResultCache
+
 __all__ = ["run_fig06"]
+
+
+def _fig06_cell(scenario: ScenarioSpec) -> float:
+    """Normalised mean slowdown: every class weighs equally regardless of
+    its absolute duration (DM's seconds would otherwise vanish in DL's)."""
+    realized = realize(scenario)
+    times = per_class_exec_time(realized.execute())
+    ideal = {s.wclass: s.ideal_duration for s in realized.tasks}
+    return float(sum(times[c] / ideal[c] for c in times) / len(times))
 
 
 def run_fig06(
@@ -33,35 +48,29 @@ def run_fig06(
     dram_fraction: float = 0.25,
     chunk_size: int = CHUNK,
     seed: int = 0,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> FigureResult:
-    if instances_per_class is None:
-        instances_per_class = dict(DEFAULT_MIX)
-    specs = colocated_mix(instances_per_class, scale=scale, seed=seed)
+    family = fig06_family(
+        scale=scale,
+        instances_per_class=instances_per_class,
+        fractions=fractions,
+        dram_fraction=dram_fraction,
+        chunk_size=chunk_size,
+        seed=seed,
+    )
     result = FigureResult(
         figure="fig06",
         description="Fig 6: mean normalised slowdown vs. CXL share of workflow memory",
         xlabels=[f"{int(f * 100)}%" for f in fractions],
+        provenance=family_provenance(family, seed),
     )
-    rows = {"TME": [], "IMME": []}
-    for f in fractions:
-        for kind in (EnvKind.TME, EnvKind.IMME):
-            env = build_env(
-                kind,
-                specs,
-                dram_fraction=dram_fraction,
-                chunk_size=chunk_size,
-                cxl_fraction=f if kind is EnvKind.TME else None,
-            )
-            metrics = run_and_collect(env, specs)
-            times = per_class_exec_time(metrics)
-            # normalised mean: every class weighs equally regardless of its
-            # absolute duration (DM's seconds would otherwise vanish in DL's)
-            ideal = {s.wclass: s.ideal_duration for s in specs}
-            rows[kind.name].append(
-                float(sum(times[c] / ideal[c] for c in times) / len(times))
-            )
-    for name, vals in rows.items():
-        result.add_series(name, vals)
+    spec = SweepSpec("fig06", base_seed=seed)
+    for scenario in family:
+        spec.add_scenario(_fig06_cell, scenario)
+    cells = sweep(spec, jobs=jobs, cache=cache)
+    for kind in ("TME", "IMME"):
+        result.add_series(kind, [cells[f"{kind}:{int(f * 100)}"] for f in fractions])
 
     gain = max(
         improvement(t, i) for t, i in zip(result.series["TME"], result.series["IMME"])

@@ -8,27 +8,32 @@ Three allocation strategies over identical tiered hardware:
   (helps bandwidth-intensive flows, hurts latency-sensitive ones),
 * **Ours (Algorithm 1)** — flag-aware cascading/striping/CXL-direct.
 
+The policies are the *named* registry entries
+(:mod:`repro.scenarios.policies`), so every variant serializes and caches.
 Paper averages: ours −44 % vs Default, −8 % vs Uniform.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
-from ..envs.environments import EnvKind
 from ..metrics.report import improvement
-from ..policies.interleave import DefaultAllocationPolicy, UniformInterleavePolicy
-from .fig05_exec_time import DEFAULT_MIX
+from ..scenarios.paper import fig07_family
 from .common import (
     SCALE,
     CHUNK,
     CLASS_ORDER,
     FigureResult,
-    build_env,
-    colocated_mix,
-    per_class_exec_time,
-    run_and_collect,
+    SweepSpec,
+    family_provenance,
+    scenario_class_times,
+    sweep,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.store import ResultCache
 
 __all__ = ["run_fig07"]
 
@@ -40,48 +45,27 @@ def run_fig07(
     dram_fraction: float = 0.25,
     chunk_size: int = CHUNK,
     seed: int = 0,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> FigureResult:
-    if instances_per_class is None:
-        instances_per_class = dict(DEFAULT_MIX)
-    specs = colocated_mix(instances_per_class, scale=scale, seed=seed)
+    family = fig07_family(
+        scale=scale,
+        instances_per_class=instances_per_class,
+        dram_fraction=dram_fraction,
+        chunk_size=chunk_size,
+        seed=seed,
+    )
     result = FigureResult(
         figure="fig07",
         description="Fig 7: mean execution time (s) per allocation policy",
         xlabels=[cls.name for cls in CLASS_ORDER],
+        provenance=family_provenance(family, seed),
     )
-    def weighted_factory(tier_specs):
-        """Bandwidth-proportional weights — the "weighted interleaving"
-        the paper notes "can further improve" Uniform Allocation."""
-        from repro.memory.tiers import MEMORY_TIERS
-
-        weights = {
-            t: tier_specs[t].bandwidth
-            for t in MEMORY_TIERS
-            if tier_specs[t].capacity > 0
-        }
-        return UniformInterleavePolicy(weights)
-
-    policies = {
-        "default-alloc": dict(
-            kind=EnvKind.TME, policy_factory=lambda s: DefaultAllocationPolicy()
-        ),
-        "uniform-interleave": dict(
-            kind=EnvKind.TME, policy_factory=lambda s: UniformInterleavePolicy()
-        ),
-        "weighted-interleave": dict(kind=EnvKind.TME, policy_factory=weighted_factory),
-        "ours-alg1": dict(kind=EnvKind.IMME, policy_factory=None),
-    }
-    for name, cfg in policies.items():
-        env = build_env(
-            cfg["kind"],
-            specs,
-            dram_fraction=dram_fraction,
-            chunk_size=chunk_size,
-            policy_factory=cfg["policy_factory"],
-        )
-        metrics = run_and_collect(env, specs)
-        times = per_class_exec_time(metrics)
-        result.add_series(name, [times[cls] for cls in CLASS_ORDER])
+    spec = SweepSpec("fig07", base_seed=seed)
+    for scenario in family:
+        spec.add_scenario(scenario_class_times, scenario)
+    for key, series in sweep(spec, jobs=jobs, cache=cache).items():
+        result.add_series(key, series)
 
     ours = np.array(result.series["ours-alg1"])
     for base in ("default-alloc", "uniform-interleave"):

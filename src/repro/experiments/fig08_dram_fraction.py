@@ -12,19 +12,18 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..envs.environments import EnvKind, make_environment
+from ..envs.environments import EnvKind
 from ..metrics.report import improvement
-from ..util.rng import RngFactory
-from ..workflows.ensembles import make_ensemble
-from ..workflows.library import paper_workload_suite
 from ..workflows.task import WorkloadClass
+from ..scenarios.paper import fig08_family
 from .common import (
     SCALE,
     CHUNK,
     CLASS_ORDER,
     FigureResult,
     SweepSpec,
-    run_and_collect,
+    family_provenance,
+    scenario_makespan,
     sweep,
 )
 
@@ -34,28 +33,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["run_fig08"]
 
 ENVS = (EnvKind.IE, EnvKind.TME, EnvKind.IMME)
-
-
-def _fig08_cell(
-    cls: WorkloadClass,
-    kind: EnvKind,
-    fractions: tuple[float, ...],
-    scale: float,
-    instances_per_class: int,
-    chunk_size: int,
-    seed: int,
-) -> list[float]:
-    """Makespan series over DRAM fractions for one (class, environment)."""
-    suite = paper_workload_suite(scale)
-    specs = make_ensemble(suite[cls], instances_per_class, rng_factory=RngFactory(seed))
-    wss_total = sum(s.wss for s in specs)
-    series = []
-    for f in fractions:
-        dram = max(int(wss_total * f), 16 * chunk_size)
-        env = make_environment(kind, dram_capacity=dram, chunk_size=chunk_size)
-        metrics = run_and_collect(env, specs)
-        series.append(metrics.makespan())
-    return series
 
 
 def run_fig08(
@@ -69,29 +46,32 @@ def run_fig08(
     jobs: int = 1,
     cache: "ResultCache | None" = None,
 ) -> FigureResult:
+    family = fig08_family(
+        scale=scale,
+        instances_per_class=instances_per_class,
+        fractions=fractions,
+        chunk_size=chunk_size,
+        seed=seed,
+        classes=classes,
+    )
     result = FigureResult(
         figure="fig08",
         description="Fig 8: makespan (s) vs. DRAM as % of working-set size",
         xlabels=[f"{int(f * 100)}%" for f in fractions],
+        provenance=family_provenance(family, seed),
     )
     gains_vs_ie: dict[WorkloadClass, list[float]] = {c: [] for c in classes}
     gains_vs_tme: dict[WorkloadClass, list[float]] = {c: [] for c in classes}
     spec = SweepSpec("fig08", base_seed=seed)
+    for scenario in family:
+        spec.add_scenario(scenario_makespan, scenario)
+    cells = sweep(spec, jobs=jobs, cache=cache)
     for cls in classes:
         for kind in ENVS:
-            spec.add(
+            result.add_series(
                 f"{kind.name}:{cls.name}",
-                _fig08_cell,
-                cls=cls,
-                kind=kind,
-                fractions=fractions,
-                scale=scale,
-                instances_per_class=instances_per_class,
-                chunk_size=chunk_size,
-                seed=seed,
+                [cells[f"{kind.name}:{cls.name}:{int(f * 100)}"] for f in fractions],
             )
-    for key, series in sweep(spec, jobs=jobs, cache=cache).items():
-        result.add_series(key, series)
     for cls in classes:
         for i in range(len(fractions)):
             ie = result.series[f"IE:{cls.name}"][i]

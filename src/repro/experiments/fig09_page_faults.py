@@ -15,20 +15,19 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..envs.environments import EnvKind
 from ..metrics.report import improvement
-from .fig05_exec_time import DEFAULT_MIX
+from ..scenarios.build import realize
+from ..scenarios.paper import fig09_family
+from ..scenarios.spec import ScenarioSpec
 from .common import (
     SCALE,
     CHUNK,
     CLASS_ORDER,
     FigureResult,
     SweepSpec,
-    build_env,
-    colocated_mix,
+    family_provenance,
     per_class_exec_time,
     per_class_faults,
-    run_and_collect,
     sweep,
 )
 
@@ -37,28 +36,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["run_fig09"]
 
-ENVS = (EnvKind.CBE, EnvKind.TME, EnvKind.IMME)
 
-
-def _fig09_cell(
-    kind: EnvKind,
-    instances_per_class: "int | dict",
-    scale: float,
-    dram_fraction: float,
-    chunk_size: int,
-    seed: int,
-) -> dict:
+def _fig09_cell(scenario: ScenarioSpec) -> dict:
     """One environment's fault counts, mean exec time, and traffic."""
-    specs = colocated_mix(instances_per_class, scale=scale, seed=seed)
-    env = build_env(kind, specs, dram_fraction=dram_fraction, chunk_size=chunk_size)
-    metrics = run_and_collect(env, specs)
+    realized = realize(scenario)
+    metrics = realized.execute()
     faults = per_class_faults(metrics)
     times = per_class_exec_time(metrics)
     return {
         "major": [float(faults[c][0]) for c in CLASS_ORDER],
         "minor": [float(faults[c][1]) for c in CLASS_ORDER],
         "exec_mean": float(np.mean([times[c] for c in CLASS_ORDER])),
-        "traffic": env.node_traffic(),
+        "traffic": realized.env.node_traffic(),
     }
 
 
@@ -72,25 +61,22 @@ def run_fig09(
     jobs: int = 1,
     cache: "ResultCache | None" = None,
 ) -> FigureResult:
-    if instances_per_class is None:
-        instances_per_class = dict(DEFAULT_MIX)
+    family = fig09_family(
+        scale=scale,
+        instances_per_class=instances_per_class,
+        dram_fraction=dram_fraction,
+        chunk_size=chunk_size,
+        seed=seed,
+    )
     result = FigureResult(
         figure="fig09",
         description="Fig 9: page faults (majors/minors) and data movement per environment",
         xlabels=[cls.name for cls in CLASS_ORDER],
+        provenance=family_provenance(family, seed),
     )
     spec = SweepSpec("fig09", base_seed=seed)
-    for kind in ENVS:
-        spec.add(
-            kind.name,
-            _fig09_cell,
-            kind=kind,
-            instances_per_class=instances_per_class,
-            scale=scale,
-            dram_fraction=dram_fraction,
-            chunk_size=chunk_size,
-            seed=seed,
-        )
+    for scenario in family:
+        spec.add_scenario(_fig09_cell, scenario)
     exec_means = {}
     traffic = {}
     for key, cell in sweep(spec, jobs=jobs, cache=cache).items():

@@ -15,15 +15,15 @@ from typing import TYPE_CHECKING
 
 from ..envs.environments import EnvKind
 from ..metrics.report import improvement
-from ..util.rng import RngFactory
-from ..workflows.ensembles import paper_batch
+from ..scenarios.build import realize
+from ..scenarios.paper import fig10_family
+from ..scenarios.spec import ScenarioSpec
 from .common import (
     SCALE,
     CHUNK,
     FigureResult,
     SweepSpec,
-    build_env,
-    run_and_collect,
+    family_provenance,
     sweep,
 )
 
@@ -35,21 +35,9 @@ __all__ = ["run_fig10"]
 ENVS = (EnvKind.IE, EnvKind.CBE, EnvKind.TME, EnvKind.IMME)
 
 
-def _fig10_cell(
-    kind: EnvKind,
-    n_nodes: int,
-    dram_per_node: int,
-    total_instances: int,
-    scale: float,
-    chunk_size: int,
-    seed: int,
-) -> tuple[float, float]:
+def _fig10_cell(scenario: ScenarioSpec) -> tuple[float, float]:
     """(makespan, mean container startup) for one (environment, cluster size)."""
-    specs = paper_batch(total_instances, scale=scale, rng_factory=RngFactory(seed))
-    env = build_env(
-        kind, specs, n_nodes=n_nodes, chunk_size=chunk_size, dram_per_node=dram_per_node
-    )
-    metrics = run_and_collect(env, specs)
+    metrics = realize(scenario).execute()
     return metrics.makespan(), metrics.mean_startup_time()
 
 
@@ -64,7 +52,14 @@ def run_fig10(
     jobs: int = 1,
     cache: "ResultCache | None" = None,
 ) -> FigureResult:
-    specs = paper_batch(total_instances, scale=scale, rng_factory=RngFactory(seed))
+    family = fig10_family(
+        scale=scale,
+        total_instances=total_instances,
+        node_counts=node_counts,
+        dram_fraction=dram_fraction,
+        chunk_size=chunk_size,
+        seed=seed,
+    )
     result = FigureResult(
         figure="fig10",
         description=(
@@ -72,27 +67,11 @@ def run_fig10(
             "150:1100:150:600 mix, vs. cluster size"
         ),
         xlabels=[f"{n}n" for n in node_counts],
+        provenance=family_provenance(family, seed),
     )
-    # fixed per-node hardware, as in the paper: every added server brings
-    # the same DRAM, so aggregate memory grows with the cluster
-    total = sum(s.max_footprint for s in specs)
-    per_node_dram = int(total * dram_fraction / min(node_counts))
     spec = SweepSpec("fig10", base_seed=seed)
-    for kind in ENVS:
-        for n in node_counts:
-            spec.add(
-                f"{kind.name}:{n}n",
-                _fig10_cell,
-                kind=kind,
-                n_nodes=n,
-                dram_per_node=(
-                    per_node_dram if kind is not EnvKind.IE else int(total * 1.5 / n)
-                ),
-                total_instances=total_instances,
-                scale=scale,
-                chunk_size=chunk_size,
-                seed=seed,
-            )
+    for scenario in family:
+        spec.add_scenario(_fig10_cell, scenario)
     cells = sweep(spec, jobs=jobs, cache=cache)
     startup = {}
     for kind in ENVS:

@@ -13,15 +13,14 @@ from typing import TYPE_CHECKING
 
 from ..envs.environments import EnvKind
 from ..metrics.report import improvement
-from ..util.rng import RngFactory
-from ..workflows.ensembles import paper_batch
+from ..scenarios.paper import fig11_family
 from .common import (
     SCALE,
     CHUNK,
     FigureResult,
     SweepSpec,
-    build_env,
-    run_and_collect,
+    family_provenance,
+    scenario_makespan,
     sweep,
 )
 
@@ -31,24 +30,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["run_fig11"]
 
 ENVS = (EnvKind.IE, EnvKind.CBE, EnvKind.TME, EnvKind.IMME)
-
-
-def _fig11_cell(
-    kind: EnvKind,
-    instances: int,
-    n_nodes: int,
-    dram_per_node: int,
-    scale: float,
-    chunk_size: int,
-    seed: int,
-) -> float:
-    """Makespan of one (environment, batch size) on the fixed cluster."""
-    specs = paper_batch(instances, scale=scale, rng_factory=RngFactory(seed))
-    env = build_env(
-        kind, specs, n_nodes=n_nodes, chunk_size=chunk_size, dram_per_node=dram_per_node
-    )
-    metrics = run_and_collect(env, specs)
-    return metrics.makespan()
 
 
 def run_fig11(
@@ -62,34 +43,23 @@ def run_fig11(
     jobs: int = 1,
     cache: "ResultCache | None" = None,
 ) -> FigureResult:
+    family = fig11_family(
+        scale=scale,
+        instance_counts=instance_counts,
+        n_nodes=n_nodes,
+        dram_fraction=dram_fraction,
+        chunk_size=chunk_size,
+        seed=seed,
+    )
     result = FigureResult(
         figure="fig11",
         description=f"Fig 11: batch makespan (s) vs. concurrent instances ({n_nodes} nodes)",
         xlabels=[str(c) for c in instance_counts],
+        provenance=family_provenance(family, seed),
     )
-    # fixed cluster hardware: per-node DRAM sized against the LARGEST
-    # batch, so growing concurrency raises pressure monotonically
-    largest = paper_batch(max(instance_counts), scale=scale, rng_factory=RngFactory(seed))
-    total_max = sum(s.max_footprint for s in largest)
-    per_node_dram = int(total_max * dram_fraction / n_nodes)
     spec = SweepSpec("fig11", base_seed=seed)
-    for kind in ENVS:
-        for c in instance_counts:
-            spec.add(
-                f"{kind.name}:{c}",
-                _fig11_cell,
-                kind=kind,
-                instances=c,
-                n_nodes=n_nodes,
-                dram_per_node=(
-                    per_node_dram
-                    if kind is not EnvKind.IE
-                    else int(total_max * 1.5 / n_nodes)
-                ),
-                scale=scale,
-                chunk_size=chunk_size,
-                seed=seed,
-            )
+    for scenario in family:
+        spec.add_scenario(scenario_makespan, scenario)
     cells = sweep(spec, jobs=jobs, cache=cache)
     for kind in ENVS:
         result.add_series(kind.name, [cells[f"{kind.name}:{c}"] for c in instance_counts])

@@ -8,94 +8,69 @@ a closed form,
 
 and the end-to-end simulated execution time must match
 ``base_time × slowdown`` exactly (no contention, no movement, no faults).
-This experiment runs that matrix — tier × sensitivity mix — through the
-full stack (scheduler, containers, executor) and reports
-predicted-vs-simulated error.
+This experiment runs that matrix — tier × sensitivity mix, the registered
+``validation`` scenario family — through the full stack (scheduler,
+containers, executor) and reports predicted-vs-simulated error.
 """
 
 from __future__ import annotations
 
-from ..core.flags import MemFlag
-from ..envs.environments import EnvKind, EnvironmentConfig, Environment
+from typing import TYPE_CHECKING
+
 from ..memory.tiers import CXL, DRAM, PMEM, TierKind
-from ..policies.interleave import DefaultAllocationPolicy
-from ..util.units import GBps, MiB
-from ..workflows.patterns import UniformPattern
-from ..workflows.task import TaskPhase, TaskSpec, WorkloadClass
-from .common import CHUNK, FigureResult
+from ..scenarios.build import realize
+from ..scenarios.paper import validation_family
+from ..scenarios.spec import ScenarioSpec
+from ..scenarios.workloads import VALIDATION_MIXES
+from .common import CHUNK, FigureResult, SweepSpec, family_provenance, sweep
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.store import ResultCache
 
 __all__ = ["run_validation"]
-
-#: (label, compute, lat, bw, demand bytes/s)
-MIXES = (
-    ("compute", 1.0, 0.0, 0.0, 0.0),
-    ("latency", 0.3, 0.7, 0.0, 0.0),
-    ("bandwidth", 0.3, 0.0, 0.7, GBps(60.0)),
-    ("blend", 0.4, 0.4, 0.2, GBps(10.0)),
-)
 
 TIERS = (DRAM, PMEM, CXL)
 
 
-def _spec(name: str, mix) -> TaskSpec:
-    _, compute, lat, bw, demand = mix
-    return TaskSpec(
-        name=name,
-        wclass=WorkloadClass.GENERIC,
-        footprint=MiB(4),
-        wss=MiB(4),
-        phases=(
-            TaskPhase(
-                name="steady",
-                base_time=20.0,
-                compute_frac=compute,
-                lat_frac=lat,
-                bw_frac=bw,
-                demand_bandwidth=demand,
-                pattern=UniformPattern(),
-            ),
-        ),
-        flags=MemFlag.NONE,
-        cores=1,
-    )
-
-
-def _predicted(mix, tier: TierKind, specs) -> float:
-    _, compute, lat, bw, demand = mix
+def _validation_cell(scenario: ScenarioSpec) -> float:
+    """Simulated/predicted execution-time ratio for one (tier, mix) probe."""
+    tier = TierKind[scenario.member.split(":", 1)[0]]
+    compute, lat, bw, demand = VALIDATION_MIXES[str(scenario.workload.param("mix"))]
+    realized = realize(scenario)
+    task = realized.tasks[0]
+    metrics = realized.execute()
+    simulated = metrics.get(task.name).execution_time
+    specs = realized.env.topology.node(0).specs
     lat_mult = specs[tier].latency / specs[DRAM].latency
     bw_mult = max(1.0, demand / specs[tier].bandwidth) if demand else 1.0
-    return compute + lat * lat_mult + bw * bw_mult
+    predicted = task.phases[0].base_time * (compute + lat * lat_mult + bw * bw_mult)
+    return float(simulated / predicted)
 
 
-def run_validation(*, chunk_size: int = CHUNK) -> FigureResult:
+def run_validation(
+    *,
+    chunk_size: int = CHUNK,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
+) -> FigureResult:
+    family = validation_family(chunk_size=chunk_size)
     result = FigureResult(
         figure="validation",
         description=(
             "Simulator validation: simulated/predicted execution-time ratio "
             "for single tasks pinned per tier (exact model: ratio = 1)"
         ),
-        xlabels=[m[0] for m in MIXES],
+        xlabels=list(VALIDATION_MIXES),
+        provenance=family_provenance(family),
     )
+    spec = SweepSpec("validation")
+    for scenario in family:
+        spec.add_scenario(_validation_cell, scenario)
+    cells = sweep(spec, jobs=jobs, cache=cache)
     for tier in TIERS:
-        series = []
-        for mix in MIXES:
-            # pin the whole allocation to `tier` via a degenerate policy
-            config = EnvironmentConfig(
-                kind=EnvKind.TME,
-                dram_capacity=MiB(64),
-                pmem_capacity=MiB(64),
-                cxl_capacity=MiB(64),
-                chunk_size=chunk_size,
-                policy_factory=lambda s, t=tier: DefaultAllocationPolicy(order=(t,)),
-            )
-            env = Environment(config)
-            spec = _spec(f"v-{tier.name}-{mix[0]}", mix)
-            metrics = env.run_batch([spec], max_time=1e6)
-            simulated = metrics.get(spec.name).execution_time
-            predicted = 20.0 * _predicted(mix, tier, env.topology.node(0).specs)
-            series.append(simulated / predicted)
-            env.stop()
-        result.add_series(tier.name, series)
+        result.add_series(
+            tier.name, [cells[f"{tier.name}:{mix}"] for mix in VALIDATION_MIXES]
+        )
     worst = max(abs(v - 1.0) for vals in result.series.values() for v in vals)
     result.notes.append(f"worst relative model error: {100 * worst:.2f}%")
     return result

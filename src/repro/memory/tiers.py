@@ -28,10 +28,18 @@ __all__ = [
     "NUM_TIERS",
     "MEMORY_TIERS",
     "TIER_NAMES",
+    "PMEM_DRAM_RATIO",
+    "CXL_DRAM_RATIO",
     "default_tier_specs",
     "constrained_tier_specs",
     "ideal_tier_specs",
+    "scaled_tier_capacities",
 ]
+
+#: paper per-node provisioning ratios: PMem is 2x DRAM, CXL is
+#: "effectively unlimited" (64x DRAM keeps accounting finite)
+PMEM_DRAM_RATIO = 2
+CXL_DRAM_RATIO = 64
 
 
 class TierKind(enum.IntEnum):
@@ -169,3 +177,50 @@ def constrained_tier_specs(
 def ideal_tier_specs(dram_capacity: int = TiB(8)) -> dict[TierKind, TierSpec]:
     """Specs for the Ideal Environment: DRAM large enough for everything."""
     return constrained_tier_specs(dram_capacity=dram_capacity)
+
+
+def scaled_tier_capacities(
+    *,
+    tiered: bool,
+    chunk_size: int,
+    total_footprint: int = 0,
+    dram_fraction: Optional[float] = None,
+    ideal_headroom: Optional[float] = None,
+    dram_per_node: Optional[int] = None,
+    n_nodes: int = 1,
+    pmem_capacity: int = 0,
+    cxl_capacity: int = 0,
+    floor_chunks: int = 16,
+) -> tuple[int, int, int]:
+    """Per-node ``(dram, pmem, cxl)`` capacities for one environment.
+
+    This is the single place tier sizing happens (experiment harnesses,
+    the scenario layer, and :func:`~repro.envs.make_environment` all
+    route through it).  DRAM resolves in priority order: an explicit
+    ``dram_per_node`` (fixed-hardware cluster scaling), then
+    ``ideal_headroom`` x the aggregate footprint (the Ideal Environment:
+    nothing ever swaps), then ``dram_fraction`` x the aggregate footprint,
+    split across ``n_nodes`` either way and floored at ``floor_chunks``
+    chunks so a node can always hold a working set.  For tiered
+    environments, zero PMem/CXL capacities default to the paper's
+    per-node provisioning ratios (:data:`PMEM_DRAM_RATIO` /
+    :data:`CXL_DRAM_RATIO`).
+    """
+    check_positive(chunk_size, "chunk_size")
+    check_positive(n_nodes, "n_nodes")
+    if dram_per_node is not None:
+        dram = int(dram_per_node)
+    elif ideal_headroom is not None:
+        dram = int(total_footprint * ideal_headroom / n_nodes)
+    elif dram_fraction is not None:
+        dram = int(total_footprint * dram_fraction / n_nodes)
+    else:
+        raise ValueError(
+            "tier sizing needs dram_per_node, ideal_headroom, or dram_fraction"
+        )
+    dram = max(dram, floor_chunks * chunk_size)
+    if not tiered:
+        return dram, int(pmem_capacity), int(cxl_capacity)
+    pmem = int(pmem_capacity) if pmem_capacity else PMEM_DRAM_RATIO * dram
+    cxl = int(cxl_capacity) if cxl_capacity else CXL_DRAM_RATIO * dram
+    return dram, pmem, cxl

@@ -1,0 +1,83 @@
+"""Declarative scenarios: one typed, serializable spec per experiment.
+
+A :class:`ScenarioSpec` fully describes an experiment cell — environment
+kind, tier sizing, workload mix, and every knob the paper's grid sweeps —
+as plain frozen data that round-trips losslessly through JSON and TOML
+and hashes to a stable digest the result cache keys on.  The
+:data:`~repro.scenarios.registry.REGISTRY` names every paper figure and
+extension experiment as a :class:`ScenarioFamily`; ``python -m repro
+scenarios list`` enumerates them and ``scenarios run`` executes any of
+them (or a spec file) without touching harness code.
+"""
+
+from .build import (
+    FAULT_SCHEDULES,
+    RealizedScenario,
+    ScenarioOutcome,
+    default_chaos_schedule,
+    environment_config,
+    environment_for_tasks,
+    realize,
+    run_scenario,
+)
+from .policies import POLICY_FACTORIES, policy_names, resolve_policy
+from .registry import REGISTRY, ScenarioRegistry, family, register_family, scenario
+from .serialization import (
+    ScenarioFormatError,
+    dump_scenario,
+    from_json,
+    from_mapping,
+    from_toml,
+    load_scenario,
+    to_json,
+    to_mapping,
+    to_toml,
+)
+from .spec import (
+    DEFAULT_CHUNK,
+    DEFAULT_SCALE,
+    SPEC_VERSION,
+    ScenarioFamily,
+    ScenarioSpec,
+    TierSizing,
+    WorkloadSpec,
+)
+from .workloads import WORKLOAD_SOURCES, build_workload, workload_sources
+
+__all__ = [
+    "DEFAULT_CHUNK",
+    "DEFAULT_SCALE",
+    "FAULT_SCHEDULES",
+    "POLICY_FACTORIES",
+    "REGISTRY",
+    "RealizedScenario",
+    "SPEC_VERSION",
+    "ScenarioFamily",
+    "ScenarioFormatError",
+    "ScenarioOutcome",
+    "ScenarioRegistry",
+    "ScenarioSpec",
+    "TierSizing",
+    "WORKLOAD_SOURCES",
+    "WorkloadSpec",
+    "build_workload",
+    "default_chaos_schedule",
+    "dump_scenario",
+    "environment_config",
+    "environment_for_tasks",
+    "family",
+    "from_json",
+    "from_mapping",
+    "from_toml",
+    "load_scenario",
+    "policy_names",
+    "realize",
+    "register_family",
+    "resolve_policy",
+    "run_scenario",
+    "scenario",
+    "to_json",
+    "to_mapping",
+    "to_toml",
+    "workload_sources",
+]

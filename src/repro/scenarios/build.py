@@ -1,0 +1,236 @@
+"""Realizing scenarios: spec -> workload -> sized environment -> metrics.
+
+This module is the only place a :class:`~repro.scenarios.spec.ScenarioSpec`
+turns into live objects.  The pipeline is deterministic end to end:
+
+1. :func:`~repro.scenarios.workloads.build_workload` rebuilds the task
+   batch (and arrival times) from ``(spec.workload, spec.seed)``;
+2. :func:`environment_config` sizes the tiers against the workload's
+   aggregate bytes through the one shared
+   :func:`repro.memory.tiers.scaled_tier_capacities`;
+3. :func:`realize` wires the cluster (attaching any named fault
+   schedule) and :meth:`RealizedScenario.execute` runs it to completion.
+
+:func:`run_scenario` is the generic harness on top — it executes any
+scenario and condenses the metrics into a :class:`ScenarioOutcome`, which
+is what ``python -m repro scenarios run`` prints and caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..envs.environments import EnvKind, Environment, EnvironmentConfig
+from ..faults.spec import FaultKind, FaultSchedule, FaultSpec
+from ..memory.tiers import PMEM, scaled_tier_capacities
+from ..metrics.collector import MetricsRegistry
+from ..workflows.task import TaskSpec
+from .policies import resolve_policy
+from .spec import ScenarioSpec
+from .workloads import CLASS_ORDER, build_workload
+
+__all__ = [
+    "FAULT_SCHEDULES",
+    "RealizedScenario",
+    "ScenarioOutcome",
+    "default_chaos_schedule",
+    "environment_config",
+    "environment_for_tasks",
+    "realize",
+    "run_scenario",
+    "workload_totals",
+]
+
+
+# --------------------------------------------------------------------------- #
+# named fault schedules
+# --------------------------------------------------------------------------- #
+
+def default_chaos_schedule(n_nodes: int) -> FaultSchedule:
+    """The fixed disturbance scenario ext-resilience replays per env."""
+    return FaultSchedule(
+        [
+            # registry outage while the first pulls are in flight
+            FaultSpec(FaultKind.IMAGE_PULL_FAILURE, time=0.0, duration=30.0, severity=0.6),
+            # one early task limps at 40% speed for a while
+            FaultSpec(FaultKind.TASK_STRAGGLER, time=20.0, duration=40.0, severity=0.4),
+            # a PMem DIMM on node 0 drops to half bandwidth
+            FaultSpec(
+                FaultKind.TIER_DEGRADED, time=35.0, node=0, tier=PMEM,
+                duration=30.0, severity=0.5,
+            ),
+            # the last node dies mid-run and comes back 45 s later
+            FaultSpec(FaultKind.NODE_CRASH, time=50.0, node=n_nodes - 1, duration=45.0),
+            # node 0 loses its CXL link: pages evacuate, staging degrades
+            FaultSpec(FaultKind.CXL_LINK_FLAP, time=140.0, node=0, duration=20.0),
+        ]
+    )
+
+
+#: name -> (n_nodes -> FaultSchedule); what ``ScenarioSpec.fault_schedule``
+#: resolves against
+FAULT_SCHEDULES: Dict[str, Callable[[int], FaultSchedule]] = {
+    "default-chaos": default_chaos_schedule,
+}
+
+
+# --------------------------------------------------------------------------- #
+# sizing
+# --------------------------------------------------------------------------- #
+
+def workload_totals(tasks: Sequence[TaskSpec]) -> Dict[str, int]:
+    """Aggregate byte counts per sizing basis."""
+    return {
+        "max-footprint": sum(t.max_footprint for t in tasks),
+        "footprint": sum(t.footprint for t in tasks),
+        "wss": sum(t.wss for t in tasks),
+    }
+
+
+def environment_config(
+    spec: ScenarioSpec,
+    tasks: Sequence[TaskSpec],
+    *,
+    policy_factory: Optional[Callable] = None,
+) -> EnvironmentConfig:
+    """Size and describe the cluster ``spec`` asks for, given its workload.
+
+    ``policy_factory`` is an unserializable escape hatch for library users
+    experimenting with custom policies; registered scenarios use
+    ``spec.policy`` names instead.
+    """
+    sizing = spec.sizing
+    tiered = spec.env in (EnvKind.TME, EnvKind.IMME)
+    total = workload_totals(tasks)[sizing.basis]
+    dram, pmem, cxl = scaled_tier_capacities(
+        tiered=tiered,
+        chunk_size=spec.chunk_size,
+        total_footprint=total,
+        dram_fraction=sizing.dram_fraction,
+        dram_per_node=sizing.dram_per_node,
+        n_nodes=spec.n_nodes,
+        pmem_capacity=sizing.pmem_capacity,
+        cxl_capacity=sizing.cxl_capacity,
+        floor_chunks=sizing.floor_chunks,
+    )
+    if policy_factory is None and spec.policy is not None:
+        policy_factory = resolve_policy(spec.policy)
+    stage = spec.stage_images
+    if stage is None:
+        stage = spec.env is EnvKind.IMME
+    return EnvironmentConfig(
+        kind=spec.env,
+        n_nodes=spec.n_nodes,
+        cores_per_node=spec.cores_per_node,
+        dram_capacity=dram,
+        pmem_capacity=pmem,
+        cxl_capacity=cxl,
+        chunk_size=spec.chunk_size,
+        daemon_interval=spec.daemon_interval,
+        cxl_fraction=spec.cxl_fraction,
+        policy_factory=policy_factory,
+        stage_images=stage,
+    )
+
+
+def environment_for_tasks(
+    spec: ScenarioSpec,
+    tasks: Sequence[TaskSpec],
+    *,
+    policy_factory: Optional[Callable] = None,
+) -> Environment:
+    """Build (and fault-arm) the environment for an already-built workload."""
+    env = Environment(environment_config(spec, tasks, policy_factory=policy_factory))
+    if spec.fault_schedule is not None:
+        try:
+            schedule = FAULT_SCHEDULES[spec.fault_schedule](spec.n_nodes)
+        except KeyError:
+            raise KeyError(
+                f"unknown fault schedule {spec.fault_schedule!r}; "
+                f"registered: {sorted(FAULT_SCHEDULES)}"
+            ) from None
+        env.inject_faults(schedule, seed=spec.fault_seed)
+    return env
+
+
+# --------------------------------------------------------------------------- #
+# realization & the generic runner
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class RealizedScenario:
+    """A spec turned live: the wired cluster plus its workload."""
+
+    spec: ScenarioSpec
+    env: Environment
+    tasks: List[TaskSpec]
+    arrivals: Optional[List[float]] = None
+
+    def execute(self) -> MetricsRegistry:
+        """Run to completion (closed batch or open arrivals) and stop."""
+        if self.arrivals is not None:
+            metrics = self.env.run_arrivals(
+                self.tasks, self.arrivals, max_time=self.spec.max_time
+            )
+        else:
+            metrics = self.env.run_batch(
+                self.tasks, exclusive=self.spec.exclusive, max_time=self.spec.max_time
+            )
+        self.env.stop()
+        return metrics
+
+
+def realize(
+    spec: ScenarioSpec, *, policy_factory: Optional[Callable] = None
+) -> RealizedScenario:
+    """Build the workload and environment for ``spec`` without running it."""
+    tasks, arrivals = build_workload(spec.workload, spec.seed)
+    env = environment_for_tasks(spec, tasks, policy_factory=policy_factory)
+    return RealizedScenario(spec=spec, env=env, tasks=tasks, arrivals=arrivals)
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Condensed, cacheable result of one generic scenario run."""
+
+    scenario: str
+    digest: str
+    seed: int
+    makespan: float
+    completed: int
+    failed: int
+    mean_startup: float
+    #: (class name, mean execution time) for classes that completed work
+    mean_exec: Tuple[Tuple[str, float], ...] = ()
+    notes: Tuple[str, ...] = ()
+
+    def row(self) -> List[float]:
+        return [self.makespan, float(self.completed), float(self.failed)]
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
+    """Realize, execute, and summarize one scenario (the CLI's work unit).
+
+    Hermetic and picklable: safe as a sweep cell in any worker process.
+    """
+    realized = realize(spec)
+    metrics = realized.execute()
+    per_class = []
+    for cls in CLASS_ORDER:
+        done = [t.execution_time for t in metrics.completed() if t.wclass == cls.name]
+        if done:
+            per_class.append((cls.name, float(np.mean(done))))
+    completed = len(metrics.completed())
+    return ScenarioOutcome(
+        scenario=spec.name,
+        digest=spec.digest(),
+        seed=spec.seed,
+        makespan=metrics.makespan() if completed else 0.0,
+        completed=completed,
+        failed=len(metrics.failed()),
+        mean_startup=metrics.mean_startup_time(),
+        mean_exec=tuple(per_class),
+    )

@@ -1,0 +1,116 @@
+"""``python -m repro scenarios ...`` — the scenario layer's command line.
+
+Subcommands:
+
+* ``list`` — every registered family and member, with digests,
+* ``show <ref>`` — one scenario as TOML (what ``run`` would execute),
+* ``run <name-or-file> [--jobs N]`` — run a registered family/member or a
+  ``.toml``/``.json`` spec file and print the outcome table,
+* ``verify`` — round-trip every registered scenario through both
+  interchange forms (the CI gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..metrics.report import format_table
+from .build import ScenarioOutcome, run_scenario
+from .registry import REGISTRY, _ensure_catalog
+from .serialization import load_scenario, to_toml
+from .spec import ScenarioSpec
+
+__all__ = ["main"]
+
+
+def _resolve(ref: str) -> List[ScenarioSpec]:
+    """A registry name (family or member) or a spec-file path, as specs."""
+    if ref.endswith((".toml", ".json")) or Path(ref).is_file():
+        return [load_scenario(ref)]
+    return REGISTRY.resolve(ref)
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for fam in REGISTRY:
+        print(f"{fam.name}  [{len(fam)} scenario{'s' if len(fam) != 1 else ''}]")
+        print(f"  {fam.description}")
+        for spec in fam:
+            print(f"    {spec.name:<40} {spec.env.name:<5} digest={spec.digest()[:12]}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    print(to_toml(REGISTRY.scenario(args.ref) if not Path(args.ref).is_file()
+                  else load_scenario(args.ref)), end="")
+    return 0
+
+
+def _run_one(spec: ScenarioSpec) -> ScenarioOutcome:
+    return run_scenario(spec)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from ..parallel import map_ordered
+
+    specs = _resolve(args.ref)
+    outcomes = map_ordered(_run_one, specs, jobs=args.jobs)
+    rows = []
+    for out in outcomes:
+        rows.append(
+            [out.scenario, out.makespan, float(out.completed), float(out.failed),
+             out.mean_startup]
+        )
+    print(
+        format_table(
+            ["scenario", "makespan (s)", "completed", "failed", "mean startup (s)"],
+            rows,
+            title=f"{args.ref}: {len(specs)} scenario(s)",
+        )
+    )
+    for out in outcomes:
+        print(f"  {out.scenario}: digest={out.digest[:12]} seed={out.seed}")
+    return 0
+
+
+def _cmd_verify(_args: argparse.Namespace) -> int:
+    names = REGISTRY.verify()
+    print(f"verified {len(names)} scenarios across {len(REGISTRY)} families")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro scenarios",
+        description="List, inspect, and run declarative experiment scenarios.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered scenario families").set_defaults(
+        fn=_cmd_list
+    )
+
+    p_show = sub.add_parser("show", help="print one scenario as TOML")
+    p_show.add_argument("ref", help="scenario name (family/member) or spec file")
+    p_show.set_defaults(fn=_cmd_show)
+
+    p_run = sub.add_parser("run", help="run a family, member, or spec file")
+    p_run.add_argument("ref", help="family name, family/member, or .toml/.json path")
+    p_run.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = in-process, 0 = all cores)",
+    )
+    p_run.set_defaults(fn=_cmd_run)
+
+    sub.add_parser(
+        "verify", help="round-trip every registered scenario (CI gate)"
+    ).set_defaults(fn=_cmd_verify)
+
+    args = parser.parse_args(argv)
+    _ensure_catalog()
+    return int(args.fn(args))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

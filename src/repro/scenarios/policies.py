@@ -1,0 +1,100 @@
+"""Named allocation policies — the serializable face of ``policy_factory``.
+
+A :class:`~repro.scenarios.spec.ScenarioSpec` cannot carry a callable, so
+every policy override the paper's grid uses is registered here under a
+stable name.  Each entry is a factory ``tier_specs -> MemoryPolicy``
+matching :attr:`repro.envs.EnvironmentConfig.policy_factory`, and the
+names — not the callables — travel through TOML/JSON and cache digests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..core.manager import TieredMemoryManager
+from ..core.movement import MovementConfig
+from ..memory.tiers import CXL, DRAM, MEMORY_TIERS, PMEM, TierKind, TierSpec
+from ..policies.base import MemoryPolicy
+from ..policies.interleave import DefaultAllocationPolicy, UniformInterleavePolicy
+
+__all__ = ["POLICY_FACTORIES", "PolicyFactory", "policy_names", "resolve_policy"]
+
+PolicyFactory = Callable[[Dict[TierKind, TierSpec]], MemoryPolicy]
+
+
+def _default_alloc(specs: Dict[TierKind, TierSpec]) -> MemoryPolicy:
+    """DRAM on demand, spill in tier order, class-oblivious (Fig. 7)."""
+    return DefaultAllocationPolicy()
+
+
+def _tiered_alloc(specs: Dict[TierKind, TierSpec]) -> MemoryPolicy:
+    """Static tiered demand allocation, no page movement (Fig. 1)."""
+    return DefaultAllocationPolicy((DRAM, PMEM, CXL))
+
+
+def _uniform_interleave(specs: Dict[TierKind, TierSpec]) -> MemoryPolicy:
+    """Interleave every allocation evenly across tiers (Fig. 7)."""
+    return UniformInterleavePolicy()
+
+
+def _weighted_interleave(specs: Dict[TierKind, TierSpec]) -> MemoryPolicy:
+    """Bandwidth-proportional interleaving — the "weighted interleaving"
+    the paper notes can further improve Uniform Allocation (Fig. 7)."""
+    weights = {
+        t: specs[t].bandwidth for t in MEMORY_TIERS if specs[t].capacity > 0
+    }
+    return UniformInterleavePolicy(weights)
+
+
+def _pin(tier: TierKind) -> PolicyFactory:
+    """Degenerate single-tier policy, used by the validation matrix."""
+
+    def factory(specs: Dict[TierKind, TierSpec]) -> MemoryPolicy:
+        return DefaultAllocationPolicy(order=(tier,))
+
+    return factory
+
+
+def _no_proactive(specs: Dict[TierKind, TierSpec]) -> MemoryPolicy:
+    """IMME ablation: disable proactive swapping (§III-C4)."""
+    cfg = MovementConfig(proactive_threshold=1.0, proactive_target=1.0)
+    return TieredMemoryManager(specs, movement_config=cfg)
+
+
+def _no_pinning(specs: Dict[TierKind, TierSpec]) -> MemoryPolicy:
+    """IMME ablation: LAT/SHL allocations lose their guaranteed slice."""
+    return TieredMemoryManager(specs, pin_fraction=0.0)
+
+
+def _no_striping(specs: Dict[TierKind, TierSpec]) -> MemoryPolicy:
+    """IMME ablation: Algorithm 1's BW branch collapses to DRAM-only."""
+    mgr = TieredMemoryManager(specs)
+    mgr.allocator.bw_fractions = {DRAM: 1.0}
+    return mgr
+
+
+POLICY_FACTORIES: Dict[str, PolicyFactory] = {
+    "default-alloc": _default_alloc,
+    "tiered-alloc": _tiered_alloc,
+    "uniform-interleave": _uniform_interleave,
+    "weighted-interleave": _weighted_interleave,
+    "pin-dram": _pin(DRAM),
+    "pin-pmem": _pin(PMEM),
+    "pin-cxl": _pin(CXL),
+    "no-proactive": _no_proactive,
+    "no-pinning": _no_pinning,
+    "no-striping": _no_striping,
+}
+
+
+def policy_names() -> list[str]:
+    return sorted(POLICY_FACTORIES)
+
+
+def resolve_policy(name: str) -> PolicyFactory:
+    try:
+        return POLICY_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; registered policies: {policy_names()}"
+        ) from None

@@ -1,0 +1,170 @@
+"""The scenario registry: every experiment the repo can run, by name.
+
+A :class:`ScenarioRegistry` maps family names (``"fig05"``,
+``"ext-resilience"``) to :class:`~repro.scenarios.spec.ScenarioFamily`
+objects and resolves dotted member references (``"fig05/IE"``) to
+individual specs.  :data:`REGISTRY` is the process-wide default that
+:mod:`repro.scenarios.paper` populates at import time with one family per
+paper figure and extension experiment; the CLI, the experiment harnesses,
+and the cache all look scenarios up here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List
+
+from ..util.validation import require
+from .spec import ScenarioFamily, ScenarioSpec
+
+__all__ = ["REGISTRY", "ScenarioRegistry", "family", "register_family", "scenario"]
+
+
+class ScenarioRegistry:
+    """A name -> :class:`ScenarioFamily` mapping with member resolution."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, ScenarioFamily] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+
+    def register(self, fam: ScenarioFamily) -> ScenarioFamily:
+        require(
+            fam.name not in self._families,
+            f"scenario family {fam.name!r} is already registered",
+        )
+        self._families[fam.name] = fam
+        return fam
+
+    def register_builder(
+        self, builder: Callable[[], ScenarioFamily]
+    ) -> Callable[[], ScenarioFamily]:
+        """Decorator form: register the family a zero-arg builder returns.
+
+        The builder itself stays importable (harnesses call it with
+        override kwargs), while its default output lands in the registry.
+        """
+        self.register(builder())
+        return builder
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+
+    def family(self, name: str) -> ScenarioFamily:
+        try:
+            return self._families[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown scenario family {name!r}; "
+                f"registered families: {self.family_names()}"
+            ) from None
+
+    def scenario(self, ref: str) -> ScenarioSpec:
+        """Resolve ``"family"`` (single-member) or ``"family/member"``."""
+        if ref in self._families:
+            fam = self._families[ref]
+            if len(fam) == 1:
+                return fam.scenarios[0]
+            raise KeyError(
+                f"{ref!r} is a family of {len(fam)}; pick a member: "
+                f"{[s.name for s in fam]}"
+            )
+        if "/" in ref:
+            fam_name, member = ref.split("/", 1)
+            if fam_name in self._families:
+                return self._families[fam_name].get(member)
+        raise KeyError(
+            f"unknown scenario {ref!r}; registered families: {self.family_names()}"
+        )
+
+    def resolve(self, ref: str) -> List[ScenarioSpec]:
+        """``ref`` as a list of specs: a whole family or one member."""
+        if ref in self._families:
+            return list(self._families[ref].scenarios)
+        return [self.scenario(ref)]
+
+    # ------------------------------------------------------------------ #
+    # enumeration
+    # ------------------------------------------------------------------ #
+
+    def family_names(self) -> List[str]:
+        return sorted(self._families)
+
+    def names(self) -> List[str]:
+        """Every resolvable scenario name, family-sorted."""
+        return [s.name for fam_name in self.family_names() for s in self._families[fam_name]]
+
+    def __iter__(self) -> Iterator[ScenarioFamily]:
+        return iter(self._families[name] for name in self.family_names())
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    # ------------------------------------------------------------------ #
+    # self-check
+    # ------------------------------------------------------------------ #
+
+    def verify(self) -> List[str]:
+        """Round-trip every registered scenario through both interchange
+        forms and re-derive its digest; returns the verified names.
+
+        Any drift — a spec that does not survive TOML or JSON, or whose
+        digest is unstable — raises.  CI runs this on every push.
+        """
+        from .serialization import from_json, from_toml, to_json, to_toml
+
+        verified: List[str] = []
+        for fam in self:
+            for spec in fam:
+                for label, loads, dumps in (
+                    ("TOML", from_toml, to_toml),
+                    ("JSON", from_json, to_json),
+                ):
+                    back = loads(dumps(spec))
+                    require(
+                        back == spec,
+                        f"{spec.name}: {label} round trip is lossy",
+                    )
+                    require(
+                        back.digest() == spec.digest(),
+                        f"{spec.name}: digest unstable across {label} round trip",
+                    )
+                verified.append(spec.name)
+        return verified
+
+
+#: the process-wide default registry (populated by ``repro.scenarios.paper``)
+REGISTRY = ScenarioRegistry()
+
+
+def register_family(builder: Callable[[], ScenarioFamily]):
+    """Module-level decorator registering into :data:`REGISTRY`."""
+    return REGISTRY.register_builder(builder)
+
+
+def family(name: str) -> ScenarioFamily:
+    """Look up a family in the default registry (importing the catalog)."""
+    _ensure_catalog()
+    return REGISTRY.family(name)
+
+
+def scenario(ref: str) -> ScenarioSpec:
+    """Look up one scenario in the default registry (importing the catalog)."""
+    _ensure_catalog()
+    return REGISTRY.scenario(ref)
+
+
+_catalog_loaded = False
+
+
+def _ensure_catalog() -> None:
+    global _catalog_loaded
+    if not _catalog_loaded:
+        from . import paper  # noqa: F401  (import populates REGISTRY)
+
+        _catalog_loaded = True

@@ -1,0 +1,210 @@
+"""Lossless scenario (de)serialization: tagged JSON and plain TOML.
+
+Two interchange forms, both exact:
+
+* **JSON** rides the result cache's versioned tagged codec
+  (:mod:`repro.cache.codec`), which already round-trips dataclasses,
+  enums, and tuples to ``==``-equal objects.  This is the form the CLI
+  and the cache share.
+* **TOML** is the *human* form — what a team checks into their repo next
+  to a workload definition.  A spec maps onto plain tables (enum names as
+  strings, pair-tuples as tables, ``None`` fields omitted) written by a
+  small emitter and read back with :mod:`tomllib`; because every field is
+  a TOML-native type, the round trip is identity.
+
+``load_scenario`` dispatches on file suffix so ``scenarios run
+path/to/spec.toml`` and ``.json`` both work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Mapping, Union
+
+from ..cache.codec import CodecError, decode, encode
+from ..util.errors import ReproError
+from ..envs.environments import EnvKind
+from .spec import ScenarioSpec, TierSizing, WorkloadSpec
+
+__all__ = [
+    "ScenarioFormatError",
+    "to_json",
+    "from_json",
+    "to_mapping",
+    "from_mapping",
+    "to_toml",
+    "from_toml",
+    "load_scenario",
+    "dump_scenario",
+]
+
+
+class ScenarioFormatError(ReproError):
+    """Raised for files or mappings that do not describe a scenario."""
+
+
+# --------------------------------------------------------------------------- #
+# tagged JSON (codec) form
+# --------------------------------------------------------------------------- #
+
+def to_json(spec: ScenarioSpec) -> str:
+    """Exact tagged-JSON form via the result-cache codec."""
+    return encode(spec).decode("utf-8")
+
+
+def from_json(data: Union[str, bytes]) -> ScenarioSpec:
+    try:
+        obj = decode(data.encode("utf-8") if isinstance(data, str) else data)
+    except CodecError as exc:
+        raise ScenarioFormatError(f"not a scenario JSON document: {exc}") from exc
+    if not isinstance(obj, ScenarioSpec):
+        raise ScenarioFormatError(
+            f"decoded a {type(obj).__name__}, expected a ScenarioSpec"
+        )
+    return obj
+
+
+# --------------------------------------------------------------------------- #
+# plain-mapping (TOML) form
+# --------------------------------------------------------------------------- #
+
+def _dataclass_mapping(obj: Any, pair_fields: frozenset) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for f in dataclasses.fields(obj):
+        value = getattr(obj, f.name)
+        if value is None:
+            continue  # TOML has no null; absence means "default"
+        if f.name in pair_fields:
+            value = {k: v for k, v in value}
+        out[f.name] = value
+    return out
+
+
+def to_mapping(spec: ScenarioSpec) -> dict[str, Any]:
+    """Plain nested-dict form: TOML/JSON-native types only."""
+    out = _dataclass_mapping(spec, frozenset())
+    out["env"] = spec.env.name
+    out["workload"] = _dataclass_mapping(
+        spec.workload, frozenset({"instances_per_class", "params"})
+    )
+    out["sizing"] = _dataclass_mapping(spec.sizing, frozenset())
+    return out
+
+
+def _take(mapping: dict, cls: type, what: str) -> dict[str, Any]:
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(mapping) - known
+    if unknown:
+        raise ScenarioFormatError(f"unknown {what} field(s): {sorted(unknown)}")
+    return mapping
+
+
+def from_mapping(mapping: Mapping[str, Any]) -> ScenarioSpec:
+    """Inverse of :func:`to_mapping`; rejects unknown fields loudly."""
+    data = dict(mapping)
+    if "name" not in data or "env" not in data:
+        raise ScenarioFormatError("a scenario needs at least 'name' and 'env'")
+    try:
+        data["env"] = EnvKind[str(data["env"])]
+    except KeyError as exc:
+        raise ScenarioFormatError(
+            f"unknown environment kind {data['env']!r}; "
+            f"choose from {[k.name for k in EnvKind]}"
+        ) from exc
+    workload = dict(data.pop("workload", {}))
+    for pair_field in ("instances_per_class", "params"):
+        if pair_field in workload:
+            workload[pair_field] = tuple(sorted(workload[pair_field].items()))
+    sizing = dict(data.pop("sizing", {}))
+    try:
+        data["workload"] = WorkloadSpec(**_take(workload, WorkloadSpec, "workload"))
+        data["sizing"] = TierSizing(**_take(sizing, TierSizing, "sizing"))
+        return ScenarioSpec(**_take(data, ScenarioSpec, "scenario"))
+    except (TypeError, ValueError) as exc:
+        if isinstance(exc, ScenarioFormatError):
+            raise
+        raise ScenarioFormatError(f"invalid scenario: {exc}") from exc
+
+
+# --------------------------------------------------------------------------- #
+# TOML text
+# --------------------------------------------------------------------------- #
+
+def _toml_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        # repr is the shortest exact round-trip form and valid TOML
+        # (always carries a '.' or an exponent)
+        return repr(value)
+    if isinstance(value, str):
+        # JSON string escapes are valid TOML, with two divergences:
+        # astral chars must stay literal (TOML has no surrogate-pair
+        # escapes) and DEL must not (TOML forbids it unescaped)
+        return json.dumps(value, ensure_ascii=False).replace("\x7f", "\\u007F")
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_value(v) for v in value) + "]"
+    raise ScenarioFormatError(f"cannot emit {type(value).__name__} as TOML")
+
+
+def _toml_table(mapping: Mapping[str, Any], prefix: str, lines: list[str]) -> None:
+    scalars = {k: v for k, v in mapping.items() if not isinstance(v, Mapping)}
+    tables = {k: v for k, v in mapping.items() if isinstance(v, Mapping)}
+    if prefix:
+        lines.append(f"[{prefix}]")
+    for key, value in scalars.items():
+        lines.append(f"{key} = {_toml_value(value)}")
+    for key, value in tables.items():
+        if not value:
+            continue
+        if lines and lines[-1]:
+            lines.append("")
+        _toml_table(value, f"{prefix}.{key}" if prefix else key, lines)
+
+
+def to_toml(spec: ScenarioSpec) -> str:
+    lines: list[str] = [f"# repro scenario (spec version {spec.spec_version})"]
+    _toml_table(to_mapping(spec), "", lines)
+    return "\n".join(lines) + "\n"
+
+
+def from_toml(text: str) -> ScenarioSpec:
+    try:
+        import tomllib
+    except ImportError as exc:  # pragma: no cover - 3.10 only
+        raise ScenarioFormatError("reading TOML scenarios requires Python >= 3.11") from exc
+    try:
+        mapping = tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise ScenarioFormatError(f"malformed scenario TOML: {exc}") from exc
+    return from_mapping(mapping)
+
+
+# --------------------------------------------------------------------------- #
+# files
+# --------------------------------------------------------------------------- #
+
+def load_scenario(path: Union[str, Path]) -> ScenarioSpec:
+    """Read a scenario file, dispatching on its suffix (.toml / .json)."""
+    p = Path(path)
+    text = p.read_text(encoding="utf-8")
+    if p.suffix == ".toml":
+        return from_toml(text)
+    if p.suffix == ".json":
+        return from_json(text)
+    raise ScenarioFormatError(f"unknown scenario file type {p.suffix!r} (use .toml or .json)")
+
+
+def dump_scenario(spec: ScenarioSpec, path: Union[str, Path]) -> None:
+    """Write a scenario file, dispatching on its suffix (.toml / .json)."""
+    p = Path(path)
+    if p.suffix == ".toml":
+        p.write_text(to_toml(spec), encoding="utf-8")
+    elif p.suffix == ".json":
+        p.write_text(to_json(spec) + "\n", encoding="utf-8")
+    else:
+        raise ScenarioFormatError(f"unknown scenario file type {p.suffix!r} (use .toml or .json)")
