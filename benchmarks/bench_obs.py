@@ -1,0 +1,114 @@
+"""Telemetry overhead: the instrumented stack must be free when nobody
+records.
+
+Three measurements:
+
+* the raw cost of disabled emissions through the module dispatchers
+  (one function call + one no-op method call each),
+* the cost of the same emissions into a live ``Telemetry`` context,
+* the budget proof: count every emission an instrumented reference run
+  makes, multiply by the measured per-call null-dispatch cost, and
+  assert the product stays under 2 % of the run's disabled wall time.
+"""
+
+import time
+
+from repro import obs
+from repro.scenarios.build import run_scenario
+from repro.scenarios.registry import REGISTRY, _ensure_catalog
+
+#: emission pairs (counter + span) per timed round
+N_DISPATCH = 20_000
+
+#: the run-level overhead ceiling the disabled path must stay under
+OVERHEAD_BUDGET = 0.02
+
+
+def _null_emissions(n=N_DISPATCH):
+    counter = obs.counter
+    span = obs.span
+    for i in range(n):
+        counter("bench.counter", 1, tier="dram")
+        with span("bench.span"):
+            pass
+
+
+def test_null_dispatch_cost(benchmark):
+    """20k disabled counter+span emissions (the hot-path tax when off)."""
+    assert not obs.enabled()
+    benchmark(_null_emissions)
+
+
+def test_enabled_emission_cost(benchmark):
+    """The same 20k emissions into a live context (what --telemetry pays)."""
+
+    def setup():
+        return (obs.Telemetry("bench", max_spans=2 * N_DISPATCH),), {}
+
+    def emit(tel):
+        with obs.session(tel):
+            _null_emissions()
+
+    benchmark.pedantic(emit, setup=setup, rounds=3, iterations=1)
+
+
+class _CountingTelemetry(obs.Telemetry):
+    """Counts every dispatcher call an instrumented run makes."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.calls = 0
+
+    def counter(self, *a, **kw):
+        self.calls += 1
+        super().counter(*a, **kw)
+
+    def gauge(self, *a, **kw):
+        self.calls += 1
+        super().gauge(*a, **kw)
+
+    def observe(self, *a, **kw):
+        self.calls += 1
+        super().observe(*a, **kw)
+
+    def event(self, *a, **kw):
+        self.calls += 1
+        super().event(*a, **kw)
+
+    def span(self, *a, **kw):
+        self.calls += 1
+        return super().span(*a, **kw)
+
+
+def test_disabled_overhead_budget(benchmark):
+    """emissions x null-dispatch cost must be < 2 % of the disabled run.
+
+    The emission count comes from an *enabled* run of the same scenario
+    (a superset of what the disabled run dispatches, since e.g. the env
+    export only fires when enabled), so the bound is conservative.
+    """
+    _ensure_catalog()
+    spec = REGISTRY.scenario("cold-pages")
+
+    tel = _CountingTelemetry("bench-count")
+    with obs.session(tel):
+        run_scenario(spec)
+    emissions = tel.calls
+    assert emissions > 50, "reference run emitted almost nothing"
+
+    t0 = time.perf_counter()
+    _null_emissions()
+    per_call = (time.perf_counter() - t0) / (2 * N_DISPATCH)
+
+    assert not obs.enabled()
+    benchmark.pedantic(lambda: run_scenario(spec), rounds=3, iterations=1)
+    disabled_s = benchmark.stats.stats.median
+
+    overhead = emissions * per_call
+    ratio = overhead / disabled_s
+    print(
+        f"\n{emissions} emissions x {per_call * 1e9:.0f} ns null dispatch = "
+        f"{overhead * 1e3:.3f} ms over a {disabled_s * 1e3:.0f} ms run "
+        f"({ratio:.4%} of wall time, budget {OVERHEAD_BUDGET:.0%})"
+    )
+    assert ratio < OVERHEAD_BUDGET

@@ -20,7 +20,7 @@ simulation of tiered-memory HPC clusters.  Public entry points:
 from importlib import import_module
 from typing import TYPE_CHECKING
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 _EXPORTS = {
     # environments
@@ -75,6 +75,9 @@ _EXPORTS = {
     "MetricsRegistry": "repro.metrics",
     "TaskMetrics": "repro.metrics",
     "FaultStats": "repro.metrics",
+    # telemetry
+    "Telemetry": "repro.obs",
+    "TelemetryRecord": "repro.obs",
     # sim
     "SimulationEngine": "repro.sim",
 }
@@ -116,6 +119,7 @@ if TYPE_CHECKING:  # pragma: no cover - static typing only
         default_tier_specs,
     )
     from .metrics import FaultStats, MetricsRegistry, TaskMetrics  # noqa: F401
+    from .obs import Telemetry, TelemetryRecord  # noqa: F401
     from .runtime import NodeAgent  # noqa: F401
     from .scenarios import (  # noqa: F401
         ScenarioFamily,

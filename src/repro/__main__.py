@@ -2,13 +2,12 @@
 
 ``python -m repro --list`` enumerates everything that can be regenerated;
 ``python -m repro scenarios ...`` drops into the declarative scenario
-layer (:mod:`repro.scenarios.cli`); any other arguments are passed
+layer (:mod:`repro.scenarios.cli`); ``python -m repro obs ...`` inspects
+recorded telemetry (:mod:`repro.obs.cli`); any other arguments are passed
 straight to :mod:`repro.experiments.runner`.
 """
 
 import sys
-
-from .experiments.runner import ALL_EXPERIMENTS, main
 
 argv = sys.argv[1:]
 
@@ -17,11 +16,19 @@ if argv[:1] == ["scenarios"]:
 
     sys.exit(scenarios_main(argv[1:]))
 
+if argv[:1] == ["obs"]:
+    from .obs.cli import main as obs_main
+
+    sys.exit(obs_main(argv[1:]))
+
+from .experiments.runner import ALL_EXPERIMENTS, main
+
 if "--list" in argv:
     print("available experiments (python -m repro <name> ...):")
     for name in ALL_EXPERIMENTS:
         print(f"  {name}")
     print("scenario layer: python -m repro scenarios {list,show,run,verify}")
+    print("telemetry:      python -m repro obs {summary,trace,top}")
     sys.exit(0)
 
 sys.exit(main(argv))

@@ -23,6 +23,7 @@ from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Any, Optional, Tuple
 
+from .. import obs
 from .codec import CodecError, decode, encode
 from .keys import CacheKey
 
@@ -97,27 +98,33 @@ class ResultCache:
         """
         if key is None:
             self.stats.misses += 1
+            obs.counter("cache.misses")
             return False, None
-        path = self.path_for(key)
-        try:
-            data = path.read_bytes()
-        except OSError:
-            self.stats.misses += 1
-            return False, None
-        try:
-            envelope = decode(data)
-            stored_key = envelope["content_key"]
-            result = envelope["result"]
-        except (CodecError, KeyError, TypeError):
-            self.stats.corrupt += 1
-            self.stats.misses += 1
-            return False, None
-        if stored_key != key.content_key:
-            self.stats.invalidations += 1
-            self.stats.misses += 1
-            return False, None
-        self.stats.hits += 1
-        return True, result
+        with obs.span("cache.get", cell=key.cell_id[:12]):
+            path = self.path_for(key)
+            try:
+                data = path.read_bytes()
+            except OSError:
+                self.stats.misses += 1
+                obs.counter("cache.misses")
+                return False, None
+            try:
+                envelope = decode(data)
+                stored_key = envelope["content_key"]
+                result = envelope["result"]
+            except (CodecError, KeyError, TypeError):
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+                obs.counter("cache.misses")
+                return False, None
+            if stored_key != key.content_key:
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                obs.counter("cache.misses")
+                return False, None
+            self.stats.hits += 1
+            obs.counter("cache.hits")
+            return True, result
 
     def put(self, key: Optional[CacheKey], result: Any) -> bool:
         """Atomically persist ``result``; False when it cannot be cached."""
@@ -138,6 +145,7 @@ class ResultCache:
             tmp.unlink(missing_ok=True)
             return False
         self.stats.writes += 1
+        obs.counter("cache.writes")
         return True
 
     # ------------------------------------------------------------------ #

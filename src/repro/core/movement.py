@@ -24,6 +24,7 @@ from typing import Callable
 
 import numpy as np
 
+from .. import obs
 from ..memory.tiers import CXL, DRAM, PMEM, SWAP
 from ..policies.base import PolicyContext
 from ..util.validation import check_fraction, check_positive, require
@@ -110,6 +111,7 @@ class IntelligentPageMovement:
             if hot_swap.size:
                 moved_idx = self._pull_up(ctx, ps, hot_swap)
                 if moved_idx.size:
+                    obs.counter("imme.promotions", int(moved_idx.size), source="swap")
                     # shadowed swap-ins are free remaps (minor); the rest
                     # were brought in by the background daemon, which the
                     # paper counts as converting major faults into minors.
@@ -151,6 +153,7 @@ class IntelligentPageMovement:
                 if take.size:
                     mem.migrate(ps, take, DRAM)
                     ctx.record_minor(ps.owner, int(take.size))
+                    obs.counter("imme.promotions", int(take.size), source=tier.name.lower())
                     budget_bytes -= int(take.size) * ps.chunk_size
                 if budget_bytes <= 0:
                     return
@@ -207,6 +210,7 @@ class IntelligentPageMovement:
             if cold.size == 0:
                 break
             freed += mem.migrate(ps, cold, CXL)
+            obs.counter("imme.proactive_swaps", int(cold.size))
             # keep page-cache shadows while DRAM still has free space, so a
             # re-touch is a minor fault served at DRAM speed (§III-C4)
             mem.add_page_cache_shadow(ps, cold)
@@ -223,4 +227,5 @@ class IntelligentPageMovement:
             return
         rss = mem.rss(DRAM)
         if rss > cfg.high_watermark * cap:
+            obs.counter("imme.reactive_passes")
             self.replacement.replace(ctx, int(rss - cfg.low_watermark * cap))

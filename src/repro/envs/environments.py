@@ -23,6 +23,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
+from .. import obs
 from ..containers.image import ImageRegistry, default_images
 from ..containers.runtime import ContainerRuntime, NetworkFabric
 from ..core.flags import MemFlag
@@ -152,6 +153,7 @@ class Environment:
         self.scheduler = SlurmScheduler(self.engine, self.agents, self.containers, self.metrics)
         #: active fault injectors (see :meth:`inject_faults`)
         self.injectors: list = []
+        self._telemetry_exported = False
 
     # ------------------------------------------------------------------ #
     @property
@@ -254,7 +256,44 @@ class Environment:
             f"image staging={'on' if self.config.stage_images else 'off'}"
         )
 
+    def export_telemetry(self) -> None:
+        """Snapshot this run's metrics into the active telemetry context:
+        outcome counters, fault stats, node traffic gauges, and per-task
+        latency samples (histograms → p50/p95/p99 in the exports).
+
+        Idempotent per environment; a no-op when telemetry is disabled.
+        """
+        if self._telemetry_exported or not obs.enabled():
+            return
+        self._telemetry_exported = True
+        env = self.name
+        m = self.metrics
+        obs.counter("env.tasks_completed", len(m.completed()), env=env)
+        obs.counter("env.tasks_failed", len(m.failed()), env=env)
+        obs.counter("env.oom_kills", m.total_oom_kills(), env=env)
+        obs.counter("env.retries", m.total_retries(), env=env)
+        majors, minors = m.total_faults()
+        obs.counter("env.major_faults", majors, env=env)
+        obs.counter("env.minor_faults", minors, env=env)
+        f = m.faults
+        for kind, count in sorted(f.injected.items()):
+            obs.counter("faults.injected", count, env=env, kind=kind)
+        if f.tasks_interrupted:
+            obs.counter("faults.tasks_interrupted", f.tasks_interrupted, env=env)
+        if f.job_requeues:
+            obs.counter("faults.job_requeues", f.job_requeues, env=env)
+        if f.tier_evacuations:
+            obs.counter("faults.tier_evacuations", f.tier_evacuations, env=env)
+        for name, value in self.node_traffic().items():
+            obs.counter(f"traffic.{name}", value, env=env)
+        if m.completed():
+            obs.gauge("env.makespan_s", m.makespan(), env=env)
+            for metric in MetricsRegistry.LATENCY_METRICS:
+                for sample in m.latency_samples(metric):
+                    obs.observe(metric, sample)
+
     def stop(self) -> None:
+        self.export_telemetry()
         for agent in self.agents:
             agent.stop()
         for injector in self.injectors:

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..envs.environments import EnvKind, Environment
 from ..memory.tiers import TierKind, TierSpec
 from ..metrics.collector import MetricsRegistry
@@ -207,7 +208,8 @@ class SweepSpec:
 
 
 def _run_sweep_cell(cell: SweepCell) -> Any:
-    return cell.run()
+    with obs.span("sweep.cell", key=cell.key):
+        return cell.run()
 
 
 def cell_cache_key(spec: SweepSpec, cell: SweepCell):
@@ -245,13 +247,14 @@ def sweep(
     only the misses execute, and their results are written back atomically
     from this process after ordered collection.
     """
-    results = map_ordered(
-        _run_sweep_cell,
-        spec.cells,
-        jobs=jobs,
-        cache=cache,
-        cache_key=None if cache is None else partial(cell_cache_key, spec),
-    )
+    with obs.span("sweep", sweep=spec.name, cells=len(spec.cells)):
+        results = map_ordered(
+            _run_sweep_cell,
+            spec.cells,
+            jobs=jobs,
+            cache=cache,
+            cache_key=None if cache is None else partial(cell_cache_key, spec),
+        )
     return {cell.key: res for cell, res in zip(spec.cells, results)}
 
 

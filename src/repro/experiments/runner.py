@@ -26,6 +26,7 @@ import sys
 import time
 from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 
+from .. import obs
 from ..parallel import map_ordered
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -116,20 +117,36 @@ def _run_one(
     fn = ALL_EXPERIMENTS[name]
     cache = _open_cache(cache_dir)
     t0 = time.perf_counter()
-    kwargs: dict[str, Any] = {}
-    params = inspect.signature(fn).parameters
-    if jobs != 1 and "jobs" in params:
-        kwargs["jobs"] = jobs
-    if cache is not None and "cache" in params:
-        kwargs["cache"] = cache
-    if cache is not None:
-        key = _experiment_key(name, fn)
-        hit, result = cache.get(key)
-        if not hit:
-            result = fn(**kwargs)
-            cache.put(key, result)
+
+    def execute() -> FigureResult:
+        kwargs: dict[str, Any] = {}
+        params = inspect.signature(fn).parameters
+        if jobs != 1 and "jobs" in params:
+            kwargs["jobs"] = jobs
+        if cache is not None and "cache" in params:
+            kwargs["cache"] = cache
+        if cache is not None:
+            key = _experiment_key(name, fn)
+            hit, result = cache.get(key)
+            if not hit:
+                result = fn(**kwargs)
+                cache.put(key, result)
+            return result
+        return fn(**kwargs)
+
+    # Each experiment runs under its own child telemetry context, merged
+    # back with ``scope=name`` so counters carry an ``exp=`` label.  The
+    # same path runs inline (merging into the run context) and in pool
+    # workers (merging into the worker context, which the executor then
+    # forwards), so ``obs summary`` rollups match for any ``jobs``.
+    parent = obs.active()
+    if parent.enabled:
+        child = obs.Telemetry(run_id=name)
+        with obs.session(child), obs.span("experiment", experiment=name):
+            result = execute()
+        parent.merge(child.snapshot(), scope=name)
     else:
-        result = fn(**kwargs)
+        result = execute()
     elapsed = time.perf_counter() - t0
     stats = cache.stats.as_dict() if cache is not None else None
     return result, elapsed, stats
@@ -167,6 +184,7 @@ def run_all(
     jobs: int = 1,
     cache_dir: Optional[str] = DEFAULT_CACHE,
     cache_stats: bool = False,
+    telemetry_dir: Optional[str] = None,
 ) -> dict[str, FigureResult]:
     """Run the selected experiments (all by default), returning results.
 
@@ -180,17 +198,30 @@ def run_all(
     caching (pure live execution, zero cache overhead).  Cached re-runs
     produce byte-identical tables; ``cache_stats=True`` prints the
     per-experiment hit/miss/invalidation summary.
+
+    ``telemetry_dir`` turns on the :mod:`repro.obs` layer for the run and
+    writes the merged record (run.json, events.jsonl, trace.json,
+    metrics.csv) under that directory.
     """
     selected = list(names) if names else list(ALL_EXPERIMENTS)
     for name in selected:
         if name not in ALL_EXPERIMENTS:
             raise KeyError(f"unknown experiment {name!r}; choose from {list(ALL_EXPERIMENTS)}")
-    if jobs != 1 and len(selected) == 1:
-        outcomes = [_run_one(selected[0], jobs=jobs, cache_dir=cache_dir)]
-    else:
-        outcomes = map_ordered(
-            _run_one_cell, [(name, cache_dir) for name in selected], jobs=jobs
-        )
+    telemetry = (
+        obs.Telemetry("experiments", {"jobs": jobs, "selected": list(selected)})
+        if telemetry_dir
+        else obs.NULL
+    )
+    with obs.session(telemetry), obs.span("experiments", count=len(selected)):
+        if jobs != 1 and len(selected) == 1:
+            outcomes = [_run_one(selected[0], jobs=jobs, cache_dir=cache_dir)]
+        else:
+            outcomes = map_ordered(
+                _run_one_cell, [(name, cache_dir) for name in selected], jobs=jobs
+            )
+    if telemetry_dir:
+        paths = obs.write_run_dir(telemetry.snapshot(), telemetry_dir)
+        print(f"telemetry: {paths['run']} (trace: {paths['trace']})")
     results: dict[str, FigureResult] = {}
     per_experiment: dict[str, Optional[dict[str, int]]] = {}
     for name, (result, elapsed, stats) in zip(selected, outcomes):
@@ -258,6 +289,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="print per-experiment cache hit/miss/invalidation counts",
     )
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="record spans/counters/events for the whole run and write "
+             "run.json, events.jsonl, trace.json (Perfetto), metrics.csv "
+             "under DIR",
+    )
     args = parser.parse_args(argv)
     cache_dir = None if args.no_cache else (args.cache_dir or DEFAULT_CACHE)
     results = run_all(
@@ -266,6 +305,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         jobs=args.jobs,
         cache_dir=cache_dir,
         cache_stats=args.cache_stats,
+        telemetry_dir=args.telemetry,
     )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:

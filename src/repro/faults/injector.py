@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from .. import obs
 from ..containers.runtime import ContainerRuntime
 from ..memory.tiers import CXL
 from ..metrics.collector import MetricsRegistry
@@ -122,6 +123,17 @@ class FaultInjector:
                 severity=fault.severity,
                 **extra,
             )
+        if obs.enabled():
+            obs.event(
+                self.engine.now,
+                "fault",
+                fault.kind.value,
+                node=fault.node,
+                tier=fault.tier.name if fault.tier is not None else None,
+                **extra,
+            )
+            if extra.get("event") == "injected":
+                obs.counter("faults.fired", 1, kind=fault.kind.value)
 
     def _recover(self, fault: FaultSpec, action, label: str) -> None:
         """Schedule the recovery action and account its MTTR sample."""

@@ -19,10 +19,11 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from .. import obs
 from ..util.errors import AllocationError
 from ..util.validation import check_fraction, require
 from .pageset import UNMAPPED, PageSet
-from .tiers import DRAM, MEMORY_TIERS, NUM_TIERS, SWAP, TierKind, TierSpec
+from .tiers import DRAM, MEMORY_TIERS, NUM_TIERS, SWAP, TIER_NAMES, TierKind, TierSpec
 
 __all__ = ["NodeMemorySystem", "MemoryTrafficStats"]
 
@@ -203,8 +204,17 @@ class NodeMemorySystem:
         counts = np.bincount(move_src, minlength=NUM_TIERS)
         self._used -= counts * ps.chunk_size
         self._used[d] += nbytes
+        tel_on = obs.enabled()  # hoisted: label construction isn't free
         for s in np.flatnonzero(counts):
-            self.stats.record_migration(int(s), d, int(counts[s]) * ps.chunk_size)
+            moved_bytes = int(counts[s]) * ps.chunk_size
+            self.stats.record_migration(int(s), d, moved_bytes)
+            if tel_on:
+                obs.counter(
+                    "mem.migrated_bytes",
+                    moved_bytes,
+                    src=TIER_NAMES[TierKind(int(s))],
+                    dst=TIER_NAMES[dst],
+                )
         self.migration_bytes_window += nbytes
         if dst == DRAM:
             # the authoritative copy is DRAM again; shadows are redundant
@@ -330,6 +340,8 @@ class NodeMemorySystem:
                 victims = victims[int(room):]
             if victims.size:
                 stranded[ps.owner] = victims
+        if obs.enabled():
+            obs.counter("mem.evacuated_bytes", evacuated, tier=TIER_NAMES[tier])
         return evacuated, stranded
 
     def online_tier(self, tier: TierKind) -> None:

@@ -201,6 +201,64 @@ class MetricsRegistry:
         require(len(pool) > 0, "no completed tasks")
         return float(np.mean(pool))
 
+    # ------------------------------------------------------------------ #
+    # percentile aggregates
+    # ------------------------------------------------------------------ #
+    #: the latency metrics summarised by :meth:`percentiles` and
+    #: :meth:`to_table` — name → per-task accessor
+    LATENCY_METRICS = ("queue_wait", "startup_time", "execution_time")
+    #: reported quantiles (tail behaviour, not just means — §IV-B studies
+    #: interference, which shows up in the tail first)
+    QUANTILES = (50.0, 95.0, 99.0)
+
+    def latency_samples(self, metric: str, wclass: Optional[str] = None) -> list[float]:
+        """Per-completed-task samples of one latency metric, optionally
+        restricted to a workload class."""
+        require(metric in self.LATENCY_METRICS, f"unknown latency metric {metric!r}")
+        return [
+            float(getattr(t, metric))
+            for t in self.completed()
+            if wclass is None or t.wclass == wclass
+        ]
+
+    def percentiles(
+        self, metric: str, wclass: Optional[str] = None
+    ) -> tuple[float, float, float]:
+        """(p50, p95, p99) of a latency metric; requires completed tasks."""
+        pool = self.latency_samples(metric, wclass)
+        require(len(pool) > 0, f"no completed tasks for class {wclass!r}")
+        p50, p95, p99 = np.percentile(np.asarray(pool, dtype=float), self.QUANTILES)
+        return float(p50), float(p95), float(p99)
+
+    def workload_classes(self) -> list[str]:
+        """Workload classes with at least one completed task, sorted."""
+        return sorted({t.wclass for t in self.completed()})
+
+    def percentile_rows(self) -> list[list[object]]:
+        """``[class, metric, p50, p95, p99]`` rows across every class
+        (plus an ``ALL`` roll-up when more than one class completed)."""
+        classes = self.workload_classes()
+        scopes: list[Optional[str]] = list(classes)
+        if len(classes) > 1:
+            scopes.append(None)
+        rows: list[list[object]] = []
+        for scope in scopes:
+            for metric in self.LATENCY_METRICS:
+                p50, p95, p99 = self.percentiles(metric, scope)
+                rows.append([scope if scope is not None else "ALL", metric, p50, p95, p99])
+        return rows
+
+    def to_table(self, float_fmt: str = "{:.2f}") -> str:
+        """Per-class latency percentile table (tail-aware summary)."""
+        from .report import format_table
+
+        return format_table(
+            ["class", "metric", "p50", "p95", "p99"],
+            self.percentile_rows(),
+            title="per-class latency percentiles (s)",
+            float_fmt=float_fmt,
+        )
+
     def to_rows(self) -> list[dict[str, object]]:
         """Flat per-task export for spreadsheets / dataframes."""
         rows: list[dict[str, object]] = []

@@ -1,0 +1,58 @@
+"""Unified telemetry: spans, counters, and Perfetto-ready run traces.
+
+Emission points across the stack call the module-level dispatchers
+(:func:`counter`, :func:`span`, :func:`event`, ...), which are no-ops
+unless a run activates a :class:`Telemetry` context via :func:`session`
+(``run_all --telemetry DIR``, ``scenarios run --telemetry DIR``).  See
+``docs/observability.md`` for the span taxonomy and exporter formats.
+"""
+
+from .exporters import (
+    load_run_dir,
+    metrics_table,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+    write_run_dir,
+)
+from .telemetry import (
+    NULL,
+    NullTelemetry,
+    SpanRecord,
+    Telemetry,
+    TelemetryRecord,
+    activate,
+    active,
+    counter,
+    enabled,
+    event,
+    gauge,
+    observe,
+    session,
+    span,
+    worker_telemetry,
+)
+
+__all__ = [
+    "NULL",
+    "NullTelemetry",
+    "SpanRecord",
+    "Telemetry",
+    "TelemetryRecord",
+    "activate",
+    "active",
+    "counter",
+    "enabled",
+    "event",
+    "gauge",
+    "load_run_dir",
+    "metrics_table",
+    "observe",
+    "session",
+    "span",
+    "to_chrome_trace",
+    "to_jsonl",
+    "validate_chrome_trace",
+    "worker_telemetry",
+    "write_run_dir",
+]

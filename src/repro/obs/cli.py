@@ -1,0 +1,196 @@
+"""``python -m repro obs`` — inspect telemetry run directories.
+
+Subcommands:
+
+``summary DIR``
+    Per-experiment span/counter rollups: total wall time per span name,
+    counter totals grouped by experiment scope, drop accounting.
+``trace DIR [--out FILE] [--check]``
+    (Re-)emit the Chrome trace_event JSON from ``run.json``; ``--check``
+    validates the document structurally and exits non-zero on problems.
+``top DIR [-n N]``
+    The N most expensive span names by cumulative self-inclusive time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List
+
+from ..metrics.report import format_table
+from .exporters import (
+    TRACE_FILE,
+    find_run_dirs,
+    load_run_dir,
+    percentile,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from .telemetry import TelemetryRecord, split_label
+
+__all__ = ["main"]
+
+
+def _load(path: str) -> TelemetryRecord:
+    try:
+        return load_run_dir(path)
+    except FileNotFoundError:
+        raise SystemExit(f"no run.json under {path!r} — was this written by --telemetry?")
+
+
+def _span_rollup(record: TelemetryRecord) -> List[List[object]]:
+    agg: Dict[str, List[float]] = {}
+    for s in record.spans:
+        agg.setdefault(s.name, []).append(s.duration)
+    rows = []
+    for name in sorted(agg, key=lambda n: -sum(agg[n])):
+        durs = agg[name]
+        rows.append(
+            [name, len(durs), sum(durs), percentile(durs, 50), max(durs)]
+        )
+    return rows
+
+
+def _counter_rollup(record: TelemetryRecord) -> List[List[object]]:
+    """Counter totals grouped by the ``exp`` scope label."""
+    rows = []
+    for key in sorted(record.counters):
+        name, labels = split_label(key)
+        exp = labels.pop("exp", "-")
+        label_str = ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
+        rows.append([exp, name, label_str, record.counters[key]])
+    rows.sort(key=lambda r: (str(r[0]), str(r[1]), str(r[2])))
+    return rows
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    dirs = find_run_dirs(args.dir) or [args.dir]
+    for run_dir in dirs:
+        record = _load(run_dir)
+        print(f"run {record.run_id!r}  ({run_dir})")
+        if record.meta:
+            meta = ", ".join(f"{k}={v}" for k, v in sorted(record.meta.items()))
+            print(f"  meta: {meta}")
+        if record.workers:
+            print(f"  workers: {', '.join(record.workers)}")
+        span_rows = _span_rollup(record)
+        if span_rows:
+            print()
+            print(
+                format_table(
+                    ["span", "count", "total s", "p50 s", "max s"],
+                    span_rows,
+                    title="spans",
+                    float_fmt="{:.4f}",
+                )
+            )
+        counter_rows = _counter_rollup(record)
+        if counter_rows:
+            print()
+            print(
+                format_table(
+                    ["experiment", "counter", "labels", "total"],
+                    counter_rows,
+                    title="counters",
+                    float_fmt="{:.0f}",
+                )
+            )
+        if record.histograms:
+            print()
+            hist_rows = [
+                [
+                    name,
+                    len(vals),
+                    percentile(vals, 50),
+                    percentile(vals, 95),
+                    percentile(vals, 99),
+                ]
+                for name, vals in sorted(record.histograms.items())
+            ]
+            print(
+                format_table(
+                    ["histogram", "n", "p50", "p95", "p99"],
+                    hist_rows,
+                    title="histograms",
+                    float_fmt="{:.3f}",
+                )
+            )
+        dropped = record.dropped_spans + record.dropped_events + record.dropped_observations
+        print()
+        print(
+            f"  events: {len(record.events)}  spans: {len(record.spans)}  "
+            f"dropped: {dropped} "
+            f"(spans={record.dropped_spans}, events={record.dropped_events}, "
+            f"obs={record.dropped_observations})"
+        )
+        print()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    record = _load(args.dir)
+    doc = to_chrome_trace(record)
+    if args.check:
+        problems = validate_chrome_trace(doc)
+        if problems:
+            for p in problems:
+                print(f"trace invalid: {p}", file=sys.stderr)
+            return 1
+        print(f"trace OK: {len(doc['traceEvents'])} events")
+    out = args.out or os.path.join(args.dir, TRACE_FILE)
+    with open(out, "w") as fh:
+        json.dump(doc, fh, default=str)
+    print(f"wrote {out} — open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    record = _load(args.dir)
+    rows = _span_rollup(record)[: args.n]
+    if not rows:
+        print("(no spans recorded)")
+        return 0
+    print(
+        format_table(
+            ["span", "count", "total s", "p50 s", "max s"],
+            rows,
+            title=f"top {len(rows)} spans by total wall time",
+            float_fmt="{:.4f}",
+        )
+    )
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs",
+        description="Inspect telemetry run directories written by --telemetry.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_summary = sub.add_parser("summary", help="span/counter rollups for a run dir tree")
+    p_summary.add_argument("dir", help="telemetry directory (searched recursively)")
+    p_summary.set_defaults(fn=_cmd_summary)
+
+    p_trace = sub.add_parser("trace", help="emit/validate Chrome trace_event JSON")
+    p_trace.add_argument("dir", help="telemetry run directory")
+    p_trace.add_argument("--out", default=None, help="output path (default: DIR/trace.json)")
+    p_trace.add_argument(
+        "--check", action="store_true", help="validate against the trace_event schema"
+    )
+    p_trace.set_defaults(fn=_cmd_trace)
+
+    p_top = sub.add_parser("top", help="most expensive spans")
+    p_top.add_argument("dir", help="telemetry run directory")
+    p_top.add_argument("-n", type=int, default=15, help="how many rows (default 15)")
+    p_top.set_defaults(fn=_cmd_top)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,292 @@
+"""Export a :class:`~repro.obs.telemetry.TelemetryRecord` to files.
+
+Three formats, one directory layout (``write_run_dir``):
+
+``run.json``
+    The canonical record — everything the other exports are derived
+    from, and what ``python -m repro obs`` reads back.
+``events.jsonl``
+    One JSON object per line: every sim-time event, then every closed
+    span (``{"kind": "span", ...}``).  Greppable, streamable.
+``trace.json``
+    Chrome ``trace_event`` JSON — open it in Perfetto
+    (https://ui.perfetto.dev) or ``chrome://tracing``.  Wall-clock spans
+    land on pid 1 with one thread per worker; simulated-time events land
+    on pid 2 so the two timebases never share an axis.
+``metrics.csv``
+    Flat ``kind,name,labels,value`` table of counters and gauges plus
+    histogram summary rows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List
+
+from .telemetry import TelemetryRecord, split_label
+
+__all__ = [
+    "load_run_dir",
+    "metrics_table",
+    "to_chrome_trace",
+    "to_jsonl",
+    "validate_chrome_trace",
+    "write_run_dir",
+]
+
+RUN_FILE = "run.json"
+EVENTS_FILE = "events.jsonl"
+TRACE_FILE = "trace.json"
+METRICS_FILE = "metrics.csv"
+
+_MAIN_PID = 1       # wall-clock span track
+_SIM_PID = 2        # simulated-time event track
+_MAIN_THREAD = 0    # tid for spans recorded by the parent process
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile on a sorted copy (no numpy dependency)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[idx]
+
+
+# --------------------------------------------------------------------------- #
+# JSONL
+# --------------------------------------------------------------------------- #
+
+def to_jsonl(record: TelemetryRecord) -> str:
+    lines = []
+    for ev in record.events:
+        lines.append(json.dumps({"kind": "event", **ev}, default=str))
+    for s in record.spans:
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "span",
+                    "name": s.name,
+                    "start": s.start,
+                    "end": s.end,
+                    "duration": s.duration,
+                    "span_id": s.span_id,
+                    "parent_id": s.parent_id,
+                    "worker": s.worker,
+                    **({"attrs": s.attrs} if s.attrs else {}),
+                },
+                default=str,
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# --------------------------------------------------------------------------- #
+# Chrome trace_event
+# --------------------------------------------------------------------------- #
+
+def to_chrome_trace(record: TelemetryRecord) -> Dict[str, Any]:
+    """Build a Chrome ``trace_event`` document.
+
+    Spans become complete ("X") events in microseconds relative to the
+    run epoch, one tid per worker; counters become a single "C" sample;
+    sim-time events become instants ("i") on a dedicated pid whose
+    timestamp is ``sim_time * 1e6`` (so 1 trace-second == 1 simulated
+    second when viewed).
+    """
+    events: List[Dict[str, Any]] = []
+    tids = {"": _MAIN_THREAD}
+    for w in record.workers:
+        tids.setdefault(w, len(tids))
+    for s in record.spans:
+        tids.setdefault(s.worker, len(tids))
+
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _MAIN_PID,
+            "tid": 0,
+            "args": {"name": f"repro wall-clock ({record.run_id})"},
+        }
+    )
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _SIM_PID,
+            "tid": 0,
+            "args": {"name": "repro simulated time"},
+        }
+    )
+    for worker, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _MAIN_PID,
+                "tid": tid,
+                "args": {"name": worker or "main"},
+            }
+        )
+
+    for s in record.spans:
+        events.append(
+            {
+                "name": s.name,
+                "ph": "X",
+                "pid": _MAIN_PID,
+                "tid": tids[s.worker],
+                "ts": s.start * 1e6,
+                "dur": max(0.0, s.duration) * 1e6,
+                "cat": s.name.split(".", 1)[0],
+                "args": {str(k): v for k, v in s.attrs.items()},
+            }
+        )
+
+    for key, value in sorted(record.counters.items()):
+        name, labels = split_label(key)
+        events.append(
+            {
+                "name": key,
+                "ph": "C",
+                "pid": _MAIN_PID,
+                "tid": _MAIN_THREAD,
+                "ts": 0,
+                "args": {labels.get("exp", name): value},
+            }
+        )
+
+    for ev in record.events:
+        payload = {k: v for k, v in ev.items() if k not in ("t", "cat", "subj")}
+        events.append(
+            {
+                "name": f"{ev.get('cat', 'event')}:{ev.get('subj', '')}",
+                "ph": "i",
+                "s": "g",
+                "pid": _SIM_PID,
+                "tid": 0,
+                "ts": float(ev.get("t", 0.0)) * 1e6,
+                "cat": str(ev.get("cat", "event")),
+                "args": {str(k): v for k, v in payload.items()},
+            }
+        )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"run_id": record.run_id, **{str(k): str(v) for k, v in record.meta.items()}},
+    }
+
+
+_REQUIRED_BY_PHASE = {
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "M": ("name", "pid", "args"),
+    "C": ("name", "ts", "pid", "args"),
+    "i": ("name", "ts", "pid", "s"),
+    "B": ("name", "ts", "pid", "tid"),
+    "E": ("ts", "pid", "tid"),
+}
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Structural validation against the trace_event format; returns a
+    list of problems (empty == valid).  Used by the CI smoke job."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["top level is not an object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event[{i}] is not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or not ph:
+            problems.append(f"event[{i}] missing ph")
+            continue
+        for field in _REQUIRED_BY_PHASE.get(ph, ("name", "pid")):
+            if field not in ev:
+                problems.append(f"event[{i}] ({ph}) missing {field!r}")
+        if "ts" in ev and not isinstance(ev["ts"], (int, float)):
+            problems.append(f"event[{i}] ts is not numeric")
+        if ph == "X" and isinstance(ev.get("dur"), (int, float)) and ev["dur"] < 0:
+            problems.append(f"event[{i}] has negative dur")
+    return problems
+
+
+# --------------------------------------------------------------------------- #
+# flat metrics table
+# --------------------------------------------------------------------------- #
+
+def metrics_table(record: TelemetryRecord) -> str:
+    rows = ["kind,name,labels,value"]
+
+    def fmt(kind: str, key: str, value: float) -> str:
+        name, labels = split_label(key)
+        label_str = ";".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        return f'{kind},{name},"{label_str}",{value!r}'
+
+    for key in sorted(record.counters):
+        rows.append(fmt("counter", key, record.counters[key]))
+    for key in sorted(record.gauges):
+        rows.append(fmt("gauge", key, record.gauges[key]))
+    for name in sorted(record.histograms):
+        values = record.histograms[name]
+        rows.append(fmt("histogram_count", name, float(len(values))))
+        for q in (50, 95, 99):
+            rows.append(fmt(f"histogram_p{q}", name, _percentile(values, q)))
+    return "\n".join(rows) + "\n"
+
+
+# --------------------------------------------------------------------------- #
+# run directory
+# --------------------------------------------------------------------------- #
+
+def write_run_dir(record: TelemetryRecord, out_dir: str) -> Dict[str, str]:
+    """Write all four exports under ``out_dir``; returns name -> path."""
+    os.makedirs(out_dir, exist_ok=True)
+    paths = {}
+    run_path = os.path.join(out_dir, RUN_FILE)
+    with open(run_path, "w") as fh:
+        json.dump(record.to_dict(), fh, indent=1, default=str)
+    paths["run"] = run_path
+    events_path = os.path.join(out_dir, EVENTS_FILE)
+    with open(events_path, "w") as fh:
+        fh.write(to_jsonl(record))
+    paths["events"] = events_path
+    trace_path = os.path.join(out_dir, TRACE_FILE)
+    with open(trace_path, "w") as fh:
+        json.dump(to_chrome_trace(record), fh, default=str)
+    paths["trace"] = trace_path
+    metrics_path = os.path.join(out_dir, METRICS_FILE)
+    with open(metrics_path, "w") as fh:
+        fh.write(metrics_table(record))
+    paths["metrics"] = metrics_path
+    return paths
+
+
+def load_run_dir(run_dir: str) -> TelemetryRecord:
+    run_path = os.path.join(run_dir, RUN_FILE)
+    if not os.path.exists(run_path) and os.path.basename(run_dir) == RUN_FILE:
+        run_path = run_dir  # allow pointing directly at run.json
+    with open(run_path) as fh:
+        return TelemetryRecord.from_dict(json.load(fh))
+
+
+def find_run_dirs(root: str) -> List[str]:
+    """All directories under ``root`` (inclusive) containing a run.json."""
+    found: List[str] = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        if RUN_FILE in filenames:
+            found.append(dirpath)
+    return sorted(found)
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Public alias used by the CLI summary."""
+    return _percentile(values, q)

@@ -19,6 +19,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Optional, Sequence, TypeVar
 
+from .. import obs
 from ..util.validation import require
 
 __all__ = ["available_parallelism", "map_ordered", "resolve_jobs", "supports_fork"]
@@ -27,6 +28,17 @@ _T = TypeVar("_T")
 
 #: set in forked workers so nested map_ordered calls stay in-process
 _IN_WORKER = False
+
+
+class _Telemetered:
+    """Wrapper a pool worker returns when telemetry is active: the real
+    result plus the worker's telemetry snapshot for the parent to merge."""
+
+    __slots__ = ("result", "record")
+
+    def __init__(self, result: Any, record: Any) -> None:
+        self.result = result
+        self.record = record
 
 
 def available_parallelism() -> int:
@@ -50,10 +62,19 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def _call(fn: Callable[[Any], _T], item: Any) -> _T:
+def _call(fn: Callable[[Any], _T], item: Any) -> Any:
     global _IN_WORKER
     _IN_WORKER = True
-    return fn(item)
+    # A forked worker inherits the parent's active Telemetry object, but
+    # mutating it here would be invisible across the process boundary —
+    # so swap in a fresh child context and ship its snapshot back with
+    # the result for the parent to merge.
+    worker_tel = obs.worker_telemetry()
+    if worker_tel is None:
+        return fn(item)
+    with obs.session(worker_tel):
+        result = fn(item)
+    return _Telemetered(result, worker_tel.snapshot())
 
 
 def _map_dispatch(fn: Callable[[Any], _T], items: "list[Any]", jobs: Optional[int]) -> list[_T]:
@@ -64,7 +85,16 @@ def _map_dispatch(fn: Callable[[Any], _T], items: "list[Any]", jobs: Optional[in
     ctx = multiprocessing.get_context("fork")
     with ProcessPoolExecutor(max_workers=n_jobs, mp_context=ctx) as pool:
         # Executor.map preserves input order and re-raises worker errors.
-        return list(pool.map(_call, [fn] * len(items), items))
+        raw = list(pool.map(_call, [fn] * len(items), items))
+    tel = obs.active()
+    results: list[_T] = []
+    for entry in raw:
+        if isinstance(entry, _Telemetered):
+            tel.merge(entry.record)
+            results.append(entry.result)
+        else:
+            results.append(entry)
+    return results
 
 
 def map_ordered(

@@ -17,6 +17,7 @@ from typing import Mapping, Optional
 
 import numpy as np
 
+from .. import obs
 from ..memory.pageset import UNMAPPED, PageSet
 from ..memory.tiers import CXL, DRAM, MEMORY_TIERS, TierKind
 from ..util.validation import check_non_negative, require
@@ -75,6 +76,7 @@ class UniformInterleavePolicy(MemoryPolicy):
         for k in np.argsort(raw_counts - counts)[::-1][: unmapped.size - int(counts.sum())]:
             counts[k] += 1
         assignment = stripe_assignment(list(counts))
+        obs.counter("policy.interleave_placements", int(unmapped.size), policy=self.name)
         for k, tier in enumerate(tiers):
             mine = unmapped[assignment == k]
             if mine.size == 0:

@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from ..memory.pageset import PageSet
 from ..memory.tiers import DRAM, TierKind
 from ..util.validation import check_fraction, require
@@ -153,4 +154,5 @@ class LinuxSwapPolicy(MemoryPolicy):
         victims = global_coldest(ctx, DRAM, need_chunks, scan_noise=self.scan_noise)
         for ps, idx in victims:
             freed += mem.swap_out(ps, idx)
+            obs.counter("policy.swap_outs", int(idx.size), policy=self.name)
         return freed

@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from ..memory.pageset import UNMAPPED, PageSet
 from ..memory.tiers import CXL, DRAM, PMEM, TierKind
 from ..util.validation import check_fraction, require
@@ -129,6 +130,7 @@ class TieredDemandPolicy(MemoryPolicy):
                 moved = mem.migrate(ps, hot, DRAM)
                 # NUMA-hinting promotion shows up as minor faults
                 ctx.record_minor(ps.owner, int(hot.size))
+                obs.counter("policy.promotions", int(hot.size), policy=self.name)
                 budget_bytes -= moved
                 max_chunks -= hot.size
 
@@ -155,7 +157,9 @@ class TieredDemandPolicy(MemoryPolicy):
                 take = remaining[: int(room)]
                 if take.size:
                     freed += mem.migrate(ps, take, tier)
+                    obs.counter("policy.demotions", int(take.size), policy=self.name)
                     remaining = remaining[take.size:]
             if remaining.size:
                 freed += mem.swap_out(ps, remaining)
+                obs.counter("policy.swap_outs", int(remaining.size), policy=self.name)
         return freed

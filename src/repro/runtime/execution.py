@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
+from .. import obs
 from ..containers.cgroup import MemoryCgroup, OomKill
 from ..core.api import RegionHandle, TieredMemoryClient
 from ..core.flags import MemFlag
@@ -178,6 +179,7 @@ class TaskExecution:
         self._install_access_weights(phase, index)
         self._fault_in_touched(phase)
         self.tracker = RateTracker(phase.base_time)
+        obs.counter("task.phases", 1, wclass=spec.wclass.name)
         self.agent.trace(
             "phase", spec.name, event="begin", phase=phase.name, index=index
         )
@@ -223,6 +225,7 @@ class TaskExecution:
         agent = self.agent
         now = agent.engine.now
         self.state = TaskState.DONE
+        obs.counter("task.completed", 1, wclass=self.spec.wclass.name)
         self.metrics.finished_at = now
         self.pageset.clear_access_weights()
         self._cancel_completion()
@@ -251,10 +254,12 @@ class TaskExecution:
     def _fail(self, reason: str) -> None:
         agent = self.agent
         self.state = TaskState.FAILED
+        obs.counter("task.failed", 1, wclass=self.spec.wclass.name)
         self.metrics.failed = True
         self.metrics.failure_reason = reason
         self.metrics.finished_at = agent.engine.now
         if self.cgroup.oom_kills:
+            obs.counter("task.oom_kills", self.cgroup.oom_kills, wclass=self.spec.wclass.name)
             self.metrics.oom_kills += self.cgroup.oom_kills
             agent.trace(
                 "oom",

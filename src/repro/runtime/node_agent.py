@@ -13,6 +13,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from .. import obs
 from ..core.flags import MemFlag
 from ..core.heatmap import HeatmapConfig, PageHeatmap
 from ..memory.system import NodeMemorySystem
@@ -138,6 +139,9 @@ class NodeAgent:
     def trace(self, category: str, subject: str, **data) -> None:
         if self.tracer is not None:
             self.tracer.emit(self.engine.now, category, subject, **data)
+        # Tracer and telemetry are independent sinks: the same structured
+        # events also flow into the active run record when one exists.
+        obs.event(self.engine.now, category, subject, **data)
 
     def task_finished(self, te: TaskExecution) -> None:
         if te.spec.name in self.running:
@@ -272,7 +276,7 @@ class NodeAgent:
         }
         self.heatmap.advance_node(self.memory, self.daemon_interval, rates)
         self.policy.tick(self.context)
-        if self.tracer is not None and self.tracer.wants("daemon"):
+        if (self.tracer is not None and self.tracer.wants("daemon")) or obs.enabled():
             total = self.memory.stats.total_migrated_bytes
             self.trace(
                 "daemon",

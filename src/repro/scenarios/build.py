@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..envs.environments import EnvKind, Environment, EnvironmentConfig
 from ..faults.spec import FaultKind, FaultSchedule, FaultSpec
 from ..memory.tiers import PMEM, scaled_tier_capacities
@@ -187,8 +188,9 @@ def realize(
     spec: ScenarioSpec, *, policy_factory: Optional[Callable] = None
 ) -> RealizedScenario:
     """Build the workload and environment for ``spec`` without running it."""
-    tasks, arrivals = build_workload(spec.workload, spec.seed)
-    env = environment_for_tasks(spec, tasks, policy_factory=policy_factory)
+    with obs.span("scenario.realize", scenario=spec.name, seed=spec.seed):
+        tasks, arrivals = build_workload(spec.workload, spec.seed)
+        env = environment_for_tasks(spec, tasks, policy_factory=policy_factory)
     return RealizedScenario(spec=spec, env=env, tasks=tasks, arrivals=arrivals)
 
 
@@ -206,9 +208,21 @@ class ScenarioOutcome:
     #: (class name, mean execution time) for classes that completed work
     mean_exec: Tuple[Tuple[str, float], ...] = ()
     notes: Tuple[str, ...] = ()
+    #: (metric name, p50, p95, p99) for each latency metric — the tail
+    #: view the mean columns hide (defaults keep pre-1.4 cached outcomes
+    #: decodable)
+    latency_percentiles: Tuple[Tuple[str, float, float, float], ...] = ()
 
     def row(self) -> List[float]:
         return [self.makespan, float(self.completed), float(self.failed)]
+
+    def percentile(self, metric: str, q: int) -> float:
+        """Look up one recorded percentile (q in {50, 95, 99}); 0 when the
+        outcome predates percentile recording or nothing completed."""
+        for name, p50, p95, p99 in self.latency_percentiles:
+            if name == metric:
+                return {50: p50, 95: p95, 99: p99}[q]
+        return 0.0
 
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
@@ -224,6 +238,10 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
         if done:
             per_class.append((cls.name, float(np.mean(done))))
     completed = len(metrics.completed())
+    percentiles = tuple(
+        (metric, *metrics.percentiles(metric))
+        for metric in MetricsRegistry.LATENCY_METRICS
+    ) if completed else ()
     return ScenarioOutcome(
         scenario=spec.name,
         digest=spec.digest(),
@@ -233,4 +251,5 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
         failed=len(metrics.failed()),
         mean_startup=metrics.mean_startup_time(),
         mean_exec=tuple(per_class),
+        latency_percentiles=percentiles,
     )

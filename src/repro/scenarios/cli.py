@@ -52,25 +52,37 @@ def _run_one(spec: ScenarioSpec) -> ScenarioOutcome:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from .. import obs
     from ..parallel import map_ordered
 
     specs = _resolve(args.ref)
-    outcomes = map_ordered(_run_one, specs, jobs=args.jobs)
+    telemetry = (
+        obs.Telemetry(f"scenarios/{args.ref}", {"jobs": args.jobs})
+        if args.telemetry
+        else obs.NULL
+    )
+    with obs.session(telemetry):
+        outcomes = map_ordered(_run_one, specs, jobs=args.jobs)
     rows = []
     for out in outcomes:
         rows.append(
             [out.scenario, out.makespan, float(out.completed), float(out.failed),
-             out.mean_startup]
+             out.mean_startup, out.percentile("execution_time", 50),
+             out.percentile("execution_time", 95), out.percentile("execution_time", 99)]
         )
     print(
         format_table(
-            ["scenario", "makespan (s)", "completed", "failed", "mean startup (s)"],
+            ["scenario", "makespan (s)", "completed", "failed", "mean startup (s)",
+             "exec p50", "exec p95", "exec p99"],
             rows,
             title=f"{args.ref}: {len(specs)} scenario(s)",
         )
     )
     for out in outcomes:
         print(f"  {out.scenario}: digest={out.digest[:12]} seed={out.seed}")
+    if args.telemetry:
+        paths = obs.write_run_dir(telemetry.snapshot(), args.telemetry)
+        print(f"telemetry: {paths['run']} (trace: {paths['trace']})")
     return 0
 
 
@@ -100,6 +112,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_run.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes (1 = in-process, 0 = all cores)",
+    )
+    p_run.add_argument(
+        "--telemetry", metavar="DIR", default=None,
+        help="record spans/counters/events and write run.json, events.jsonl, "
+             "trace.json (Perfetto), metrics.csv under DIR",
     )
     p_run.set_defaults(fn=_cmd_run)
 

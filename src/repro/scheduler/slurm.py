@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Iterable, Optional, Sequence
 
+from .. import obs
 from ..containers.runtime import ContainerRuntime
 from ..core.flags import MemFlag
 from ..memory.tiers import MEMORY_TIERS
@@ -189,6 +190,7 @@ class SlurmScheduler:
         return None
 
     def _dispatch(self, job: Job, node_index: int) -> None:
+        obs.counter("sched.dispatches")
         job.state = JobState.STARTING
         job.node_index = node_index
         job._dispatch_seq += 1
@@ -283,6 +285,8 @@ class SlurmScheduler:
             return
         job.retries += 1
         self.requeues += 1
+        obs.counter("sched.requeues")
+        obs.event(self.engine.now, "sched", job.name, action="requeue", reason=reason)
         self.metrics.faults.job_requeues += 1
         tm.retries += 1
         tm.failed = False
@@ -363,10 +367,11 @@ class SlurmScheduler:
 
     def run_to_completion(self, max_time: float = 1e9) -> None:
         """Drive the engine until every submitted job finishes."""
-        while not self.all_done:
-            if not self.engine.step():
-                raise SchedulingError(
-                    f"deadlock: {self.pending_count} jobs queued, no events pending"
-                )
-            if self.engine.now > max_time:
-                raise SchedulingError(f"jobs still unfinished at t={self.engine.now}")
+        with obs.span("sched.run_to_completion", jobs=len(self.jobs)):
+            while not self.all_done:
+                if not self.engine.step():
+                    raise SchedulingError(
+                        f"deadlock: {self.pending_count} jobs queued, no events pending"
+                    )
+                if self.engine.now > max_time:
+                    raise SchedulingError(f"jobs still unfinished at t={self.engine.now}")

@@ -15,6 +15,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from .. import obs
 from ..util.errors import SimulationError
 from .events import Event
 
@@ -114,6 +115,12 @@ class SimulationEngine:
             raise SimulationError("engine is not re-entrant: run() called from within run()")
         self._running = True
         fired = 0
+        # Spans wrap the whole drain, never individual events — step() is
+        # the hot path and stays uninstrumented.
+        tel_on = obs.enabled()
+        if tel_on:
+            fired_before = self.events_fired
+            run_span = obs.span("sim.run", start=self.now).__enter__()
         try:
             while True:
                 if max_events is not None and fired >= max_events:
@@ -127,6 +134,10 @@ class SimulationEngine:
                 fired += 1
         finally:
             self._running = False
+            if tel_on:
+                run_span.set(end=self.now)
+                run_span.__exit__(None, None, None)
+                obs.counter("sim.events_fired", self.events_fired - fired_before)
         if until is not None and self.now < until:
             self.now = until
 

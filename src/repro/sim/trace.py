@@ -9,6 +9,7 @@ tracer and emits nothing when absent, so the hot path stays clean.
 from __future__ import annotations
 
 import json
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
@@ -48,7 +49,10 @@ class Tracer:
     ) -> None:
         self._categories = frozenset(categories) if categories is not None else None
         self.capacity = int(capacity)
-        self._events: list[TraceEvent] = []
+        # deque(maxlen=...) evicts the oldest entry in O(1); a plain list's
+        # pop(0) is O(n) per emit once the buffer fills, which made tracing
+        # quadratic over long capacity-bound runs
+        self._events: deque[TraceEvent] = deque(maxlen=self.capacity)
         self.dropped = 0
 
     def wants(self, category: str) -> bool:
@@ -57,16 +61,15 @@ class Tracer:
     def emit(self, time: float, category: str, subject: str, **data: Any) -> None:
         if not self.wants(category):
             return
-        if len(self._events) >= self.capacity:
-            self._events.pop(0)
-            self.dropped += 1
+        if len(self._events) == self.capacity:
+            self.dropped += 1  # the append below auto-evicts the oldest
         self._events.append(TraceEvent(float(time), category, subject, data))
 
     # ------------------------------------------------------------------ #
     def events(
         self, category: Optional[str] = None, subject: Optional[str] = None
     ) -> list[TraceEvent]:
-        out = self._events
+        out: Iterable[TraceEvent] = self._events
         if category is not None:
             out = [e for e in out if e.category == category]
         if subject is not None:

@@ -39,6 +39,22 @@ class TestTracer:
         assert tr.dropped == 3
         assert tr.events()[0].subject == "s3"
 
+    def test_capacity_eviction_is_constant_time(self):
+        # the buffer must be a bounded deque: saturating it twice over must
+        # not degrade (a list.pop(0) buffer turns this quadratic) and the
+        # drop/eviction accounting must stay exact at any overshoot
+        cap = 1000
+        tr = Tracer(capacity=cap)
+        for i in range(3 * cap):
+            tr.emit(float(i), "x", f"s{i}")
+        assert len(tr) == cap
+        assert tr.dropped == 2 * cap
+        assert tr.events()[0].subject == f"s{2 * cap}"
+        assert tr.events()[-1].subject == f"s{3 * cap - 1}"
+        from collections import deque
+
+        assert isinstance(tr._events, deque) and tr._events.maxlen == cap
+
     def test_jsonl_roundtrip(self):
         tr = Tracer()
         tr.emit(1.5, "task", "a", event="started", node="n0")
