@@ -15,12 +15,15 @@ simulation of tiered-memory HPC clusters.  Public entry points:
 * :mod:`~repro.scenarios` — the declarative scenario layer: typed,
   serializable :class:`~repro.scenarios.ScenarioSpec` specs naming every
   experiment, resolved through the scenario ``REGISTRY``.
+* :mod:`~repro.resilience` — supervised sweep execution: retries with
+  deterministic backoff, the crash-safe run journal behind ``--resume``,
+  and the runtime invariant checker.
 """
 
 from importlib import import_module
 from typing import TYPE_CHECKING
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 _EXPORTS = {
     # environments
@@ -71,6 +74,14 @@ _EXPORTS = {
     "load_scenario": "repro.scenarios",
     "realize": "repro.scenarios",
     "run_scenario": "repro.scenarios",
+    # resilience
+    "CellFailure": "repro.resilience",
+    "InvariantChecker": "repro.resilience",
+    "InvariantViolation": "repro.resilience",
+    "RetryPolicy": "repro.resilience",
+    "RunJournal": "repro.resilience",
+    "SweepFailure": "repro.resilience",
+    "supervised_map": "repro.resilience",
     # metrics
     "MetricsRegistry": "repro.metrics",
     "TaskMetrics": "repro.metrics",
@@ -120,6 +131,15 @@ if TYPE_CHECKING:  # pragma: no cover - static typing only
     )
     from .metrics import FaultStats, MetricsRegistry, TaskMetrics  # noqa: F401
     from .obs import Telemetry, TelemetryRecord  # noqa: F401
+    from .resilience import (  # noqa: F401
+        CellFailure,
+        InvariantChecker,
+        InvariantViolation,
+        RetryPolicy,
+        RunJournal,
+        SweepFailure,
+        supervised_map,
+    )
     from .runtime import NodeAgent  # noqa: F401
     from .scenarios import (  # noqa: F401
         ScenarioFamily,

@@ -12,7 +12,10 @@ Writes are crash- and concurrency-safe under the fork pool and under
 concurrent CLI runs: the envelope is written to a temp file in the same
 directory and :func:`os.replace`-d over the target, so readers only ever
 see complete files and the last writer wins.  Anything unreadable —
-truncated, corrupt, foreign codec version — is a miss, never an error.
+truncated, corrupt, foreign codec version — is a miss, never an error;
+undecodable files are additionally quarantined to ``<name>.corrupt`` so
+repeated probes stop paying for (and re-counting) the same bad entry
+while the bytes stay on disk for inspection.
 """
 
 from __future__ import annotations
@@ -116,6 +119,13 @@ class ResultCache:
                 self.stats.corrupt += 1
                 self.stats.misses += 1
                 obs.counter("cache.misses")
+                obs.counter("cache.corrupt")
+                # quarantine the undecodable file so the next probe is a
+                # plain miss and the evidence survives for postmortems
+                try:
+                    os.replace(path, path.with_name(path.name + ".corrupt"))
+                except OSError:  # pragma: no cover - racing readers
+                    pass
                 return False, None
             if stored_key != key.content_key:
                 self.stats.invalidations += 1

@@ -234,6 +234,9 @@ def sweep(
     *,
     jobs: Optional[int] = None,
     cache: "Optional[ResultCache]" = None,
+    retry: Optional[Any] = None,
+    deadline: Optional[float] = None,
+    journal: Optional[Any] = None,
 ) -> dict[str, Any]:
     """Run every cell of ``spec`` and return ``{key: result}`` in cell order.
 
@@ -246,15 +249,50 @@ def sweep(
     stored result is still valid are served without dispatching a worker;
     only the misses execute, and their results are written back atomically
     from this process after ordered collection.
+
+    Passing any of ``retry`` (a :class:`~repro.resilience.RetryPolicy`),
+    ``deadline`` (per-cell seconds), or ``journal`` (a
+    :class:`~repro.resilience.RunJournal`) switches execution to
+    :func:`~repro.resilience.supervised_map`: failing or hung cells are
+    retried with deterministic backoff and quarantined when their budget
+    is spent, and the sweep raises
+    :class:`~repro.resilience.SweepFailure` (carrying the partial
+    results) only after every other cell has finished.  The default path
+    is byte-for-byte the unsupervised one — zero overhead when no
+    resilience knob is used.
     """
+    supervised = retry is not None or deadline is not None or journal is not None
     with obs.span("sweep", sweep=spec.name, cells=len(spec.cells)):
-        results = map_ordered(
-            _run_sweep_cell,
-            spec.cells,
-            jobs=jobs,
-            cache=cache,
-            cache_key=None if cache is None else partial(cell_cache_key, spec),
-        )
+        if supervised:
+            from ..resilience import SweepFailure, supervised_map
+
+            sub = supervised_map(
+                _run_sweep_cell,
+                spec.cells,
+                keys=[cell.key for cell in spec.cells],
+                jobs=jobs,
+                deadline=deadline,
+                retry=retry,
+                journal=journal,
+                cache=cache,
+                cache_key=None if cache is None else partial(cell_cache_key, spec),
+            )
+            if sub.failures:
+                done = {
+                    cell.key: res
+                    for cell, res in zip(spec.cells, sub.results)
+                    if all(f.key != cell.key for f in sub.failures)
+                }
+                raise SweepFailure(sub.failures, results=done)
+            results = sub.results
+        else:
+            results = map_ordered(
+                _run_sweep_cell,
+                spec.cells,
+                jobs=jobs,
+                cache=cache,
+                cache_key=None if cache is None else partial(cell_cache_key, spec),
+            )
     return {cell.key: res for cell, res in zip(spec.cells, results)}
 
 

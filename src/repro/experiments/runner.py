@@ -16,18 +16,36 @@ closure (or bumping the repro version) invalidates exactly the entries
 that depend on it.  ``--no-cache`` restores pure live execution,
 ``--cache-dir`` relocates the store, ``--cache-stats`` prints the
 per-experiment hit/miss/invalidation counts.
+
+Execution is supervised (:mod:`repro.resilience`): failing experiments
+are retried with deterministic backoff (``--retries``), optionally
+deadline-bounded (``--cell-timeout``), and quarantined instead of
+killing the run — the process then exits non-zero with a per-experiment
+failure table.  Progress is journaled durably next to the cache, so
+``--resume`` continues a killed run, and ``--check-invariants`` turns
+the simulator's conservation laws into hard runtime assertions.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import inspect
 import sys
 import time
 from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 
 from .. import obs
-from ..parallel import map_ordered
+from ..resilience import (
+    InvariantChecker,
+    RetryPolicy,
+    RunJournal,
+    SweepFailure,
+    failure_table,
+    invariants as _invariants,
+    journal_path,
+    supervised_map,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cache.store import ResultCache
@@ -152,9 +170,9 @@ def _run_one(
     return result, elapsed, stats
 
 
-def _run_one_cell(item: "tuple[str, Optional[str]]") -> tuple[FigureResult, float, Optional[dict[str, int]]]:
-    name, cache_dir = item
-    return _run_one(name, cache_dir=cache_dir)
+def _run_one_cell(item: "tuple[str, int, Optional[str]]") -> tuple[FigureResult, float, Optional[dict[str, int]]]:
+    name, jobs, cache_dir = item
+    return _run_one(name, jobs=jobs, cache_dir=cache_dir)
 
 
 def _format_cache_stats(per_experiment: "dict[str, Optional[dict[str, int]]]") -> str:
@@ -185,6 +203,10 @@ def run_all(
     cache_dir: Optional[str] = DEFAULT_CACHE,
     cache_stats: bool = False,
     telemetry_dir: Optional[str] = None,
+    resume: bool = False,
+    retries: int = 2,
+    cell_timeout: Optional[float] = None,
+    check_invariants: bool = False,
 ) -> dict[str, FigureResult]:
     """Run the selected experiments (all by default), returning results.
 
@@ -202,33 +224,103 @@ def run_all(
     ``telemetry_dir`` turns on the :mod:`repro.obs` layer for the run and
     writes the merged record (run.json, events.jsonl, trace.json,
     metrics.csv) under that directory.
+
+    Execution is *supervised* (:mod:`repro.resilience`): each experiment
+    gets up to ``retries`` attempts (deterministic backoff between them),
+    optionally bounded by ``cell_timeout`` seconds of wall clock, and a
+    failing experiment is quarantined instead of killing the run — the
+    others complete, then a :class:`~repro.resilience.SweepFailure`
+    carrying the per-experiment failures (and the partial results) is
+    raised.  When caching is on, every commit is recorded in the fsync'd
+    ``journal.jsonl`` next to the cache entries; ``resume=True`` replays
+    that journal and serves journal-committed experiments straight from
+    the cache without dispatching a worker, so a run killed mid-sweep
+    (even SIGKILL) continues where it stopped with byte-identical output.
+    ``check_invariants=True`` installs the runtime
+    :class:`~repro.resilience.InvariantChecker` for the run (inherited by
+    forked workers), turning the simulator's conservation laws into hard
+    assertions.
     """
     selected = list(names) if names else list(ALL_EXPERIMENTS)
     for name in selected:
         if name not in ALL_EXPERIMENTS:
             raise KeyError(f"unknown experiment {name!r}; choose from {list(ALL_EXPERIMENTS)}")
+    if resume and cache_dir is None:
+        raise ValueError("resume=True needs the result cache; drop --no-cache")
+    cache = _open_cache(cache_dir)
     telemetry = (
         obs.Telemetry("experiments", {"jobs": jobs, "selected": list(selected)})
         if telemetry_dir
         else obs.NULL
     )
-    with obs.session(telemetry), obs.span("experiments", count=len(selected)):
-        if jobs != 1 and len(selected) == 1:
-            outcomes = [_run_one(selected[0], jobs=jobs, cache_dir=cache_dir)]
-        else:
-            outcomes = map_ordered(
-                _run_one_cell, [(name, cache_dir) for name in selected], jobs=jobs
+    inner_jobs = jobs if (jobs != 1 and len(selected) == 1) else 1
+    outer_jobs = 1 if inner_jobs != 1 else jobs
+    resumed: dict[str, tuple[FigureResult, float, Optional[dict[str, int]]]] = {}
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(obs.session(telemetry))
+        stack.enter_context(obs.span("experiments", count=len(selected)))
+        if check_invariants:
+            # installed before the pool forks, so workers inherit it
+            stack.enter_context(_invariants.session(InvariantChecker()))
+        journal: Optional[RunJournal] = None
+        committed: set[str] = set()
+        if cache is not None:
+            jpath = journal_path(cache.root)
+            if resume:
+                committed = RunJournal.load_state(jpath).committed & set(selected)
+            journal = stack.enter_context(RunJournal(jpath))
+        run_names: list[str] = []
+        for name in selected:
+            if name in committed:
+                # journal says committed: serve from the content-addressed
+                # cache without dispatching; a stale entry (code moved
+                # underneath the result) degrades to a live recompute
+                t0 = time.perf_counter()
+                hit, result = cache.get(_experiment_key(name, ALL_EXPERIMENTS[name]))
+                if hit:
+                    stats = {k: 0 for k in ("hits", "misses", "invalidations",
+                                            "corrupt", "writes", "uncacheable")}
+                    stats["hits"] = 1
+                    resumed[name] = (result, time.perf_counter() - t0, stats)
+                    continue
+            run_names.append(name)
+        if journal is not None:
+            journal.run_started(
+                "experiments", run_names, resumed=sorted(resumed), jobs=jobs
             )
+            for name in resumed:
+                journal.cell_committed(name, cached=True)
+        sup = supervised_map(
+            _run_one_cell,
+            [(name, inner_jobs, cache_dir) for name in run_names],
+            keys=run_names,
+            jobs=outer_jobs,
+            deadline=cell_timeout,
+            retry=RetryPolicy(max_attempts=max(1, retries)),
+            journal=journal,
+        )
+        if journal is not None:
+            journal.run_completed(failures=len(sup.failures))
     if telemetry_dir:
         paths = obs.write_run_dir(telemetry.snapshot(), telemetry_dir)
         print(f"telemetry: {paths['run']} (trace: {paths['trace']})")
+    outcomes = dict(resumed)
+    failed = {f.key for f in sup.failures}
+    for name, outcome in zip(run_names, sup.results):
+        if name not in failed:
+            outcomes[name] = outcome
     results: dict[str, FigureResult] = {}
     per_experiment: dict[str, Optional[dict[str, int]]] = {}
-    for name, (result, elapsed, stats) in zip(selected, outcomes):
+    for name in selected:
+        if name not in outcomes:
+            continue
+        result, elapsed, stats = outcomes[name]
         results[name] = result
         per_experiment[name] = stats
         if verbose:
             line = f"  [{name} regenerated in {elapsed:.1f}s"
+            if name in resumed:
+                line = f"  [{name} resumed from journal in {elapsed:.1f}s"
             if stats is not None:
                 line += (
                     f"; cache: {stats['hits']} hits, {stats['misses']} misses"
@@ -238,6 +330,8 @@ def run_all(
             print(line + "]\n")
     if cache_stats:
         print(_format_cache_stats(per_experiment))
+    if sup.failures:
+        raise SweepFailure(sup.failures, results=results)
     return results
 
 
@@ -297,16 +391,55 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
              "run.json, events.jsonl, trace.json (Perfetto), metrics.csv "
              "under DIR",
     )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay journal.jsonl and skip experiments already committed "
+             "by an earlier (possibly killed) run",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="attempts per experiment before quarantine (default 2)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-experiment wall-clock deadline; a hung experiment is "
+             "killed and retried instead of hanging the run",
+    )
+    parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="assert runtime conservation invariants (bytes conserved, no "
+             "task lost, event heap consistent) during the run",
+    )
     args = parser.parse_args(argv)
     cache_dir = None if args.no_cache else (args.cache_dir or DEFAULT_CACHE)
-    results = run_all(
-        args.experiments or None,
-        verbose=not args.quiet,
-        jobs=args.jobs,
-        cache_dir=cache_dir,
-        cache_stats=args.cache_stats,
-        telemetry_dir=args.telemetry,
-    )
+    try:
+        results = run_all(
+            args.experiments or None,
+            verbose=not args.quiet,
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            cache_stats=args.cache_stats,
+            telemetry_dir=args.telemetry,
+            resume=args.resume,
+            retries=args.retries,
+            cell_timeout=args.cell_timeout,
+            check_invariants=args.check_invariants,
+        )
+    except SweepFailure as exc:
+        print(failure_table(exc.failures), file=sys.stderr)
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("interrupted: progress is journaled; rerun with --resume", file=sys.stderr)
+        return 130
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(to_markdown(results))

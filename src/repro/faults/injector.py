@@ -18,6 +18,7 @@ from .. import obs
 from ..containers.runtime import ContainerRuntime
 from ..memory.tiers import CXL
 from ..metrics.collector import MetricsRegistry
+from ..resilience import invariants as inv
 from ..runtime.node_agent import NodeAgent
 from ..runtime.execution import TaskState
 from ..scheduler.slurm import SlurmScheduler
@@ -110,6 +111,14 @@ class FaultInjector:
         self.fired += 1
         self.metrics.faults.record_injection(fault.kind.value)
         self._trace(fault, event="injected")
+        checker = inv.active()
+        if checker.enabled:
+            # every injection is a conservation hazard: the fault's whole
+            # recovery cascade has run by the time the handler returns
+            checker.engine(self.engine)
+            checker.scheduler(self.scheduler)
+            for agent in self.agents:
+                checker.memory(agent.memory)
 
     def _trace(self, fault: FaultSpec, **extra) -> None:
         if self.tracer is not None:

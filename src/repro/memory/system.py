@@ -20,6 +20,7 @@ from typing import Iterable, Optional
 import numpy as np
 
 from .. import obs
+from ..resilience import invariants as inv
 from ..util.errors import AllocationError
 from ..util.validation import check_fraction, require
 from .pageset import UNMAPPED, PageSet
@@ -166,8 +167,15 @@ class NodeMemorySystem:
                     f"node {self.node_id}: tier {tier.name} cannot hold {nbytes} more bytes "
                     f"(used {self.used(tier)} of {self.capacity(tier)})"
                 )
+        checker = inv.active()
+        before = int(self._used.sum()) if checker.enabled else 0
         ps.assign(idx, tier)
         self._used[t] += nbytes
+        if checker.enabled:
+            checker.conservation(
+                self.node_id, before, int(self._used.sum()),
+                op=f"place->{TIER_NAMES[tier]}", delta=nbytes,
+            )
         return nbytes
 
     def migrate(self, ps: PageSet, idx: np.ndarray, dst: TierKind) -> int:
@@ -199,6 +207,8 @@ class NodeMemorySystem:
                     f"node {self.node_id}: migrate to {dst.name} needs {nbytes} bytes, "
                     f"only {self.free(dst)} free"
                 )
+        checker = inv.active()
+        before = int(self._used.sum()) if checker.enabled else 0
         # vectorised per-source accounting
         move_src = ps.tier[moving].astype(np.int64)
         counts = np.bincount(move_src, minlength=NUM_TIERS)
@@ -220,6 +230,12 @@ class NodeMemorySystem:
             # the authoritative copy is DRAM again; shadows are redundant
             self._drop_shadows(ps, moving)
         ps.assign(moving, dst)
+        if checker.enabled:
+            # migrations move bytes between tiers; they never mint them
+            checker.conservation(
+                self.node_id, before, int(self._used.sum()),
+                op=f"migrate->{TIER_NAMES[dst]}",
+            )
         return nbytes
 
     def swap_out(self, ps: PageSet, idx: np.ndarray) -> int:
@@ -313,6 +329,8 @@ class NodeMemorySystem:
         t = int(tier)
         if self._offline[t]:
             return 0, {}
+        checker = inv.active()
+        before = int(self._used.sum()) if checker.enabled else 0
         self._offline[t] = True
         if tier == DRAM:
             # shadows live in DRAM; the cache dies with the device
@@ -342,6 +360,14 @@ class NodeMemorySystem:
                 stranded[ps.owner] = victims
         if obs.enabled():
             obs.counter("mem.evacuated_bytes", evacuated, tier=TIER_NAMES[tier])
+        if checker.enabled:
+            # evacuation shuffles bytes to survivors; stranded chunks stay
+            # accounted on the dead tier until their tasks are killed
+            checker.conservation(
+                self.node_id, before, int(self._used.sum()),
+                op=f"offline->{TIER_NAMES[tier]}",
+            )
+            checker.memory(self)
         return evacuated, stranded
 
     def online_tier(self, tier: TierKind) -> None:

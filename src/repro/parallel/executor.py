@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Optional, Sequence, TypeVar
 
 from .. import obs
@@ -83,9 +82,19 @@ def _map_dispatch(fn: Callable[[Any], _T], items: "list[Any]", jobs: Optional[in
     if n_jobs <= 1 or len(items) < 2 or not supports_fork() or _IN_WORKER:
         return [fn(item) for item in items]
     ctx = multiprocessing.get_context("fork")
-    with ProcessPoolExecutor(max_workers=n_jobs, mp_context=ctx) as pool:
-        # Executor.map preserves input order and re-raises worker errors.
-        raw = list(pool.map(_call, [fn] * len(items), items))
+    pool = ctx.Pool(processes=n_jobs)
+    try:
+        # starmap preserves input order and re-raises worker errors.
+        raw = pool.starmap(_call, [(fn, item) for item in items])
+        pool.close()
+    except BaseException:
+        # Reap the children before propagating: without the terminate, a
+        # raising cell (or a Ctrl-C here) leaves live workers grinding
+        # through the rest of the sweep with nobody collecting them.
+        pool.terminate()
+        raise
+    finally:
+        pool.join()
     tel = obs.active()
     results: list[_T] = []
     for entry in raw:

@@ -5,7 +5,11 @@ Subcommands:
 * ``list`` — every registered family and member, with digests,
 * ``show <ref>`` — one scenario as TOML (what ``run`` would execute),
 * ``run <name-or-file> [--jobs N]`` — run a registered family/member or a
-  ``.toml``/``.json`` spec file and print the outcome table,
+  ``.toml``/``.json`` spec file and print the outcome table.  Runs are
+  supervised (:mod:`repro.resilience`): cached by default, journaled to
+  ``journal.jsonl`` next to the cache, resumable after a kill with
+  ``--resume``, retried/quarantined via ``--retries``/``--cell-timeout``,
+  and checkable with ``--check-invariants``,
 * ``verify`` — round-trip every registered scenario through both
   interchange forms (the CI gate).
 """
@@ -51,18 +55,95 @@ def _run_one(spec: ScenarioSpec) -> ScenarioOutcome:
     return run_scenario(spec)
 
 
+def _scenario_cell_key(spec: ScenarioSpec):
+    """Cache key for one scenario run (``None`` → always live)."""
+    from ..cache.keys import CacheKeyError, cell_keys
+
+    try:
+        return cell_keys(
+            _run_one, {}, seed=spec.seed,
+            extra={"scenario_run": spec.name}, scenario=spec,
+        )
+    except CacheKeyError:  # pragma: no cover - specs are canonical
+        return None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    import contextlib
+
     from .. import obs
-    from ..parallel import map_ordered
+    from ..resilience import (
+        InvariantChecker,
+        RetryPolicy,
+        RunJournal,
+        failure_table,
+        invariants as _invariants,
+        journal_path,
+        supervised_map,
+    )
 
     specs = _resolve(args.ref)
+    keys = [spec.name for spec in specs]
+    cache = None
+    if not args.no_cache:
+        from ..cache.store import ResultCache, default_cache_dir
+
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.resume and cache is None:
+        raise SystemExit("--resume needs the result cache; drop --no-cache")
     telemetry = (
         obs.Telemetry(f"scenarios/{args.ref}", {"jobs": args.jobs})
         if args.telemetry
         else obs.NULL
     )
-    with obs.session(telemetry):
-        outcomes = map_ordered(_run_one, specs, jobs=args.jobs)
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(obs.session(telemetry))
+        if args.check_invariants:
+            stack.enter_context(_invariants.session(InvariantChecker()))
+        journal = None
+        resumed: dict[str, ScenarioOutcome] = {}
+        run_specs, run_keys = list(specs), list(keys)
+        if cache is not None:
+            jpath = journal_path(cache.root)
+            if args.resume:
+                committed = RunJournal.load_state(jpath).committed
+                run_specs, run_keys = [], []
+                for spec, key in zip(specs, keys):
+                    hit, value = (
+                        cache.get(_scenario_cell_key(spec))
+                        if key in committed
+                        else (False, None)
+                    )
+                    if hit:
+                        resumed[key] = value
+                    else:
+                        run_specs.append(spec)
+                        run_keys.append(key)
+            journal = stack.enter_context(RunJournal(jpath))
+            journal.run_started(
+                f"scenarios/{args.ref}", run_keys, resumed=sorted(resumed)
+            )
+            for key in resumed:
+                journal.cell_committed(key, cached=True)
+        sup = supervised_map(
+            _run_one,
+            run_specs,
+            keys=run_keys,
+            jobs=args.jobs,
+            deadline=args.cell_timeout,
+            retry=RetryPolicy(max_attempts=max(1, args.retries)),
+            journal=journal,
+            cache=cache,
+            cache_key=_scenario_cell_key,
+        )
+        if journal is not None:
+            journal.run_completed(failures=len(sup.failures))
+    by_key = dict(resumed)
+    failed = {f.key for f in sup.failures}
+    for key, outcome in zip(run_keys, sup.results):
+        if key not in failed:
+            by_key[key] = outcome
+    outcomes = [by_key[key] for key in keys if key in by_key]
     rows = []
     for out in outcomes:
         rows.append(
@@ -83,6 +164,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.telemetry:
         paths = obs.write_run_dir(telemetry.snapshot(), args.telemetry)
         print(f"telemetry: {paths['run']} (trace: {paths['trace']})")
+    if sup.failures:
+        print(failure_table(sup.failures))
+        print(f"error: {len(sup.failures)} scenario(s) quarantined")
+        return 1
     return 0
 
 
@@ -117,6 +202,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--telemetry", metavar="DIR", default=None,
         help="record spans/counters/events and write run.json, events.jsonl, "
              "trace.json (Perfetto), metrics.csv under DIR",
+    )
+    p_run.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="result-cache location (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro/cells)",
+    )
+    p_run.add_argument(
+        "--no-cache", action="store_true",
+        help="run every scenario live, without the result cache",
+    )
+    p_run.add_argument(
+        "--resume", action="store_true",
+        help="replay journal.jsonl and skip scenarios already committed by "
+             "an earlier (possibly killed) run",
+    )
+    p_run.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="attempts per scenario before quarantine (default 2)",
+    )
+    p_run.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-scenario wall-clock deadline; hung scenarios are killed "
+             "and retried",
+    )
+    p_run.add_argument(
+        "--check-invariants", action="store_true",
+        help="assert runtime conservation invariants during the run",
     )
     p_run.set_defaults(fn=_cmd_run)
 

@@ -22,6 +22,7 @@ from ..containers.runtime import ContainerRuntime
 from ..core.flags import MemFlag
 from ..memory.tiers import MEMORY_TIERS
 from ..metrics.collector import MetricsRegistry
+from ..resilience import invariants as inv
 from ..runtime.execution import TaskExecution, TaskState
 from ..runtime.node_agent import NodeAgent
 from ..sim.engine import SimulationEngine
@@ -264,6 +265,9 @@ class SlurmScheduler:
         job.state = JobState.FAILED if te.state is TaskState.FAILED else JobState.DONE
         job.notify_done()
         self._pump()
+        checker = inv.active()
+        if checker.enabled:
+            checker.scheduler(self)
 
     # ------------------------------------------------------------------ #
     # fault recovery (requeue / drain)
@@ -333,6 +337,11 @@ class SlurmScheduler:
                 job._dispatch_seq += 1  # invalidate the in-flight callback
                 self._release_reservation(job)
                 self._requeue_or_fail(job, reason)
+        checker = inv.active()
+        if checker.enabled:
+            # the crash path must leave scheduler accounting whole: no job
+            # lost between queue, requeue-pending, and terminal states
+            checker.scheduler(self)
 
     def node_restored(self, node_index: int) -> None:
         """Bring a crashed node back and return it to the placement pool."""

@@ -16,6 +16,7 @@ import heapq
 from typing import Any, Callable, Optional
 
 from .. import obs
+from ..resilience import invariants as inv
 from ..util.errors import SimulationError
 from .events import Event
 
@@ -140,6 +141,11 @@ class SimulationEngine:
                 obs.counter("sim.events_fired", self.events_fired - fired_before)
         if until is not None and self.now < until:
             self.now = until
+        # End-of-drain consistency check: the O(1) live counter must still
+        # match a heap recount after everything above has fired.
+        checker = inv.active()
+        if checker.enabled:
+            checker.engine(self)
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued.

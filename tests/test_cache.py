@@ -211,6 +211,23 @@ class TestStore:
         assert not hit and value is None
         assert cache.stats.corrupt == 1
 
+    def test_corrupt_file_quarantined_for_postmortem(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cell_keys(seeded_cell, {}, seed=9)
+        cache.put(key, 0.5)
+        path = cache.path_for(key)
+        path.write_bytes(b"not json at all")
+        assert cache.get(key) == (False, None)
+        # the evidence moves aside instead of being re-read every probe
+        assert not path.exists()
+        quarantined = path.with_name(path.name + ".corrupt")
+        assert quarantined.read_bytes() == b"not json at all"
+        assert len(cache) == 0  # .corrupt files are not live entries
+        hit, _ = cache.get(key)
+        assert not hit and cache.stats.corrupt == 1  # second probe: plain miss
+        assert cache.put(key, 0.5)  # and the slot is writable again
+        assert cache.get(key) == (True, 0.5)
+
     def test_truncated_valid_prefix_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
         key = cell_keys(seeded_cell, {}, seed=2)

@@ -68,6 +68,19 @@ class TestExecutor:
         with pytest.raises(ValueError, match="exploded"):
             map_ordered(boom, [1, 2, 3], jobs=2)
 
+    @pytest.mark.skipif(not supports_fork(), reason="no fork on this platform")
+    def test_raising_cell_reaps_the_pool(self):
+        import multiprocessing
+        import time
+
+        with pytest.raises(ValueError, match="exploded"):
+            map_ordered(boom, list(range(8)), jobs=2)
+        # the terminate-on-error path must leave no live workers behind
+        deadline = time.monotonic() + 10
+        while multiprocessing.active_children() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert multiprocessing.active_children() == []
+
 
 class TestSweepSpec:
     def test_cell_seed_is_stable_and_name_scoped(self):

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Chaos smoke test: SIGKILL a sweep mid-run, resume it, compare bytes.
+
+The end-to-end proof behind ``run_all --resume``:
+
+1. run a small experiment subset to completion in a pristine cache and
+   keep its markdown report as the reference,
+2. start the same subset in a second pristine cache, wait until the
+   journal shows at least one committed cell, and SIGKILL the whole
+   process group (supervisor and workers alike — no cleanup handlers
+   get to run),
+3. rerun with ``--resume``: committed cells must be served from the
+   cache without re-executing, the rest must compute, and the resumed
+   report must be byte-identical to the reference.
+
+Exits non-zero on any deviation.  Used by the ``chaos-smoke`` CI job and
+runnable locally: ``PYTHONPATH=src python tools/chaos_smoke.py``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+SUBSET = ["validation", "cold-pages", "fig01", "fig09"]
+COMMIT_WAIT_S = 120
+RESUME_TIMEOUT_S = 600
+
+
+def log(msg):
+    print(f"chaos-smoke: {msg}", flush=True)
+
+
+def run_cmd(args, env, **kw):
+    cmd = [sys.executable, "-m", "repro.experiments", *args]
+    return subprocess.run(cmd, env=env, **kw)
+
+
+def journal_committed(path):
+    """Committed cells per the journal, tolerating a torn trailing line."""
+    cells = set()
+    if not os.path.exists(path):
+        return cells
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if entry.get("ev") == "cell-committed":
+                cells.add(entry["cell"])
+    return cells
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
+        ref_report = os.path.join(tmp, "reference.md")
+        res_report = os.path.join(tmp, "resumed.md")
+
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = os.path.join(tmp, "cache-reference")
+        log(f"reference run: {' '.join(SUBSET)}")
+        proc = run_cmd(
+            [*SUBSET, "--quiet", "--jobs", "4", "--out", ref_report],
+            env, timeout=RESUME_TIMEOUT_S,
+        )
+        if proc.returncode != 0:
+            log(f"FAIL: reference run exited {proc.returncode}")
+            return 1
+
+        chaos_cache = os.path.join(tmp, "cache-chaos")
+        journal = os.path.join(chaos_cache, "journal.jsonl")
+        env["REPRO_CACHE_DIR"] = chaos_cache
+        log("chaos run: SIGKILL after the first committed cell")
+        victim = subprocess.Popen(
+            [sys.executable, "-m", "repro.experiments", *SUBSET,
+             "--quiet", "--jobs", "2"],
+            env=env, start_new_session=True,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        committed = set()
+        deadline = time.monotonic() + COMMIT_WAIT_S
+        try:
+            while time.monotonic() < deadline:
+                committed = journal_committed(journal)
+                if committed or victim.poll() is not None:
+                    break
+                time.sleep(0.01)
+        finally:
+            os.killpg(victim.pid, signal.SIGKILL)
+            victim.wait(timeout=30)
+        if victim.returncode == 0:
+            log("WARN: the run finished before the kill landed; "
+                "resume will be a pure cache replay")
+        elif not committed:
+            log("FAIL: nothing committed before the kill")
+            return 1
+        log(f"killed with {sorted(committed)} committed")
+
+        log("resume run")
+        proc = run_cmd(
+            [*SUBSET, "--quiet", "--jobs", "2", "--resume",
+             "--out", res_report],
+            env, timeout=RESUME_TIMEOUT_S,
+        )
+        if proc.returncode != 0:
+            log(f"FAIL: resume exited {proc.returncode}")
+            return 1
+        resumed_committed = journal_committed(journal)
+        if not set(SUBSET) <= resumed_committed:
+            log(f"FAIL: journal missing commits: "
+                f"{set(SUBSET) - resumed_committed}")
+            return 1
+
+        with open(ref_report, "rb") as a, open(res_report, "rb") as b:
+            if a.read() != b.read():
+                log("FAIL: resumed report differs from the reference")
+                return 1
+        log("OK: resumed run is byte-identical to the reference")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
