@@ -21,6 +21,10 @@ _EXPORTS = {
     "bandwidth_fractions": ".allocation",
     "RegionHandle": ".api",
     "TieredMemoryClient": ".api",
+    "BACKEND_ARENA": ".arena",
+    "BACKEND_OBJECT": ".arena",
+    "NodeArena": ".arena",
+    "resolve_backend": ".arena",
     "MemFlag": ".flags",
     "normalize_flags": ".flags",
     "parse_flags": ".flags",
@@ -64,6 +68,12 @@ if TYPE_CHECKING:  # pragma: no cover - static typing only
         bandwidth_fractions,
     )
     from .api import RegionHandle, TieredMemoryClient  # noqa: F401
+    from .arena import (  # noqa: F401
+        BACKEND_ARENA,
+        BACKEND_OBJECT,
+        NodeArena,
+        resolve_backend,
+    )
     from .flags import MemFlag, normalize_flags, parse_flags  # noqa: F401
     from .heatmap import HeatmapConfig, PageHeatmap, hot_mask, idle_fraction  # noqa: F401
     from .manager import TieredMemoryManager, classify_tiers  # noqa: F401

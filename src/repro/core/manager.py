@@ -135,9 +135,22 @@ class TieredMemoryManager(MemoryPolicy):
         self._realize(ctx, ps, unmapped, plan)
 
     def _evictable_map(self, ctx: PolicyContext, protect_owner: str) -> EvictableMap:
-        """Free + cold-evictable bytes per tier, minus the staging reserve."""
+        """Free + cold-evictable bytes per tier, minus the staging reserve.
+
+        Arena backend: one composite bincount over the node arena replaces
+        the per-tier x per-task scan (the sums are order-free integers, so
+        the result is identical).
+        """
         mem = ctx.memory
         ev = EvictableMap()
+        if mem.arena is not None:
+            cold_bytes = mem.arena.evictable_bytes(
+                MEMORY_TIERS, self.cold_threshold, protect_owner=protect_owner
+            )
+            for tier in MEMORY_TIERS:
+                free = max(0, mem.free(tier) - self.staging_buffers.get(tier, 0))
+                ev.available[tier] = free + cold_bytes[tier]
+            return ev
         for tier in MEMORY_TIERS:
             avail = max(0, mem.free(tier) - self.staging_buffers.get(tier, 0))
             for other in mem.pagesets():

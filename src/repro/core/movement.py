@@ -91,6 +91,25 @@ class IntelligentPageMovement:
             ctx.memory.compact()
 
     # ------------------------------------------------------------------ #
+    # candidate selection (object backend: top-k then threshold filter;
+    # arena backend: the same list filter-first via the arena kernels,
+    # which is an exact rewrite — see NodeArena.cold_chunks)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _hot_candidates(ps, tier, max_chunks: int, min_temperature: float) -> np.ndarray:
+        if ps.arena is not None:
+            return ps.arena.hot_chunks(ps, tier, max_chunks, min_temperature=min_temperature)
+        hot = ps.hottest_in(tier, max_chunks)
+        return hot[ps.temperature[hot] >= min_temperature]
+
+    @staticmethod
+    def _cold_candidates(ps, tier, max_chunks: int, max_temperature: float) -> np.ndarray:
+        if ps.arena is not None:
+            return ps.arena.cold_chunks(ps, tier, max_chunks, max_temperature=max_temperature)
+        cold = ps.coldest_in(tier, max_chunks)
+        return cold[ps.temperature[cold] <= max_temperature]
+
+    # ------------------------------------------------------------------ #
     # promotion
     # ------------------------------------------------------------------ #
     def _promote(self, ctx: PolicyContext, budget_bytes: int) -> None:
@@ -106,8 +125,9 @@ class IntelligentPageMovement:
             # the candidate scan outright (idle tasks dominate large nodes)
             if cfg.promote_threshold > 0 and not ps.temperature.any():
                 continue
-            hot_swap = ps.hottest_in(SWAP, budget_bytes // ps.chunk_size)
-            hot_swap = hot_swap[ps.temperature[hot_swap] >= cfg.promote_threshold]
+            hot_swap = self._hot_candidates(
+                ps, SWAP, budget_bytes // ps.chunk_size, cfg.promote_threshold
+            )
             if hot_swap.size:
                 moved_idx = self._pull_up(ctx, ps, hot_swap)
                 if moved_idx.size:
@@ -124,8 +144,9 @@ class IntelligentPageMovement:
             if cfg.promote_threshold > 0 and not ps.temperature.any():
                 continue
             for tier in (PMEM, CXL):
-                hot = ps.hottest_in(tier, budget_bytes // ps.chunk_size)
-                hot = hot[ps.temperature[hot] >= cfg.promote_threshold]
+                hot = self._hot_candidates(
+                    ps, tier, budget_bytes // ps.chunk_size, cfg.promote_threshold
+                )
                 if hot.size == 0:
                     continue
                 room = max(0, mem.free(DRAM)) // ps.chunk_size
@@ -201,8 +222,7 @@ class IntelligentPageMovement:
             if is_protected(self.owner_flags(ps.owner)):
                 continue
             need_chunks = -(-(target_free - freed) // ps.chunk_size)
-            cold = ps.coldest_in(DRAM, need_chunks)
-            cold = cold[ps.temperature[cold] <= cfg.cold_threshold]
+            cold = self._cold_candidates(ps, DRAM, need_chunks, cfg.cold_threshold)
             if cold.size == 0:
                 continue
             room = max(0, mem.free(CXL)) // ps.chunk_size

@@ -69,6 +69,16 @@ class PageReplacementPolicy:
         """
         if need_chunks <= 0:
             return []
+        arena = ctx.memory.arena
+        if arena is not None:
+            # one masked argpartition over the whole arena; identical
+            # two-level (protected, temperature, registration, index) order
+            def classify(owner: str) -> bool:
+                return is_protected(self.owner_flags(owner))
+
+            return arena.select_victims(
+                DRAM, need_chunks, classify, protect_owner=protect_owner
+            )
         ordered: list[tuple[int, float, int, PageSet, int]] = []
         for order_key, ps in enumerate(ctx.memory.pagesets()):
             if ps.owner == protect_owner:

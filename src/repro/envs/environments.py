@@ -45,6 +45,7 @@ from ..runtime.node_agent import NodeAgent
 from ..runtime.rates import RateModelConfig
 from ..scheduler.slurm import SlurmScheduler
 from ..sim.engine import SimulationEngine
+from ..sim.process import TickGroup
 from ..util.units import GBps, TiB
 from ..util.validation import check_positive, require
 from ..workflows.task import TaskSpec
@@ -84,6 +85,10 @@ class EnvironmentConfig:
     #: override the policy entirely (Fig. 7 allocation-policy comparison)
     policy_factory: Optional[Callable[[dict[TierKind, TierSpec]], MemoryPolicy]] = None
     validate_invariants: bool = False
+    #: simulation-core backend: "object" | "arena" | None (= $REPRO_CORE).
+    #: Deliberately NOT part of ScenarioSpec — scenario digests must be
+    #: backend-invariant (both backends produce identical results).
+    core_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         check_positive(self.n_nodes, "n_nodes")
@@ -119,11 +124,14 @@ class Environment:
         self.config = config
         self.engine = SimulationEngine()
         specs = config.tier_specs()
-        self.topology = MemoryTopology(config.n_nodes, specs)
+        self.topology = MemoryTopology(config.n_nodes, specs, backend=config.core_backend)
         self.metrics = MetricsRegistry()
         self.shared_memory: Optional[SharedMemoryManager] = None
         if config.kind is EnvKind.IMME:
             self.shared_memory = SharedMemoryManager(self.topology.shared_cxl, config.n_nodes)
+        # All node daemons tick at the same interval — coalesce them onto
+        # one engine event per cluster-wide tick instead of one per node.
+        self.ticker = TickGroup(self.engine, config.daemon_interval, "daemon")
         self.agents = [
             NodeAgent(
                 self.engine,
@@ -137,6 +145,7 @@ class Environment:
                 validate_invariants=config.validate_invariants,
                 shared_memory=self.shared_memory,
                 node_index=i,
+                ticker=self.ticker,
             )
             for i, node in enumerate(self.topology.nodes)
         ]

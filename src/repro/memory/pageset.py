@@ -53,6 +53,37 @@ def _stable_top_k(keys: np.ndarray, k: int) -> np.ndarray:
     return sel[np.argsort(keys[sel], kind="stable")]
 
 
+#: per-chunk array fields mirrored into the arena backend, in layout order
+ARRAY_FIELDS = ("tier", "temperature", "access_weight", "pinned", "in_page_cache", "region")
+
+
+def _array_field(name: str) -> property:
+    """A per-chunk array attribute that *writes through* when the pageset
+    is adopted by a :class:`~repro.core.arena.NodeArena`.
+
+    Object backend: plain attribute rebinding, exactly as before.  Arena
+    backend: the attribute is a view of an arena slice, and assignment
+    copies element-wise into that view — so code that replaces whole
+    arrays (``ps.temperature = ...`` in tests and benchmarks,
+    ``set_access_weights`` each phase) can never silently detach the view
+    from the node-level kernels.
+    """
+    priv = "_" + name
+
+    def getter(self: "PageSet") -> np.ndarray:
+        return getattr(self, priv)
+
+    def setter(self: "PageSet", value) -> None:
+        if self._arena is not None:
+            cur = getattr(self, priv)
+            if value is not cur:  # in-place numpy ops hand back the same view
+                cur[:] = value
+        else:
+            setattr(self, priv, value)
+
+    return property(getter, setter, doc=f"``{name}`` per-chunk array (see class docstring)")
+
+
 class PageSet:
     """Page metadata for one task's memory footprint.
 
@@ -76,24 +107,40 @@ class PageSet:
     region:
         ``int16[n]`` — allocation-region id; maps to the
         :class:`~repro.core.flags.MemFlag` the region was requested with.
+
+    Under ``REPRO_CORE=arena`` these arrays are views of one node-level
+    :class:`~repro.core.arena.NodeArena`; every method works identically
+    on views, and whole-array assignment writes through (see
+    :func:`_array_field`).
     """
 
     __slots__ = (
         "owner",
         "chunk_size",
         "n_chunks",
-        "tier",
-        "temperature",
-        "access_weight",
-        "pinned",
-        "in_page_cache",
-        "region",
+        "_tier",
+        "_temperature",
+        "_access_weight",
+        "_pinned",
+        "_in_page_cache",
+        "_region",
         "region_flags",
+        "_arena",
+        "_arena_start",
     )
+
+    tier = _array_field("tier")
+    temperature = _array_field("temperature")
+    access_weight = _array_field("access_weight")
+    pinned = _array_field("pinned")
+    in_page_cache = _array_field("in_page_cache")
+    region = _array_field("region")
 
     def __init__(self, owner: str, total_bytes: int, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
         check_positive(total_bytes, "total_bytes")
         check_positive(chunk_size, "chunk_size")
+        self._arena = None
+        self._arena_start = 0
         self.owner = owner
         self.chunk_size = int(chunk_size)
         self.n_chunks = int(-(-int(total_bytes) // self.chunk_size))  # ceil div
@@ -106,6 +153,37 @@ class PageSet:
         self.region = np.full(n, NO_REGION, dtype=np.int16)
         #: region id -> flag metadata (opaque to this module).
         self.region_flags: dict[int, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # arena backend binding (see repro.core.arena)
+    # ------------------------------------------------------------------ #
+    @property
+    def arena(self):
+        """The adopting :class:`~repro.core.arena.NodeArena`, or ``None``."""
+        return self._arena
+
+    @property
+    def arena_start(self) -> int:
+        """This pageset's segment offset within the adopting arena."""
+        return self._arena_start
+
+    def _bind_arena_views(self, arena, start: int) -> None:
+        """Rebind every array to a view of ``arena``'s segment at ``start``
+        (adoption, and re-pointing after the arena's backing arrays grow)."""
+        end = start + self.n_chunks
+        self._arena = None  # bypass write-through while rebinding
+        for name in ARRAY_FIELDS:
+            setattr(self, "_" + name, getattr(arena, name)[start:end])
+        self._arena = arena
+        self._arena_start = start
+
+    def _unbind_arena_views(self) -> None:
+        """Detach from the arena: copy current state out to standalone
+        arrays so the pageset stays usable after unregistration."""
+        self._arena = None
+        for name in ARRAY_FIELDS:
+            setattr(self, "_" + name, getattr(self, "_" + name).copy())
+        self._arena_start = 0
 
     # ------------------------------------------------------------------ #
     # size / residency queries

@@ -48,6 +48,18 @@ def global_coldest(
     """
     if max_chunks <= 0:
         return []
+    arena = ctx.memory.arena
+    if arena is not None:
+        # the arena kernel reproduces this function exactly — including the
+        # single rng.choice() draw for scan noise, so RNG streams match
+        return arena.global_coldest(
+            tier,
+            max_chunks,
+            ctx.rng,
+            include_pinned=include_pinned,
+            skip_owners=skip_owners,
+            scan_noise=scan_noise,
+        )
     n_noise = int(round(max_chunks * scan_noise)) if scan_noise > 0 else 0
     n_cold = max_chunks - n_noise
     entries: list[tuple[float, int, PageSet, int]] = []

@@ -22,7 +22,7 @@ from ..metrics.collector import MetricsRegistry
 from ..memory.contention import allocate_bandwidth
 from ..policies.base import MemoryPolicy, PolicyContext
 from ..sim.engine import SimulationEngine
-from ..sim.process import PeriodicProcess
+from ..sim.process import PeriodicProcess, TickGroup
 from ..util.validation import check_positive, require
 from ..workflows.task import TaskSpec
 from .execution import TaskExecution, TaskState
@@ -50,6 +50,7 @@ class NodeAgent:
         shared_memory=None,
         node_index: int = 0,
         tracer=None,
+        ticker: Optional[TickGroup] = None,
     ) -> None:
         check_positive(cores, "cores")
         self.engine = engine
@@ -84,9 +85,21 @@ class NodeAgent:
         self._bw_capacities = np.array(
             [memory.specs[TierKind(t)].bandwidth for t in range(NUM_TIERS)], dtype=np.float64
         )
-        self._daemon = PeriodicProcess(
-            engine, self.daemon_interval, self._daemon_tick, f"daemon.{memory.node_id}"
-        )
+        # Daemon scheduling: with a shared ticker (one coalesced engine
+        # event per cluster-wide tick) the agent just joins the group;
+        # standalone agents keep their own PeriodicProcess.
+        self._ticker = ticker
+        self._ticker_handle: Optional[int] = None
+        if ticker is not None:
+            require(
+                abs(ticker.interval - self.daemon_interval) < 1e-12,
+                f"ticker interval {ticker.interval} != daemon interval {self.daemon_interval}",
+            )
+            self._daemon: Optional[PeriodicProcess] = None
+        else:
+            self._daemon = PeriodicProcess(
+                engine, self.daemon_interval, self._daemon_tick, f"daemon.{memory.node_id}"
+            )
         self._daemon_started = False
         self._last_penalty_sample = 0.0
         self._traced_migrated_bytes = 0
@@ -125,7 +138,11 @@ class NodeAgent:
         require(self.can_host(spec), f"node {self.memory.node_id}: no cores for {spec.name}")
         require(spec.name not in self.running, f"duplicate task name {spec.name!r}")
         if not self._daemon_started:
-            self._daemon.start()
+            if self._ticker is not None:
+                self._ticker_handle = self._ticker.add(self._daemon_tick)
+            else:
+                assert self._daemon is not None
+                self._daemon.start()
             self._daemon_started = True
         tm = self.metrics.task(spec.name, spec.wclass.name)
         te = TaskExecution(spec, self, tm, flags=flags, on_finish=on_finish)
@@ -293,7 +310,13 @@ class NodeAgent:
 
     def stop(self) -> None:
         if self._daemon_started:
-            self._daemon.stop()
+            if self._ticker is not None:
+                if self._ticker_handle is not None:
+                    self._ticker.remove(self._ticker_handle)
+                    self._ticker_handle = None
+            else:
+                assert self._daemon is not None
+                self._daemon.stop()
             self._daemon_started = False
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

@@ -75,12 +75,20 @@ class SimulationEngine:
         return ev
 
     def cancel(self, event: Optional[Event]) -> None:
-        """Cancel ``event`` if it is pending; a ``None`` argument is a no-op."""
-        if event is not None and not event.cancelled:
-            event.cancel()
-            self.events_cancelled += 1
-            if not event.fired:
-                self._live -= 1
+        """Cancel ``event`` if it is pending; a ``None`` argument is a no-op.
+
+        Cancelling an event that already fired (or was already cancelled)
+        is also a no-op: ``step`` decremented the live counter when it
+        fired, so only a *pending* cancellation may decrement — otherwise
+        stale handles held by callers (task completions rescheduled after
+        firing, coalesced ticker handles) would double-decrement
+        :meth:`pending` and inflate ``events_cancelled``.
+        """
+        if event is None or event.cancelled or event.fired:
+            return
+        event.cancel()
+        self.events_cancelled += 1
+        self._live -= 1
 
     # ------------------------------------------------------------------ #
     # execution

@@ -1,0 +1,455 @@
+"""Equivalence and unit tests for the struct-of-arrays arena core.
+
+The arena backend is a pure performance substrate: every observable —
+tier placements, movement decisions, victim lists, RNG stream
+consumption, task metrics, scenario digests — must be *identical* to
+the object backend.  These tests pin that contract two ways:
+
+* property-based (hypothesis) state generation drives each arena kernel
+  and its object-path twin over randomized node states, asserting exact
+  (bit-level) agreement of outputs and RNG stream positions;
+* end-to-end runs — all four environments, the baseline policies, and
+  fault injection (tier-offline + node crash) — compare full per-task
+  metric fingerprints between backends.
+
+Plus unit tests for the arena's own mechanics: adopt/release segment
+reuse, growth re-pointing live views, and the write-through PageSet
+array properties that keep external rebinds (``ps.temperature = ...``)
+from detaching arena views.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.arena import (
+    BACKEND_ARENA,
+    BACKEND_OBJECT,
+    BACKENDS,
+    resolve_backend,
+)
+from repro.core.flags import MemFlag
+from repro.core.heatmap import PageHeatmap
+from repro.core.movement import IntelligentPageMovement
+from repro.core.replacement import PageReplacementPolicy
+from repro.envs.environments import EnvKind
+from repro.faults.spec import FaultKind, FaultSchedule, FaultSpec
+from repro.memory.pageset import UNMAPPED, PageSet
+from repro.memory.system import NodeMemorySystem
+from repro.memory.tiers import CXL, DRAM, PMEM, SWAP
+from repro.policies.autonuma import AutoNumaPolicy
+from repro.policies.base import PolicyContext
+from repro.policies.interleave import UniformInterleavePolicy
+from repro.policies.linux import global_coldest
+from repro.util.rng import RngFactory
+from repro.workflows.ensembles import paper_batch
+
+from conftest import CHUNK, small_specs
+
+EQ = settings(max_examples=30, deadline=None)
+
+TIER_VALUES = (int(DRAM), int(PMEM), int(CXL), int(SWAP), int(UNMAPPED))
+FLAG_CHOICES = (MemFlag.NONE, MemFlag.LAT, MemFlag.BW, MemFlag.SHL)
+
+
+# --------------------------------------------------------------------------- #
+# randomized node states
+# --------------------------------------------------------------------------- #
+
+
+@st.composite
+def node_states(draw, max_tasks=4, max_chunks=40):
+    """A list of per-task states: tiers, temperatures, pinned bits, flags."""
+    n_tasks = draw(st.integers(1, max_tasks))
+    tasks = []
+    for _ in range(n_tasks):
+        n = draw(st.integers(1, max_chunks))
+        tasks.append(
+            {
+                "n": n,
+                "chunk": CHUNK * draw(st.sampled_from([1, 2])),
+                "tiers": draw(
+                    st.lists(st.sampled_from(TIER_VALUES), min_size=n, max_size=n)
+                ),
+                "temps": draw(
+                    st.lists(
+                        st.floats(min_value=0.0, max_value=1.0, width=32),
+                        min_size=n,
+                        max_size=n,
+                    )
+                ),
+                "pinned": draw(st.lists(st.booleans(), min_size=n, max_size=n)),
+                "shadow": draw(st.lists(st.booleans(), min_size=n, max_size=n)),
+                "flags": draw(st.sampled_from(FLAG_CHOICES)),
+            }
+        )
+    return tasks
+
+
+def build_node(backend, tasks, seed=11):
+    """Stand up one backend's node with the given task states applied.
+
+    Arrays are written through the PageSet properties *after* register,
+    exactly the rebind pattern external code uses — so this also
+    exercises the write-through path on every example.
+    """
+    node = NodeMemorySystem(small_specs(), f"eq-{backend}", backend=backend)
+    ctx = PolicyContext(memory=node, rng=np.random.default_rng(seed))
+    flags = {}
+    for i, td in enumerate(tasks):
+        ps = PageSet(f"t{i}", td["n"] * td["chunk"], td["chunk"])
+        ps.region[:] = 0
+        ps.region_flags[0] = td["flags"]
+        node.register(ps)
+        ps.tier = np.asarray(td["tiers"], dtype=ps.tier.dtype)
+        ps.temperature = np.asarray(td["temps"], dtype=np.float32)
+        ps.access_weight = np.asarray(td["temps"], dtype=np.float32) ** 2
+        ps.pinned = np.asarray(td["pinned"], dtype=bool)
+        ps.in_page_cache = np.asarray(td["shadow"], dtype=bool)
+        flags[ps.owner] = td["flags"]
+    return node, ctx, flags
+
+
+def canon(victims):
+    """Victim lists compare by owner order AND per-owner chunk order."""
+    return [(ps.owner, idx.tolist()) for ps, idx in victims]
+
+
+# --------------------------------------------------------------------------- #
+# kernel equivalence (property-based)
+# --------------------------------------------------------------------------- #
+
+
+class TestKernelEquivalence:
+    @EQ
+    @given(tasks=node_states(), dt=st.sampled_from([0.25, 1.0, 3.5]))
+    def test_heatmap_advance_bit_identical(self, tasks, dt):
+        heat = PageHeatmap()
+        rates = {f"t{i}": (0.0, 0.6, 1.7)[i % 3] for i in range(len(tasks))}
+        temps = []
+        for backend in BACKENDS:
+            node, _, _ = build_node(backend, tasks)
+            heat.advance_node(node, dt, rates)
+            temps.append(np.concatenate([ps.temperature for ps in node.pagesets()]))
+        assert np.array_equal(temps[0], temps[1])  # exact, not approx
+
+    @EQ
+    @given(tasks=node_states(), k=st.integers(0, 60), protect=st.booleans())
+    def test_select_victims_identical(self, tasks, k, protect):
+        results = []
+        for backend in BACKENDS:
+            node, ctx, flags = build_node(backend, tasks)
+            pol = PageReplacementPolicy(lambda o: flags[o])
+            results.append(
+                canon(
+                    pol.select_victims(
+                        ctx, k, protect_owner="t0" if protect else None
+                    )
+                )
+            )
+        assert results[0] == results[1]
+
+    @EQ
+    @given(
+        tasks=node_states(),
+        k=st.integers(1, 60),
+        noise=st.sampled_from([0.0, 0.35, 1.0]),
+        tier=st.sampled_from([DRAM, SWAP]),
+        pinned_ok=st.booleans(),
+        skip=st.booleans(),
+    )
+    def test_global_coldest_identical_including_rng_stream(
+        self, tasks, k, noise, tier, pinned_ok, skip
+    ):
+        results, probes = [], []
+        for backend in BACKENDS:
+            node, ctx, _ = build_node(backend, tasks, seed=23)
+            out = global_coldest(
+                ctx,
+                tier,
+                k,
+                include_pinned=pinned_ok,
+                skip_owners=frozenset({"t0"}) if skip else frozenset(),
+                scan_noise=noise,
+            )
+            results.append(canon(out))
+            # both paths must consume the same number of draws from the
+            # shared stream, or later policy decisions diverge silently
+            probes.append(int(ctx.rng.integers(1 << 30)))
+        assert results[0] == results[1]
+        assert probes[0] == probes[1]
+
+    @EQ
+    @given(
+        tasks=node_states(),
+        k=st.integers(1, 30),
+        thr=st.floats(min_value=0.0, max_value=1.0, width=32),
+    )
+    def test_movement_candidates_identical(self, tasks, k, thr):
+        node_o, _, _ = build_node(BACKEND_OBJECT, tasks)
+        node_a, _, _ = build_node(BACKEND_ARENA, tasks)
+        for ps_o, ps_a in zip(node_o.pagesets(), node_a.pagesets()):
+            for tier in (DRAM, PMEM, CXL, SWAP):
+                hot_o = IntelligentPageMovement._hot_candidates(ps_o, tier, k, thr)
+                hot_a = IntelligentPageMovement._hot_candidates(ps_a, tier, k, thr)
+                assert np.array_equal(hot_o, hot_a)
+                cold_o = IntelligentPageMovement._cold_candidates(ps_o, tier, k, thr)
+                cold_a = IntelligentPageMovement._cold_candidates(ps_a, tier, k, thr)
+                assert np.array_equal(cold_o, cold_a)
+
+    @EQ
+    @given(tasks=node_states(), thr=st.floats(min_value=0.0, max_value=1.0, width=32))
+    def test_reductions_match_object_accounting(self, tasks, thr):
+        node_o, _, flags = build_node(BACKEND_OBJECT, tasks)
+        node_a, _, _ = build_node(BACKEND_ARENA, tasks)
+        arena = node_a.arena
+        # per-task/tier counts against the object counts_by_tier
+        counts = arena.counts_by_task_tier()
+        for ps_o, ps_a in zip(node_o.pagesets(), node_a.pagesets()):
+            slot = arena._tasks[ps_a.owner].slot
+            expect = ps_o.counts_by_tier()
+            assert counts[slot].tolist() == [int(c) for c in expect]
+        # tier byte totals and shadow bytes
+        used = arena.used_bytes_by_tier()
+        for tier in (DRAM, PMEM, CXL, SWAP):
+            expect_bytes = sum(
+                int((ps.tier == int(tier)).sum()) * ps.chunk_size
+                for ps in node_o.pagesets()
+            )
+            assert int(used[int(tier)]) == expect_bytes
+        expect_shadow = sum(
+            int(ps.in_page_cache.sum()) * ps.chunk_size for ps in node_o.pagesets()
+        )
+        assert arena.shadow_bytes() == expect_shadow
+        # Algorithm 1's evictable map: cold, unpinned, unprotected
+        ev = arena.evictable_bytes((DRAM, PMEM, CXL), thr, protect_owner="t0")
+        for tier in (DRAM, PMEM, CXL):
+            expect_bytes = sum(
+                int(
+                    (
+                        (ps.tier == int(tier))
+                        & ~ps.pinned
+                        & (ps.temperature <= thr)
+                    ).sum()
+                )
+                * ps.chunk_size
+                for ps in node_o.pagesets()
+                if ps.owner != "t0"
+            )
+            assert ev[tier] == expect_bytes
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end equivalence
+# --------------------------------------------------------------------------- #
+
+
+def metrics_fingerprint(m):
+    return [
+        (
+            t.owner,
+            t.wclass,
+            t.submitted_at,
+            t.scheduled_at,
+            t.started_at,
+            t.finished_at,
+            t.failed,
+            t.failure_reason,
+            t.major_faults,
+            t.minor_faults,
+            t.oom_kills,
+            t.retries,
+            tuple(t.phase_durations),
+        )
+        for t in sorted(m.tasks(), key=lambda t: t.owner)
+    ]
+
+
+def run_small_batch(backend, kind, policy_factory=None, faults=None):
+    """One small cluster run under ``backend``; returns a metric fingerprint."""
+    from repro.experiments.common import build_env
+
+    specs = paper_batch(12, scale=1 / 128, rng_factory=RngFactory(5))
+    saved = os.environ.get("REPRO_CORE")
+    os.environ["REPRO_CORE"] = backend
+    try:
+        env = build_env(
+            kind, specs, dram_fraction=0.3, n_nodes=2, policy_factory=policy_factory
+        )
+        assert env.topology.nodes[0].backend == backend
+        if faults is not None:
+            env.inject_faults(faults, seed=3)
+        metrics = env.run_batch(specs, max_time=1e7)
+        env.stop()
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_CORE", None)
+        else:
+            os.environ["REPRO_CORE"] = saved
+    return metrics_fingerprint(metrics)
+
+
+ENV_CASES = [
+    ("IE-linux", EnvKind.IE, None),
+    ("CBE-linux", EnvKind.CBE, None),
+    ("TME-tpp", EnvKind.TME, None),
+    ("IMME-manager", EnvKind.IMME, None),
+    ("TME-autonuma", EnvKind.TME, lambda specs: AutoNumaPolicy()),
+    ("TME-interleave", EnvKind.TME, lambda specs: UniformInterleavePolicy()),
+]
+
+
+class TestEndToEndEquivalence:
+    @pytest.mark.parametrize(
+        "kind,policy_factory",
+        [(k, p) for _, k, p in ENV_CASES],
+        ids=[label for label, _, _ in ENV_CASES],
+    )
+    def test_environments_and_policies(self, kind, policy_factory):
+        """The paper's class mix through every environment/policy: both
+        backends must produce bit-identical per-task metric timelines."""
+        fps = [run_small_batch(b, kind, policy_factory) for b in BACKENDS]
+        assert fps[0] == fps[1]
+
+    def test_fault_injection(self):
+        """Tier-offline evacuation and a node crash mid-run: the fault
+        paths (offline_tier, crash/interrupt, requeue) stay equivalent."""
+        def schedule():
+            return FaultSchedule(
+                [
+                    FaultSpec(FaultKind.TIER_OFFLINE, time=3.0, node=0, tier=PMEM,
+                              duration=10.0),
+                    FaultSpec(FaultKind.NODE_CRASH, time=6.0, node=1, duration=15.0),
+                ]
+            )
+
+        fps = [
+            run_small_batch(b, EnvKind.IMME, faults=schedule()) for b in BACKENDS
+        ]
+        assert fps[0] == fps[1]
+
+    def test_scenario_digests_backend_invariant(self, monkeypatch):
+        """Digests hash the scenario *spec*; the backend is a runtime
+        switch and must never perturb them (the cache keys on digests)."""
+        from repro.scenarios import REGISTRY
+
+        names = REGISTRY.family_names()[:3]
+        digests = []
+        for backend in BACKENDS:
+            monkeypatch.setenv("REPRO_CORE", backend)
+            digests.append([REGISTRY.family(n).digest() for n in names])
+        assert digests[0] == digests[1]
+
+
+# --------------------------------------------------------------------------- #
+# arena mechanics
+# --------------------------------------------------------------------------- #
+
+
+def arena_node(n_tasks=3, chunks=16):
+    node = NodeMemorySystem(small_specs(), "mech", backend=BACKEND_ARENA)
+    sets = []
+    for i in range(n_tasks):
+        ps = PageSet(f"t{i}", chunks * CHUNK, CHUNK)
+        ps.region[:] = 0
+        ps.region_flags[0] = MemFlag.NONE
+        node.register(ps)
+        sets.append(ps)
+    return node, sets
+
+
+class TestArenaMechanics:
+    def test_adopt_binds_views(self):
+        node, sets = arena_node()
+        arena = node.arena
+        for ps in sets:
+            assert ps.arena is arena
+            assert ps.temperature.base is arena.temperature
+            assert ps.tier.base is arena.tier
+        node.validate()
+
+    def test_write_through_rebind_stays_bound(self):
+        node, (ps, *_) = arena_node(n_tasks=1)
+        arena = node.arena
+        fresh = np.linspace(0, 1, ps.n_chunks, dtype=np.float32)
+        ps.temperature = fresh  # external rebind, the bench/test idiom
+        assert ps.temperature.base is arena.temperature
+        assert np.array_equal(ps.temperature, fresh)
+        start = arena._tasks[ps.owner].start
+        assert np.array_equal(arena.temperature[start : start + ps.n_chunks], fresh)
+
+    def test_augmented_assignment_works_in_place(self):
+        node, (ps, *_) = arena_node(n_tasks=1)
+        ps.temperature = np.full(ps.n_chunks, 0.5, dtype=np.float32)
+        ps.temperature *= np.float32(2.0)
+        assert ps.temperature.base is node.arena.temperature
+        assert np.all(ps.temperature == np.float32(1.0))
+
+    def test_release_zeroes_and_reuses_segment(self):
+        node, sets = arena_node(n_tasks=3)
+        arena = node.arena
+        victim = sets[1]
+        start, n = arena._tasks[victim.owner].start, victim.n_chunks
+        victim.temperature = np.ones(n, dtype=np.float32)
+        node.unregister(victim)
+        # detached copy keeps its values; arena segment is scrubbed
+        assert victim.arena is None
+        assert np.all(victim.temperature == 1.0)
+        assert np.all(arena.tier[start : start + n] == UNMAPPED)
+        assert np.all(arena.task_id[start : start + n] == -1)
+        # a same-size newcomer lands in the freed slot and segment
+        ps_new = PageSet("fresh", n * CHUNK, CHUNK)
+        ps_new.region[:] = 0
+        ps_new.region_flags[0] = MemFlag.NONE
+        node.register(ps_new)
+        assert arena._tasks["fresh"].start == start
+        node.validate()
+
+    def test_growth_preserves_live_views_and_values(self):
+        node = NodeMemorySystem(small_specs(), "grow", backend=BACKEND_ARENA)
+        arena = node.arena
+        ps1 = PageSet("big1", 800 * CHUNK, CHUNK)
+        ps1.region[:] = 0
+        ps1.region_flags[0] = MemFlag.NONE
+        node.register(ps1)
+        marker = np.arange(800, dtype=np.float32) / 800.0
+        ps1.temperature = marker
+        cap_before = arena.capacity
+        ps2 = PageSet("big2", 800 * CHUNK, CHUNK)
+        ps2.region[:] = 0
+        ps2.region_flags[0] = MemFlag.NONE
+        node.register(ps2)  # 1600 chunks: forces a grow
+        assert arena.capacity > cap_before
+        # ps1's views were re-pointed at the new storage, values intact
+        assert ps1.temperature.base is arena.temperature
+        assert np.array_equal(ps1.temperature, marker)
+        node.validate()
+
+    def test_validate_detects_detached_view(self):
+        node, (ps, *_) = arena_node(n_tasks=1)
+        # simulate the bug write-through properties exist to prevent:
+        # a raw rebind that silently detaches the arena view
+        object.__setattr__(ps, "_temperature", ps.temperature.copy())
+        with pytest.raises(Exception):
+            node.validate()
+
+
+class TestBackendResolution:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CORE", BACKEND_ARENA)
+        assert resolve_backend(BACKEND_OBJECT) == BACKEND_OBJECT
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CORE", BACKEND_ARENA)
+        assert resolve_backend() == BACKEND_ARENA
+        monkeypatch.delenv("REPRO_CORE")
+        assert resolve_backend() == BACKEND_OBJECT
+
+    def test_invalid_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CORE", "vectorised")
+        with pytest.raises(Exception):
+            resolve_backend()
+        with pytest.raises(Exception):
+            NodeMemorySystem(small_specs(), "bad", backend="vectorised")

@@ -164,6 +164,18 @@ class TestLiveEventCounter:
         engine.cancel(ev)  # stale handle: already fired
         assert engine.pending() == self.scan(engine) == 1
 
+    def test_cancel_after_fire_is_full_noop(self, engine):
+        # a stale handle must not inflate events_cancelled either — the
+        # event both fired *and* counted as cancelled would double-book it
+        ev = engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.events_fired == 1
+        engine.cancel(ev)
+        engine.cancel(ev)
+        assert engine.events_cancelled == 0
+        assert not ev.cancelled  # it fired; it was never cancelled
+        assert engine.pending() == self.scan(engine) == 0
+
     def test_counter_tracks_reschedule_churn(self, engine):
         # the rate model's pattern: cancel-and-reschedule completion events
         handle = engine.schedule(10.0, lambda: None)

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.sim.engine import SimulationEngine
-from repro.sim.process import PeriodicProcess, RateTracker
+from repro.sim.process import PeriodicProcess, RateTracker, TickGroup
 from repro.util.errors import SimulationError
 
 
@@ -43,6 +43,96 @@ class TestPeriodicProcess:
     def test_invalid_interval(self, engine):
         with pytest.raises(Exception):
             PeriodicProcess(engine, 0.0, lambda now: None)
+
+
+class TestTickGroup:
+    """Coalesced periodic events: one heap entry services every member."""
+
+    def test_members_share_one_event(self, engine):
+        g = TickGroup(engine, 1.0)
+        seen = []
+        for name in "abc":
+            g.add(lambda now, n=name: seen.append((n, now)))
+        assert engine.pending() == 1  # one coalesced event, not three
+        engine.run(until=2.0)
+        assert seen == [
+            ("a", 1.0), ("b", 1.0), ("c", 1.0),
+            ("a", 2.0), ("b", 2.0), ("c", 2.0),
+        ]
+        assert g.ticks == 2
+
+    def test_matches_periodic_process_cadence(self, engine):
+        g_times, p_times = [], []
+        g = TickGroup(engine, 2.0)
+        g.add(lambda now: g_times.append(now))
+        p = PeriodicProcess(engine, 2.0, lambda now: p_times.append(now))
+        p.start()
+        engine.run(until=7.0)
+        assert g_times == p_times == [2.0, 4.0, 6.0]
+
+    def test_remove_mid_tick_skips_callback(self, engine):
+        g = TickGroup(engine, 1.0)
+        fired = []
+
+        def first(now):
+            fired.append("first")
+            g.remove(h2)
+
+        g.add(first)
+        h2 = g.add(lambda now: fired.append("second"))
+        engine.run(until=1.0)
+        assert fired == ["first"]
+
+    def test_add_during_tick_joins_next_tick(self, engine):
+        g = TickGroup(engine, 1.0)
+        fired = []
+
+        def first(now):
+            fired.append(("first", now))
+            if now == 1.0:
+                g.add(lambda t: fired.append(("late", t)))
+
+        g.add(first)
+        engine.run(until=2.0)
+        assert fired == [("first", 1.0), ("first", 2.0), ("late", 2.0)]
+        assert engine.pending() == 1  # still exactly one coalesced event
+
+    def test_last_member_leaving_cancels_event(self, engine):
+        g = TickGroup(engine, 1.0)
+        h = g.add(lambda now: None)
+        assert engine.pending() == 1 and g.running
+        g.remove(h)
+        assert engine.pending() == 0
+        assert not g.running
+
+    def test_remove_is_idempotent(self, engine):
+        g = TickGroup(engine, 1.0)
+        h = g.add(lambda now: None)
+        g.remove(h)
+        g.remove(h)
+        assert engine.pending() == 0
+        assert engine.events_cancelled == 1  # counted exactly once
+
+    def test_leave_and_rejoin_mid_tick_does_not_double_schedule(self, engine):
+        # a member replacing itself from its own callback exercises the
+        # _firing guard: add() must not schedule while the sweep runs
+        g = TickGroup(engine, 1.0)
+        ticks = []
+        handle = [None]
+
+        def leave_and_rejoin(now):
+            ticks.append(now)
+            g.remove(handle[0])
+            handle[0] = g.add(leave_and_rejoin)
+
+        handle[0] = g.add(leave_and_rejoin)
+        engine.run(until=3.0)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert engine.pending() == 1
+
+    def test_invalid_interval(self, engine):
+        with pytest.raises(Exception):
+            TickGroup(engine, 0.0)
 
 
 class TestRateTracker:
