@@ -115,9 +115,11 @@ def test_daemon_pass_cost(benchmark, backend, record_throughput):
     32 resident tasks (a dense colocation; same 256 GiB of metadata as
     the tick benches).  The recorded ratio (~3x) mixes migration-heavy
     early rounds with the steady state, where the arena settles at
-    ~1.4x: the advance kernel's win is diluted by the movement daemon's
-    per-task control flow, which both backends execute identically to
-    keep decisions bit-identical (see docs/performance.md)."""
+    ~1.6x: the advance kernel's win is diluted by the movement daemon's
+    per-task control flow, which object and arena execute identically
+    to keep decisions bit-identical.  The arena-fast leg batches that
+    daemon loop too — bench_movement_daemon.py isolates the steady
+    state where that pays off (see docs/performance.md)."""
     node, ctx, policy = big_node(n_tasks=32, task_bytes=GiB(8), backend=backend)
     heatmap = PageHeatmap()
     rates = {ps.owner: 1.0 for ps in node.pagesets()}

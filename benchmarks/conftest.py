@@ -5,11 +5,15 @@ prints the same series the figure plots, and asserts the qualitative
 shape (who wins, roughly by how much).  Runs are deterministic, so a
 single round measures the harness cost without statistical noise.
 
-Simulation-core benchmarks are parametrized over both backends (the
+Simulation-core benchmarks are parametrized over the backends (the
 ``backend`` fixture): the object core and the struct-of-arrays arena
-core produce identical results, so the two legs of each benchmark
+core produce identical results, so those two legs of each benchmark
 measure the same work and their cells/sec ratio is the arena speedup.
-``--backend object|arena`` pins one leg (the other is skipped).
+The ``arena-fast`` leg runs the relaxed batched movement kernels —
+statistically equivalent work, not byte-identical, so its ratio over
+``[object]`` is the headline batched-daemon speedup rather than a
+same-trace comparison.  ``--backend object|arena|arena-fast`` pins one
+leg (the others are skipped).
 """
 
 import pytest
@@ -23,14 +27,14 @@ def pytest_addoption(parser):
         "--backend",
         action="store",
         default=None,
-        choices=("object", "arena"),
-        help="pin the simulation-core backend (default: run both legs)",
+        choices=("object", "arena", "arena-fast"),
+        help="pin the simulation-core backend (default: run every leg)",
     )
 
 
-@pytest.fixture(params=["object", "arena"])
+@pytest.fixture(params=["object", "arena", "arena-fast"])
 def backend(request, monkeypatch):
-    """Parametrize a benchmark over both simulation-core backends.
+    """Parametrize a benchmark over the simulation-core backends.
 
     Sets ``$REPRO_CORE`` so every :class:`NodeMemorySystem` constructed
     inside the benchmark resolves the requested backend, and returns the

@@ -31,10 +31,20 @@ scenario digests are byte-identical across backends (tested in
 ``tests/test_arena.py``).
 
 Backend selection: :func:`resolve_backend` reads the ``REPRO_CORE``
-environment variable (``object`` | ``arena``).  The switch deliberately
-lives *outside* :class:`~repro.scenarios.spec.ScenarioSpec`: digests hash
-every spec field, and the whole point is that both backends produce the
-same digest for the same scenario.
+environment variable (``object`` | ``arena`` | ``arena-fast``).  The
+switch deliberately lives *outside*
+:class:`~repro.scenarios.spec.ScenarioSpec`: digests hash every spec
+field, and the whole point is that every backend produces the same
+digest for the same scenario.
+
+``arena-fast`` relaxes the bit-exact contract: the movement daemon and
+replacement paths run as whole-node batched kernels (:meth:`hot_by_tier`
+/ :meth:`cold_by_tier` masked scans, :meth:`migrate_batch` /
+:meth:`shadow_batch` commits) that select candidates for *all* tasks
+from one pre-pass snapshot per tier instead of re-reading node state
+after every pageset.  Results are statistically equivalent to the exact
+backends (tolerance bands pinned in ``tests/test_arena_fast.py``), not
+byte-identical — see ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -46,17 +56,21 @@ import numpy as np
 
 from .. import obs
 from ..memory.pageset import NO_REGION, UNMAPPED, _stable_top_k
-from ..memory.tiers import NUM_TIERS, TierKind
+from ..memory.tiers import DRAM, NUM_TIERS, TierKind
 from ..util.validation import require
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..memory.pageset import PageSet
 
-__all__ = ["NodeArena", "BACKENDS", "resolve_backend"]
+__all__ = ["NodeArena", "BACKENDS", "EXACT_BACKENDS", "resolve_backend"]
 
 BACKEND_OBJECT = "object"
 BACKEND_ARENA = "arena"
-BACKENDS = (BACKEND_OBJECT, BACKEND_ARENA)
+BACKEND_ARENA_FAST = "arena-fast"
+BACKENDS = (BACKEND_OBJECT, BACKEND_ARENA, BACKEND_ARENA_FAST)
+#: the backends that promise byte-identical traces (arena-fast promises
+#: statistical equivalence only — see tests/test_arena_fast.py)
+EXACT_BACKENDS = (BACKEND_OBJECT, BACKEND_ARENA)
 
 #: env var naming the backend every new NodeMemorySystem uses by default
 ENV_VAR = "REPRO_CORE"
@@ -151,6 +165,10 @@ class NodeArena:
         # lazily after adopt/release so advance() can np.repeat the per-task
         # rate·dt gains instead of looping a segment assignment per task
         self._seg_cache: Optional[tuple[list[str], np.ndarray, np.ndarray]] = None
+        # packed per-slot protection flags for the arena-fast masked scans;
+        # rebuilt by refresh_protection() at the top of every fast tick and
+        # invalidated whenever the slot table changes
+        self._prot_slots: Optional[np.ndarray] = None
         self._alloc_arrays(0)
         #: cumulative obs rollups (cheap ints; emitted when telemetry is on)
         self.cells_advanced = 0
@@ -262,6 +280,7 @@ class NodeArena:
         self._tasks[ps.owner] = entry
         self._slots[slot] = entry
         self._seg_cache = None
+        self._prot_slots = None
         ps._bind_arena_views(self, start)
 
     def release(self, ps: "PageSet") -> None:
@@ -282,6 +301,7 @@ class NodeArena:
         self._slots[entry.slot] = None
         self._free_slots.append(entry.slot)
         self._seg_cache = None
+        self._prot_slots = None
         self._release_segment(start, entry.n)
 
     def entries(self) -> Iterable[_TaskEntry]:
@@ -297,6 +317,37 @@ class NodeArena:
         for entry in self._tasks.values():
             out[entry.slot] = entry.chunk_size
         return out
+
+    def min_chunk_size(self) -> int:
+        """Smallest chunk size across adopted tasks (0 with no tasks) —
+        the conservative divisor for byte→chunk candidate caps on nodes
+        with mixed chunk sizes."""
+        return min((e.chunk_size for e in self._tasks.values()), default=0)
+
+    def chunk_cost(self, positions: np.ndarray) -> np.ndarray:
+        """``int64`` byte cost per arena position (each owner's chunk
+        size), the term every byte-budgeted prefix cut integrates."""
+        if positions.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        return self._chunk_sizes()[self.task_id[positions]]
+
+    def owner_chunk_counts(self, positions: np.ndarray) -> list[tuple[str, int]]:
+        """Per-owner chunk counts for ``positions`` (registration order) —
+        how batched moves fan back out to per-task fault accounting."""
+        if positions.size == 0:
+            return []
+        counts = np.bincount(self.task_id[positions], minlength=len(self._slots))
+        return [(e.owner, int(counts[e.slot])) for e in self._tasks.values() if counts[e.slot]]
+
+    def refresh_protection(self, classify: Callable[[str], bool]) -> None:
+        """Rebuild the packed per-slot protection column the arena-fast
+        masked scans honour.  Runs once per fast tick (O(tasks)), so the
+        per-chunk scans never call back into Python per candidate."""
+        prot = np.zeros(max(1, len(self._slots)), dtype=bool)
+        for entry in self._tasks.values():
+            if classify(entry.owner):
+                prot[entry.slot] = True
+        self._prot_slots = prot
 
     def _rate_segments(self) -> tuple[list[str], np.ndarray, np.ndarray]:
         """Run-length map of ``[0, hi)`` for the advance kernel: ``owners``
@@ -472,9 +523,26 @@ class NodeArena:
         :func:`_top_k_by_temp_rank`.  Returns ``(pageset, local_indices)``
         in first-appearance order with chunks in selection order.
         """
+        return self._group_in_order(
+            self.select_victim_positions(
+                tier, need_chunks, classify, protect_owner=protect_owner
+            )
+        )
+
+    def select_victim_positions(
+        self,
+        tier: TierKind,
+        need_chunks: int,
+        classify: Callable[[str], bool],
+        *,
+        protect_owner: Optional[str] = None,
+    ) -> np.ndarray:
+        """:meth:`select_victims` before grouping: raw arena positions in
+        selection order — the form the arena-fast batched demotion path
+        consumes directly."""
         hi = self.hi
         if hi == 0 or need_chunks <= 0 or not self._tasks:
-            return []
+            return _EMPTY_IDX
         elig = self.tier[:hi] == int(tier)
         elig &= ~self.pinned[:hi]
         n_slots = len(self._slots)
@@ -486,7 +554,7 @@ class NodeArena:
                 prot_tab[entry.slot] = True
         cand = np.flatnonzero(elig)
         if cand.size == 0:
-            return []
+            return _EMPTY_IDX
         self.kernel_invocations += 1
         if obs.enabled():
             obs.counter("arena.cells_scanned", hi, node=self.node_id, kernel="select_victims")
@@ -502,7 +570,7 @@ class NodeArena:
                     temp, rank, prot, min(need_chunks - chosen.size, prot.size)
                 )
                 chosen = np.concatenate([chosen, extra])
-        return self._group_in_order(chosen)
+        return chosen
 
     def _group_in_order(self, chosen: np.ndarray) -> list[tuple["PageSet", np.ndarray]]:
         """Group selected arena positions by owner (first-appearance order),
@@ -597,6 +665,125 @@ class NodeArena:
             local = np.unique(allpos[all_tids == slot] - entry.start)
             out.append((entry.ps, local.astype(np.int64)))
         return out
+
+    # ------------------------------------------------------------------ #
+    # kernels: cross-task candidate scans + batch commits (arena-fast)
+    #
+    # The exact backends must interleave candidate scans with migrations
+    # (mid-pass moves feed later scans), which forces a Python loop per
+    # task.  These kernels instead select candidates for *all* tasks from
+    # one pre-pass snapshot per tier and commit moves in one vectorised
+    # pass — the relaxed arena-fast contract.
+    # ------------------------------------------------------------------ #
+    def hot_by_tier(
+        self,
+        tier: TierKind,
+        max_chunks: int,
+        *,
+        min_temperature: Optional[float] = None,
+    ) -> np.ndarray:
+        """Up to ``max_chunks`` arena positions resident in ``tier``,
+        hottest first (ties by registration order then chunk index),
+        across every adopted task in one masked scan."""
+        hi = self.hi
+        if hi == 0 or max_chunks <= 0 or not self._tasks:
+            return _EMPTY_IDX
+        mask = self.tier[:hi] == int(tier)
+        if not mask.any():
+            return _EMPTY_IDX
+        temp = self.temperature[:hi]
+        if min_temperature is not None:
+            mask &= temp >= min_temperature
+        cand = np.flatnonzero(mask)
+        if cand.size == 0:
+            return cand
+        self.kernel_invocations += 1
+        if obs.enabled():
+            obs.counter("arena.cells_scanned", hi, node=self.node_id, kernel="hot_by_tier")
+        return _top_k_by_temp_rank(-temp, self.rank[:hi], cand, min(max_chunks, cand.size))
+
+    def cold_by_tier(
+        self,
+        tier: TierKind,
+        max_chunks: int,
+        *,
+        max_temperature: Optional[float] = None,
+        skip_protected: bool = False,
+        protect_owner: Optional[str] = None,
+        include_pinned: bool = False,
+    ) -> np.ndarray:
+        """Up to ``max_chunks`` arena positions resident in ``tier``,
+        coldest first across every adopted task.  ``skip_protected``
+        honours the packed per-slot protection column (which
+        :meth:`refresh_protection` must have rebuilt this tick)."""
+        hi = self.hi
+        if hi == 0 or max_chunks <= 0 or not self._tasks:
+            return _EMPTY_IDX
+        mask = self.tier[:hi] == int(tier)
+        if not mask.any():
+            return _EMPTY_IDX
+        if not include_pinned:
+            mask &= ~self.pinned[:hi]
+        temp = self.temperature[:hi]
+        if max_temperature is not None:
+            mask &= temp <= max_temperature
+        if protect_owner is not None:
+            entry = self._tasks.get(protect_owner)
+            if entry is not None:
+                mask[entry.start : entry.start + entry.n] = False
+        cand = np.flatnonzero(mask)
+        if skip_protected and cand.size:
+            prot = self._prot_slots
+            require(prot is not None, "refresh_protection() must run before protected scans")
+            cand = cand[~prot[self.task_id[cand]]]
+        if cand.size == 0:
+            return cand
+        self.kernel_invocations += 1
+        if obs.enabled():
+            obs.counter("arena.cells_scanned", hi, node=self.node_id, kernel="cold_by_tier")
+        return _top_k_by_temp_rank(temp, self.rank[:hi], cand, min(max_chunks, cand.size))
+
+    def migrate_batch(self, positions: np.ndarray, dst: TierKind) -> tuple[np.ndarray, int, int]:
+        """Commit tier moves for ``positions`` (all mapped, none already in
+        ``dst``) in one vectorised pass.  Returns ``(bytes_per_src,
+        shadow_chunks_dropped, shadow_bytes_dropped)`` so the caller
+        (:meth:`NodeMemorySystem.migrate_positions`) can settle the
+        used/free/page-cache counters and invariant deltas without looping
+        per chunk range.  Shadows drop only on arrival in DRAM (the
+        authoritative copy is byte-addressable again)."""
+        csizes = self._chunk_sizes()
+        comp = (
+            self.task_id[positions].astype(np.int64) * NUM_TIERS
+            + self.tier[positions].astype(np.int64)
+        )
+        counts = np.bincount(comp, minlength=csizes.size * NUM_TIERS)
+        bytes_per_src = (counts.reshape(csizes.size, NUM_TIERS) * csizes[:, None]).sum(axis=0)
+        sh_chunks = 0
+        sh_bytes = 0
+        if dst == DRAM:
+            shadowed = positions[self.in_page_cache[positions]]
+            if shadowed.size:
+                self.in_page_cache[shadowed] = False
+                sh_chunks = int(shadowed.size)
+                sh_bytes = int(csizes[self.task_id[shadowed]].sum())
+        self.tier[positions] = np.int8(int(dst))
+        self.kernel_invocations += 1
+        return bytes_per_src, sh_chunks, sh_bytes
+
+    def shadow_batch(self, positions: np.ndarray, room_bytes: int) -> tuple[np.ndarray, int]:
+        """Mark page-cache shadow copies for the not-yet-shadowed prefix of
+        ``positions`` that fits in ``room_bytes`` of free DRAM.  Returns
+        ``(taken_positions, nbytes)``."""
+        fresh = positions[~self.in_page_cache[positions]]
+        if fresh.size == 0 or room_bytes <= 0:
+            return fresh[:0], 0
+        cum = np.cumsum(self.chunk_cost(fresh))
+        take = fresh[: int(np.searchsorted(cum, room_bytes, side="right"))]
+        if take.size == 0:
+            return take, 0
+        self.in_page_cache[take] = True
+        self.kernel_invocations += 1
+        return take, int(cum[take.size - 1])
 
     # ------------------------------------------------------------------ #
     # kernel: tier reductions

@@ -85,9 +85,11 @@ class EnvironmentConfig:
     #: override the policy entirely (Fig. 7 allocation-policy comparison)
     policy_factory: Optional[Callable[[dict[TierKind, TierSpec]], MemoryPolicy]] = None
     validate_invariants: bool = False
-    #: simulation-core backend: "object" | "arena" | None (= $REPRO_CORE).
-    #: Deliberately NOT part of ScenarioSpec — scenario digests must be
-    #: backend-invariant (both backends produce identical results).
+    #: simulation-core backend: "object" | "arena" | "arena-fast" | None
+    #: (= $REPRO_CORE).  Deliberately NOT part of ScenarioSpec — scenario
+    #: digests must be backend-invariant ("object" and "arena" produce
+    #: byte-identical results; "arena-fast" is statistically equivalent,
+    #: see docs/performance.md).
     core_backend: Optional[str] = None
 
     def __post_init__(self) -> None:

@@ -24,10 +24,12 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+# the bit-exact equivalence suite covers the exact backends only;
+# arena-fast's statistical contract is pinned in test_arena_fast.py
 from repro.core.arena import (
     BACKEND_ARENA,
     BACKEND_OBJECT,
-    BACKENDS,
+    EXACT_BACKENDS as BACKENDS,
     resolve_backend,
 )
 from repro.core.flags import MemFlag
@@ -267,8 +269,8 @@ def metrics_fingerprint(m):
     ]
 
 
-def run_small_batch(backend, kind, policy_factory=None, faults=None):
-    """One small cluster run under ``backend``; returns a metric fingerprint."""
+def run_small_metrics(backend, kind, policy_factory=None, faults=None):
+    """One small cluster run under ``backend``; returns the full registry."""
     from repro.experiments.common import build_env
 
     specs = paper_batch(12, scale=1 / 128, rng_factory=RngFactory(5))
@@ -288,7 +290,12 @@ def run_small_batch(backend, kind, policy_factory=None, faults=None):
             os.environ.pop("REPRO_CORE", None)
         else:
             os.environ["REPRO_CORE"] = saved
-    return metrics_fingerprint(metrics)
+    return metrics
+
+
+def run_small_batch(backend, kind, policy_factory=None, faults=None):
+    """One small cluster run under ``backend``; returns a metric fingerprint."""
+    return metrics_fingerprint(run_small_metrics(backend, kind, policy_factory, faults))
 
 
 ENV_CASES = [

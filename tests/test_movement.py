@@ -96,6 +96,81 @@ class TestTierPromotion:
         assert warm.bytes_in(DRAM) == 0
 
 
+@pytest.mark.requires_bit_exact
+class TestPullUpPartialFill:
+    """`_pull_up` fills DRAM→CXL→PMem in the caller's candidate order and
+    reports exactly the chunks it moved.  These pin the exact path
+    chunk-for-chunk, hence the marker: arena-fast's batched pull-up is
+    held to the statistical contract instead."""
+
+    def make_swapped(self, n_mib=4, **spec_kw):
+        node, ctx, movement = setup(**spec_kw)
+        ps = make_pageset(node, "a", MiB(n_mib))
+        node.place(ps, np.arange(ps.n_chunks), SWAP)
+        return node, ctx, movement, ps
+
+    def test_spills_to_pmem_in_candidate_order(self):
+        # DRAM and CXL hold 16 chunks each; the 64-chunk promotion set
+        # must overflow the remainder into PMem, preserving order.
+        node, ctx, movement, ps = self.make_swapped(
+            dram=MiB(1), cxl=MiB(1), pmem=MiB(8)
+        )
+        idx = np.arange(ps.n_chunks)
+        moved = movement._pull_up(ctx, ps, idx)
+        assert np.array_equal(moved, idx)  # everything fit somewhere
+        assert set(np.flatnonzero(ps.tier == int(DRAM))) == set(range(0, 16))
+        assert set(np.flatnonzero(ps.tier == int(CXL))) == set(range(16, 32))
+        assert set(np.flatnonzero(ps.tier == int(PMEM))) == set(range(32, 64))
+        node.validate()
+
+    def test_moved_subset_is_exact_when_all_tiers_fill(self):
+        node, ctx, movement, ps = self.make_swapped(
+            dram=MiB(1), cxl=MiB(1), pmem=MiB(1)
+        )
+        idx = np.arange(ps.n_chunks)
+        moved = movement._pull_up(ctx, ps, idx)
+        # 48 chunks of room total: the moved array is exactly the first
+        # 48 candidates, in order, and the tail stays swapped out.
+        assert np.array_equal(moved, idx[:48])
+        assert set(np.flatnonzero(ps.tier == int(SWAP))) == set(range(48, 64))
+        node.validate()
+
+    def test_candidate_order_wins_over_index_order(self):
+        # The promotion loop hands `_pull_up` a hotness-ranked candidate
+        # list; the fill must honor that ranking, not chunk index.
+        node, ctx, movement, ps = self.make_swapped(
+            dram=MiB(1), cxl=MiB(1), pmem=MiB(8)
+        )
+        idx = np.arange(ps.n_chunks)[::-1].copy()  # hottest = highest index
+        moved = movement._pull_up(ctx, ps, idx)
+        assert np.array_equal(moved, idx)
+        assert set(np.flatnonzero(ps.tier == int(DRAM))) == set(range(48, 64))
+        assert set(np.flatnonzero(ps.tier == int(CXL))) == set(range(32, 48))
+        node.validate()
+
+    def test_tick_spill_reaches_pmem_in_rank_order(self):
+        # End-to-end: a swap-promotion tick whose hot set exceeds
+        # DRAM+CXL room spills the coolest promoted chunks to PMem.
+        # watermarks at 1.0 so the exactly-full DRAM this ends with does
+        # not trip reactive replacement; temps sit between the promote
+        # and exchange bars so pass 2 leaves the placement alone
+        node, ctx, movement = setup(
+            dram=MiB(1), cxl=MiB(1), pmem=MiB(8),
+            config=MovementConfig(
+                high_watermark=1.0, low_watermark=1.0, exchange_threshold=0.95
+            ),
+        )
+        ps = make_pageset(node, "a", MiB(4))
+        node.place(ps, np.arange(ps.n_chunks), SWAP)
+        ps.temperature[:] = np.linspace(0.9, 0.5, ps.n_chunks)
+        movement.tick(ctx, promote_budget_bytes=MiB(4))
+        assert set(np.flatnonzero(ps.tier == int(DRAM))) == set(range(0, 16))
+        assert set(np.flatnonzero(ps.tier == int(CXL))) == set(range(16, 32))
+        assert set(np.flatnonzero(ps.tier == int(PMEM))) == set(range(32, 64))
+        assert not (ps.tier == int(SWAP)).any()
+        node.validate()
+
+
 class TestProactiveSwap:
     def test_cold_unprotected_pages_move_to_cxl_with_shadows(self):
         node, ctx, movement = setup(
@@ -143,10 +218,53 @@ class TestCompaction:
     def test_compaction_recorded_after_big_proactive_pass(self):
         node, ctx, movement = setup(
             config=MovementConfig(
-                proactive_threshold=0.5, proactive_target=0.1, compaction_min_chunks=2
+                proactive_threshold=0.5, proactive_target=0.1,
+                compaction_min_bytes=2 * CHUNK,
             )
         )
         ps = make_pageset(node, "a", MiB(3))
         node.place(ps, np.arange(ps.n_chunks), DRAM)
         movement.tick(ctx, promote_budget_bytes=0)
         assert node.stats.compactions >= 1
+
+    def test_below_byte_threshold_no_compaction(self):
+        node, ctx, movement = setup(
+            config=MovementConfig(
+                proactive_threshold=0.5, proactive_target=0.1,
+                compaction_min_bytes=MiB(64),
+            )
+        )
+        ps = make_pageset(node, "a", MiB(3))
+        node.place(ps, np.arange(ps.n_chunks), DRAM)
+        movement.tick(ctx, promote_budget_bytes=0)
+        assert node.stats.compactions == 0
+
+    def test_deprecated_chunk_alias_scales_by_default_chunk_size(self):
+        from repro.memory.pageset import DEFAULT_CHUNK_SIZE
+
+        cfg = MovementConfig(compaction_min_chunks=3)
+        assert cfg.compaction_min_bytes == 3 * DEFAULT_CHUNK_SIZE
+        # an explicit byte threshold wins over the alias
+        cfg = MovementConfig(compaction_min_chunks=3, compaction_min_bytes=123456)
+        assert cfg.compaction_min_bytes == 123456
+
+    def test_threshold_is_bytes_not_an_arbitrary_pagesets_chunks(self):
+        """Mixed chunk sizes on one node: the trigger must compare bytes
+        freed against bytes, not against `chunks * first-pageset-chunk`
+        (which made the threshold depend on registration order)."""
+        node, ctx, movement = setup(
+            config=MovementConfig(
+                proactive_threshold=0.5, proactive_target=0.1,
+                compaction_min_bytes=MiB(2),
+            )
+        )
+        # a tiny-chunk pageset registers first; the old trigger read ITS
+        # chunk size, so `2 chunks` meant 2*16KiB even though the big
+        # pageset does all the freeing
+        tiny = make_pageset(node, "tiny", CHUNK, chunk_size=CHUNK // 4)
+        node.place(tiny, np.arange(tiny.n_chunks), CXL)
+        big = make_pageset(node, "big", MiB(3))
+        node.place(big, np.arange(big.n_chunks), DRAM)
+        movement.tick(ctx, promote_budget_bytes=0)
+        assert node.stats.compactions >= 1
+        node.validate()
