@@ -224,6 +224,35 @@ class Environment:
         self.scheduler.run_to_completion(max_time=max_time)
         return self.metrics
 
+    def serve(
+        self,
+        service,
+        *,
+        scale: float,
+        seed: int = 0,
+        scenario: str = "service",
+        background: Sequence[TaskSpec] = (),
+        bg_arrivals: Optional[Sequence[float]] = None,
+        max_time: float = 1e9,
+    ):
+        """Open-loop *service* run: drive a
+        :class:`~repro.service.spec.ServiceSpec` arrival stream against
+        this cluster and return its
+        :class:`~repro.service.metrics.ServiceReport` (lazy import: the
+        service layer sits above this module)."""
+        from ..service.run import serve as _serve
+
+        return _serve(
+            self,
+            service,
+            scale=scale,
+            seed=seed,
+            scenario=scenario,
+            background=background,
+            bg_arrivals=bg_arrivals,
+            max_time=max_time,
+        )
+
     def inject_faults(
         self, schedule, *, seed: int = 0, interval: float = 1.0, tracer=None
     ):

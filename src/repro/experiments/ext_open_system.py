@@ -5,17 +5,23 @@ as a Poisson stream on a node already hosting long capacity/bandwidth
 jobs.  As the offered rate grows, the constrained baseline's turnaround
 explodes (each arrival triggers reclaim into an already-thrashing node)
 while IMME absorbs the stream — the §IV-D4 "reduced startup + execution
-time at scale" effect, viewed open-loop.  The arrival process lives in
-the scenario's workload spec (``open-system`` source), so each
-(environment, rate) point is one registered scenario.
+time at scale" effect, viewed open-loop.
+
+Each (environment, rate) point is one registered *service* scenario: the
+arrival stream runs through :mod:`repro.service` (one pending arrival
+event, admission hooks, windowed report) and the cell condenses the
+report's DM turnaround distribution.  A cell where no DM task completed
+reports NaN — never a fake 0.0 mean — and the summary note masks NaN
+points instead of dividing by them.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import math
+from typing import TYPE_CHECKING, Tuple
 
 from ..envs.environments import EnvKind
-from ..scenarios.build import realize
+from ..scenarios.build import run_service
 from ..scenarios.paper import ext_open_system_family
 from ..scenarios.spec import ScenarioSpec
 from .common import CHUNK, SCALE, FigureResult, SweepSpec, family_provenance, sweep
@@ -26,11 +32,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["run_open_system"]
 
 
-def _open_system_cell(scenario: ScenarioSpec) -> float:
-    """Mean DM turnaround (s) for one (environment, offered rate)."""
-    metrics = realize(scenario).execute()
-    dm_turnaround = [t.turnaround for t in metrics.completed() if t.wclass == "DM"]
-    return sum(dm_turnaround) / max(1, len(dm_turnaround))
+def _open_system_cell(scenario: ScenarioSpec) -> Tuple[float, float]:
+    """(mean, p95) DM turnaround (s) for one (environment, offered rate);
+    (NaN, NaN) when no DM task completed."""
+    report = run_service(scenario)
+    try:
+        dm = report.latency("DM")
+    except KeyError:
+        return (math.nan, math.nan)
+    return (dm.mean, dm.p95)
 
 
 def run_open_system(
@@ -53,8 +63,8 @@ def run_open_system(
     result = FigureResult(
         figure="ext-open-system",
         description=(
-            f"Open system: {stream_length} DM arrivals (Poisson) over busy "
-            "background jobs — mean DM turnaround (s) vs offered rate"
+            f"Open system: {stream_length} DM arrivals (Poisson, service "
+            "mode) over busy background jobs — DM turnaround (s) vs offered rate"
         ),
         xlabels=[f"{r:.2f}/s" for r in rates],
         provenance=family_provenance(family, seed),
@@ -64,15 +74,28 @@ def run_open_system(
         spec.add_scenario(_open_system_cell, scenario)
     cells = sweep(spec, jobs=jobs, cache=cache)
     for kind in (EnvKind.CBE, EnvKind.IMME):
-        result.add_series(
-            kind.name, [cells[f"{kind.name}:{rate:.2f}"] for rate in rates]
+        points = [cells[f"{kind.name}:{rate:.2f}"] for rate in rates]
+        result.add_series(kind.name, [mean for mean, _ in points])
+        result.add_series(f"{kind.name} p95", [p95 for _, p95 in points])
+    ratios = [
+        c / i
+        for c, i in zip(result.series["CBE"], result.series["IMME"])
+        if math.isfinite(c) and math.isfinite(i) and i > 0
+    ]
+    if ratios:
+        result.notes.append(
+            f"CBE's DM turnaround is up to {max(ratios):.1f}x IMME's under the stream"
         )
-    worst = max(
-        c / i for c, i in zip(result.series["CBE"], result.series["IMME"])
-    )
-    result.notes.append(
-        f"CBE's DM turnaround is up to {worst:.1f}x IMME's under the stream"
-    )
+    else:
+        result.notes.append("no rate produced DM completions in both environments")
+    empty = [
+        f"{kind.name}:{rate:.2f}"
+        for kind in (EnvKind.CBE, EnvKind.IMME)
+        for rate in rates
+        if not math.isfinite(cells[f"{kind.name}:{rate:.2f}"][0])
+    ]
+    if empty:
+        result.notes.append(f"cells with no DM completions (NaN): {', '.join(empty)}")
     return result
 
 

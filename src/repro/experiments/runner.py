@@ -65,6 +65,7 @@ from .ext_open_system import run_open_system
 from .ext_predictor import run_predictor_learning
 from .ext_resilience import run_resilience
 from .ext_shared_inputs import run_shared_inputs
+from .ext_steady_state import run_steady_state
 from .ext_utilization import run_utilization
 from .fig10_scalability import run_fig10
 from .ablations import run_ablations
@@ -88,6 +89,7 @@ ALL_EXPERIMENTS: dict[str, Callable[[], FigureResult]] = {
     "ext-failures": run_failures,
     "ext-resilience": run_resilience,
     "ext-open-system": run_open_system,
+    "ext-steady-state": run_steady_state,
     "ext-colocation": run_colocation,
     "ext-predictor": run_predictor_learning,
     "ext-decomposition": run_decomposition,

@@ -205,8 +205,10 @@ class MetricsRegistry:
     # percentile aggregates
     # ------------------------------------------------------------------ #
     #: the latency metrics summarised by :meth:`percentiles` and
-    #: :meth:`to_table` — name → per-task accessor
-    LATENCY_METRICS = ("queue_wait", "startup_time", "execution_time")
+    #: :meth:`to_table` — name → per-task accessor.  ``turnaround``
+    #: (submission to finish) is the service layer's headline metric;
+    #: batch outcomes report the same tails so the two modes compare.
+    LATENCY_METRICS = ("queue_wait", "startup_time", "execution_time", "turnaround")
     #: reported quantiles (tail behaviour, not just means — §IV-B studies
     #: interference, which shows up in the tail first)
     QUANTILES = (50.0, 95.0, 99.0)

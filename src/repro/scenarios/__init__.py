@@ -19,6 +19,8 @@ from .build import (
     environment_for_tasks,
     realize,
     run_scenario,
+    run_service,
+    service_sizing_tasks,
 )
 from .policies import POLICY_FACTORIES, policy_names, resolve_policy
 from .registry import REGISTRY, ScenarioRegistry, family, register_family, scenario
@@ -75,7 +77,9 @@ __all__ = [
     "register_family",
     "resolve_policy",
     "run_scenario",
+    "run_service",
     "scenario",
+    "service_sizing_tasks",
     "to_json",
     "to_mapping",
     "to_toml",

@@ -28,6 +28,10 @@ from ..envs.environments import EnvKind, Environment, EnvironmentConfig
 from ..faults.spec import FaultKind, FaultSchedule, FaultSpec
 from ..memory.tiers import PMEM, scaled_tier_capacities
 from ..metrics.collector import MetricsRegistry
+from ..service.metrics import ServiceReport
+from ..service.run import serve
+from ..service.stream import TaskStream
+from ..util.validation import require
 from ..workflows.task import TaskSpec
 from .policies import resolve_policy
 from .spec import ScenarioSpec
@@ -42,6 +46,8 @@ __all__ = [
     "environment_for_tasks",
     "realize",
     "run_scenario",
+    "run_service",
+    "service_sizing_tasks",
     "workload_totals",
 ]
 
@@ -183,6 +189,47 @@ class RealizedScenario:
         self.env.stop()
         return metrics
 
+    def serve(self) -> ServiceReport:
+        """Drive the scenario as an open-loop service and stop.
+
+        The scenario's workload (if any) becomes the *background*: its
+        tasks are submitted at their batch/arrival times while the
+        service stream arrives on top.
+        """
+        require(
+            self.spec.service is not None,
+            f"scenario {self.spec.name!r} has no service section",
+        )
+        report = serve(
+            self.env,
+            self.spec.service,
+            scale=self.spec.workload.scale,
+            seed=self.spec.seed,
+            scenario=self.spec.name,
+            background=self.tasks,
+            bg_arrivals=self.arrivals,
+            max_time=self.spec.max_time,
+        )
+        self.env.stop()
+        return report
+
+
+def service_sizing_tasks(spec: ScenarioSpec) -> List[TaskSpec]:
+    """Representative resident set for sizing a *service* scenario's tiers.
+
+    An open-loop stream has no fixed task list to size against, so the
+    tiers are provisioned for the background workload plus
+    ``sizing_copies`` (a service param, default 8) concurrently-resident
+    copies of each stream class's base task.  Raising ``sizing_copies``
+    provisions for a deeper resident set; lowering it makes the memory
+    pressure the experiment's independent variable.
+    """
+    svc = spec.service
+    require(svc is not None, "service_sizing_tasks needs a service scenario")
+    copies = int(svc.param("sizing_copies", 8))
+    bases = TaskStream(svc.classes, spec.workload.scale, spec.seed).bases()
+    return [base for base in bases for _ in range(max(1, copies))]
+
 
 def realize(
     spec: ScenarioSpec, *, policy_factory: Optional[Callable] = None
@@ -190,7 +237,10 @@ def realize(
     """Build the workload and environment for ``spec`` without running it."""
     with obs.span("scenario.realize", scenario=spec.name, seed=spec.seed):
         tasks, arrivals = build_workload(spec.workload, spec.seed)
-        env = environment_for_tasks(spec, tasks, policy_factory=policy_factory)
+        sizing_tasks = list(tasks)
+        if spec.service is not None:
+            sizing_tasks.extend(service_sizing_tasks(spec))
+        env = environment_for_tasks(spec, sizing_tasks, policy_factory=policy_factory)
     return RealizedScenario(spec=spec, env=env, tasks=tasks, arrivals=arrivals)
 
 
@@ -223,6 +273,18 @@ class ScenarioOutcome:
             if name == metric:
                 return {50: p50, 95: p95, 99: p99}[q]
         return 0.0
+
+
+def run_service(spec: ScenarioSpec) -> ServiceReport:
+    """Realize and serve one service scenario (the service CLI's work unit).
+
+    Hermetic and picklable, like :func:`run_scenario`: safe as a sweep
+    cell in any worker process, and the returned
+    :class:`~repro.service.metrics.ServiceReport` rides the result-cache
+    codec unchanged.
+    """
+    require(spec.service is not None, f"scenario {spec.name!r} has no service section")
+    return realize(spec).serve()
 
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:

@@ -10,6 +10,10 @@ Subcommands:
   ``journal.jsonl`` next to the cache, resumable after a kill with
   ``--resume``, retried/quarantined via ``--retries``/``--cell-timeout``,
   and checkable with ``--check-invariants``,
+* ``serve <name-or-file>`` — drive *service* scenarios (those with a
+  ``[service]`` section) as open-loop steady-state runs and print their
+  windowed reports; ``run --service`` is the same thing.  Shares the
+  whole supervised-run machinery with ``run``,
 * ``verify`` — round-trip every registered scenario through both
   interchange forms (the CI gate).
 """
@@ -21,7 +25,8 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from ..metrics.report import format_table
-from .build import ScenarioOutcome, run_scenario
+from ..service.metrics import ServiceReport
+from .build import ScenarioOutcome, run_scenario, run_service
 from .registry import REGISTRY, _ensure_catalog
 from .serialization import load_scenario, to_toml
 from .spec import ScenarioSpec
@@ -55,6 +60,10 @@ def _run_one(spec: ScenarioSpec) -> ScenarioOutcome:
     return run_scenario(spec)
 
 
+def _serve_one(spec: ScenarioSpec) -> ServiceReport:
+    return run_service(spec)
+
+
 def _scenario_cell_key(spec: ScenarioSpec):
     """Cache key for one scenario run (``None`` → always live)."""
     from ..cache.keys import CacheKeyError, cell_keys
@@ -63,6 +72,19 @@ def _scenario_cell_key(spec: ScenarioSpec):
         return cell_keys(
             _run_one, {}, seed=spec.seed,
             extra={"scenario_run": spec.name}, scenario=spec,
+        )
+    except CacheKeyError:  # pragma: no cover - specs are canonical
+        return None
+
+
+def _service_cell_key(spec: ScenarioSpec):
+    """Cache key for one service run (``None`` → always live)."""
+    from ..cache.keys import CacheKeyError, cell_keys
+
+    try:
+        return cell_keys(
+            _serve_one, {}, seed=spec.seed,
+            extra={"scenario_serve": spec.name}, scenario=spec,
         )
     except CacheKeyError:  # pragma: no cover - specs are canonical
         return None
@@ -82,7 +104,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         supervised_map,
     )
 
+    service_mode = bool(getattr(args, "service", False))
     specs = _resolve(args.ref)
+    if service_mode:
+        missing = [s.name for s in specs if s.service is None]
+        if missing:
+            raise SystemExit(
+                f"error: not service scenarios (no [service] section): {missing}"
+            )
+        cell_fn, cell_key = _serve_one, _service_cell_key
+    else:
+        cell_fn, cell_key = _run_one, _scenario_cell_key
     keys = [spec.name for spec in specs]
     cache = None
     if not args.no_cache:
@@ -101,7 +133,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.check_invariants:
             stack.enter_context(_invariants.session(InvariantChecker()))
         journal = None
-        resumed: dict[str, ScenarioOutcome] = {}
+        resumed: dict[str, object] = {}
         run_specs, run_keys = list(specs), list(keys)
         if cache is not None:
             jpath = journal_path(cache.root)
@@ -110,7 +142,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 run_specs, run_keys = [], []
                 for spec, key in zip(specs, keys):
                     hit, value = (
-                        cache.get(_scenario_cell_key(spec))
+                        cache.get(cell_key(spec))
                         if key in committed
                         else (False, None)
                     )
@@ -126,7 +158,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             for key in resumed:
                 journal.cell_committed(key, cached=True)
         sup = supervised_map(
-            _run_one,
+            cell_fn,
             run_specs,
             keys=run_keys,
             jobs=args.jobs,
@@ -134,7 +166,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             retry=RetryPolicy(max_attempts=max(1, args.retries)),
             journal=journal,
             cache=cache,
-            cache_key=_scenario_cell_key,
+            cache_key=cell_key,
         )
         if journal is not None:
             journal.run_completed(failures=len(sup.failures))
@@ -144,23 +176,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if key not in failed:
             by_key[key] = outcome
     outcomes = [by_key[key] for key in keys if key in by_key]
-    rows = []
-    for out in outcomes:
-        rows.append(
-            [out.scenario, out.makespan, float(out.completed), float(out.failed),
-             out.mean_startup, out.percentile("execution_time", 50),
-             out.percentile("execution_time", 95), out.percentile("execution_time", 99)]
+    if service_mode:
+        _print_service_reports(args, specs, outcomes)
+    else:
+        rows = []
+        for out in outcomes:
+            rows.append(
+                [out.scenario, out.makespan, float(out.completed), float(out.failed),
+                 out.mean_startup, out.percentile("execution_time", 50),
+                 out.percentile("execution_time", 95), out.percentile("execution_time", 99)]
+            )
+        print(
+            format_table(
+                ["scenario", "makespan (s)", "completed", "failed", "mean startup (s)",
+                 "exec p50", "exec p95", "exec p99"],
+                rows,
+                title=f"{args.ref}: {len(specs)} scenario(s)",
+            )
         )
-    print(
-        format_table(
-            ["scenario", "makespan (s)", "completed", "failed", "mean startup (s)",
-             "exec p50", "exec p95", "exec p99"],
-            rows,
-            title=f"{args.ref}: {len(specs)} scenario(s)",
-        )
-    )
-    for out in outcomes:
-        print(f"  {out.scenario}: digest={out.digest[:12]} seed={out.seed}")
+        for out in outcomes:
+            print(f"  {out.scenario}: digest={out.digest[:12]} seed={out.seed}")
     if args.telemetry:
         paths = obs.write_run_dir(telemetry.snapshot(), args.telemetry)
         print(f"telemetry: {paths['run']} (trace: {paths['trace']})")
@@ -169,6 +204,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: {len(sup.failures)} scenario(s) quarantined")
         return 1
     return 0
+
+
+def _print_service_reports(
+    args: argparse.Namespace,
+    specs: Sequence[ScenarioSpec],
+    reports: Sequence[ServiceReport],
+) -> None:
+    rows = []
+    for rep in reports:
+        rows.append(
+            [rep.scenario, float(len(rep.windows)), float(rep.warmup_windows),
+             float(rep.offered), float(rep.rejected), float(rep.completed),
+             rep.steady_utilization, rep.steady_queue_depth,
+             rep.steady_throughput * 3600.0]
+        )
+    print(
+        format_table(
+            ["scenario", "windows", "warmup", "offered", "rejected", "completed",
+             "util", "queue", "done/h"],
+            rows,
+            title=f"{args.ref}: {len(specs)} service scenario(s)",
+        )
+    )
+    for rep in reports:
+        conv = "converged" if rep.converged else "NOT converged"
+        print(f"  {rep.scenario}: seed={rep.seed} {conv}")
+        for cl in rep.class_latency:
+            print(
+                f"    {cl.wclass}: n={cl.count} turnaround mean={cl.mean:.2f} "
+                f"p50={cl.p50:.2f} p95={cl.p95:.2f} p99={cl.p99:.2f}"
+            )
+    if getattr(args, "windows", False):
+        for rep in reports:
+            print()
+            print(rep.to_table())
 
 
 def _cmd_verify(_args: argparse.Namespace) -> int:
@@ -192,45 +262,67 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_show.add_argument("ref", help="scenario name (family/member) or spec file")
     p_show.set_defaults(fn=_cmd_show)
 
+    def _add_run_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("ref", help="family name, family/member, or .toml/.json path")
+        p.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes (1 = in-process, 0 = all cores)",
+        )
+        p.add_argument(
+            "--telemetry", metavar="DIR", default=None,
+            help="record spans/counters/events and write run.json, events.jsonl, "
+                 "trace.json (Perfetto), metrics.csv under DIR",
+        )
+        p.add_argument(
+            "--cache-dir", metavar="DIR", default=None,
+            help="result-cache location (default: $REPRO_CACHE_DIR or "
+                 "~/.cache/repro/cells)",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="run every scenario live, without the result cache",
+        )
+        p.add_argument(
+            "--resume", action="store_true",
+            help="replay journal.jsonl and skip scenarios already committed by "
+                 "an earlier (possibly killed) run",
+        )
+        p.add_argument(
+            "--retries", type=int, default=2, metavar="N",
+            help="attempts per scenario before quarantine (default 2)",
+        )
+        p.add_argument(
+            "--cell-timeout", type=float, default=None, metavar="SECONDS",
+            help="per-scenario wall-clock deadline; hung scenarios are killed "
+                 "and retried",
+        )
+        p.add_argument(
+            "--check-invariants", action="store_true",
+            help="assert runtime conservation invariants during the run",
+        )
+
     p_run = sub.add_parser("run", help="run a family, member, or spec file")
-    p_run.add_argument("ref", help="family name, family/member, or .toml/.json path")
+    _add_run_options(p_run)
     p_run.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes (1 = in-process, 0 = all cores)",
+        "--service", action="store_true",
+        help="drive the scenarios as open-loop services (requires a "
+             "[service] section; same as the 'serve' subcommand)",
     )
     p_run.add_argument(
-        "--telemetry", metavar="DIR", default=None,
-        help="record spans/counters/events and write run.json, events.jsonl, "
-             "trace.json (Perfetto), metrics.csv under DIR",
-    )
-    p_run.add_argument(
-        "--cache-dir", metavar="DIR", default=None,
-        help="result-cache location (default: $REPRO_CACHE_DIR or "
-             "~/.cache/repro/cells)",
-    )
-    p_run.add_argument(
-        "--no-cache", action="store_true",
-        help="run every scenario live, without the result cache",
-    )
-    p_run.add_argument(
-        "--resume", action="store_true",
-        help="replay journal.jsonl and skip scenarios already committed by "
-             "an earlier (possibly killed) run",
-    )
-    p_run.add_argument(
-        "--retries", type=int, default=2, metavar="N",
-        help="attempts per scenario before quarantine (default 2)",
-    )
-    p_run.add_argument(
-        "--cell-timeout", type=float, default=None, metavar="SECONDS",
-        help="per-scenario wall-clock deadline; hung scenarios are killed "
-             "and retried",
-    )
-    p_run.add_argument(
-        "--check-invariants", action="store_true",
-        help="assert runtime conservation invariants during the run",
+        "--windows", action="store_true",
+        help="with --service, print every report's full window table",
     )
     p_run.set_defaults(fn=_cmd_run)
+
+    p_serve = sub.add_parser(
+        "serve", help="run service scenarios as open-loop steady-state runs"
+    )
+    _add_run_options(p_serve)
+    p_serve.add_argument(
+        "--windows", action="store_true",
+        help="print every report's full window table",
+    )
+    p_serve.set_defaults(fn=_cmd_run, service=True)
 
     sub.add_parser(
         "verify", help="round-trip every registered scenario (CI gate)"

@@ -21,6 +21,7 @@ from typing import Mapping, Optional, Sequence, Tuple, Union
 
 from ..envs.environments import EnvKind
 from ..memory.tiers import CXL, DRAM, PMEM
+from ..service.spec import ServiceSpec
 from ..util.rng import RngFactory
 from ..util.units import MiB
 from ..workflows.ensembles import paper_batch
@@ -48,6 +49,7 @@ __all__ = [
     "ext_predictor_family",
     "ext_resilience_family",
     "ext_shared_inputs_family",
+    "ext_steady_state_family",
     "ext_utilization_family",
     "fig01_family",
     "fig05_family",
@@ -582,6 +584,10 @@ def ext_open_system_family(
     chunk_size: int = DEFAULT_CHUNK,
     seed: int = 0,
 ) -> ScenarioFamily:
+    """Open-system DM stream over busy background jobs — the first
+    consumer of the service layer: each member is a true open-loop run
+    (one pending arrival event, admission hooks, windowed report) rather
+    than a pre-materialized arrival list."""
     members = []
     for kind in (EnvKind.CBE, EnvKind.IMME):
         for rate in rates:
@@ -590,11 +596,19 @@ def ext_open_system_family(
                     f"ext-open-system/{kind.name}:{rate:.2f}",
                     kind,
                     workload=WorkloadSpec(
-                        source="open-system",
+                        source="service-background",
                         scale=scale,
-                        params=(("rate", rate), ("stream_length", stream_length)),
+                        instances_per_class=(("DL", 1), ("SC", 1)),
                     ),
                     sizing=TierSizing(dram_fraction=0.30),
+                    service=ServiceSpec(
+                        rate=rate,
+                        max_arrivals=stream_length,
+                        window=100.0,
+                        classes=(("DM", 1),),
+                        warmup="none",
+                        params=(("sizing_copies", 4), ("start", 5.0)),
+                    ),
                     chunk_size=chunk_size,
                     seed=seed,
                 )
@@ -602,6 +616,57 @@ def ext_open_system_family(
     return ScenarioFamily(
         name="ext-open-system",
         description="Open-system DM stream under increasing offered load",
+        scenarios=tuple(members),
+    )
+
+
+@register_family
+def ext_steady_state_family(
+    *,
+    scale: float = DEFAULT_SCALE,
+    rates: Tuple[float, ...] = (0.05, 0.10, 0.20, 0.40),
+    max_arrivals: int = 400,
+    window: float = 100.0,
+    sizing_copies: int = 6,
+    chunk_size: int = DEFAULT_CHUNK,
+    seed: int = 0,
+) -> ScenarioFamily:
+    """Steady-state service mode: baseline vs IMME under rising load.
+
+    Each member drives the cluster as an open-loop service — a DM-heavy
+    stream over a DL+SC background — until ``max_arrivals`` have been
+    offered, then reports post-warm-up windowed utilization, queue depth,
+    and per-class turnaround tails.  The tiers are provisioned for
+    ``sizing_copies`` resident stream tasks, so rising rates push the
+    constrained baseline into memory pressure the tiered IMME absorbs.
+    """
+    members = []
+    for kind in (EnvKind.CBE, EnvKind.IMME):
+        for rate in rates:
+            members.append(
+                ScenarioSpec(
+                    f"ext-steady-state/{kind.name}:{rate:.2f}",
+                    kind,
+                    workload=WorkloadSpec(
+                        source="service-background",
+                        scale=scale,
+                        instances_per_class=(("DL", 1), ("SC", 1)),
+                    ),
+                    sizing=TierSizing(dram_fraction=0.30),
+                    service=ServiceSpec(
+                        rate=rate,
+                        max_arrivals=max_arrivals,
+                        window=window,
+                        classes=(("DM", 3), ("DC", 1)),
+                        params=(("sizing_copies", sizing_copies),),
+                    ),
+                    chunk_size=chunk_size,
+                    seed=seed,
+                )
+            )
+    return ScenarioFamily(
+        name="ext-steady-state",
+        description="Open-loop service stream: steady-state windows under rising load",
         scenarios=tuple(members),
     )
 

@@ -26,6 +26,7 @@ from typing import Any, Mapping, Union
 from ..cache.codec import CodecError, decode, encode
 from ..util.errors import ReproError
 from ..envs.environments import EnvKind
+from ..service.spec import ServiceSpec
 from .spec import ScenarioSpec, TierSizing, WorkloadSpec
 
 __all__ = [
@@ -90,6 +91,10 @@ def to_mapping(spec: ScenarioSpec) -> dict[str, Any]:
         spec.workload, frozenset({"instances_per_class", "params"})
     )
     out["sizing"] = _dataclass_mapping(spec.sizing, frozenset())
+    if spec.service is not None:
+        out["service"] = _dataclass_mapping(
+            spec.service, frozenset({"classes", "params"})
+        )
     return out
 
 
@@ -118,9 +123,17 @@ def from_mapping(mapping: Mapping[str, Any]) -> ScenarioSpec:
         if pair_field in workload:
             workload[pair_field] = tuple(sorted(workload[pair_field].items()))
     sizing = dict(data.pop("sizing", {}))
+    service = data.pop("service", None)
+    if service is not None:
+        service = dict(service)
+        for pair_field in ("classes", "params"):
+            if pair_field in service:
+                service[pair_field] = tuple(sorted(service[pair_field].items()))
     try:
         data["workload"] = WorkloadSpec(**_take(workload, WorkloadSpec, "workload"))
         data["sizing"] = TierSizing(**_take(sizing, TierSizing, "sizing"))
+        if service is not None:
+            data["service"] = ServiceSpec(**_take(service, ServiceSpec, "service"))
         return ScenarioSpec(**_take(data, ScenarioSpec, "scenario"))
     except (TypeError, ValueError) as exc:
         if isinstance(exc, ScenarioFormatError):

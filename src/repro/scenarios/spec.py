@@ -23,6 +23,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Mapping, Optional, Tuple, Union
 
 from ..envs.environments import EnvKind
+from ..service.spec import ServiceSpec
 from ..util.units import MiB
 from ..util.validation import check_positive, require
 
@@ -154,6 +155,10 @@ class ScenarioSpec:
     fault_seed: int = 0
     #: bare-metal style whole-node allocations (§II-B)
     exclusive: bool = False
+    #: steady-state service mode: when set, :func:`repro.scenarios.build`
+    #: drives the scenario as an open-loop service (the workload becomes
+    #: the *background*; the service stream arrives on top of it)
+    service: Optional[ServiceSpec] = None
     max_time: float = 1e7
     spec_version: int = SPEC_VERSION
 

@@ -168,6 +168,21 @@ def _open_system(w: WorkloadSpec, seed: int) -> Workload:
     return background + stream, arrivals
 
 
+def _service_background(w: WorkloadSpec, seed: int) -> Workload:
+    """Colocated jobs a service stream arrives on top of.
+
+    ``instances_per_class`` names the long-lived background mix (all
+    submitted at t=0); an empty mix means a pure open-loop run where the
+    stream is the only load.  Only meaningful inside a service scenario —
+    executed as a batch it is just a colocated mix (or a no-op).
+    """
+    counts = w.mix()
+    if not counts:
+        return [], None
+    tasks = colocated_mix_tasks(counts, scale=w.scale, seed=seed)
+    return tasks, [0.0] * len(tasks)
+
+
 #: validation matrix sensitivity mixes: label -> (compute, lat, bw, demand B/s)
 VALIDATION_MIXES: Dict[str, Tuple[float, float, float, float]] = {
     "compute": (1.0, 0.0, 0.0, 0.0),
@@ -248,6 +263,7 @@ WORKLOAD_SOURCES: Dict[str, _Builder] = {
     "shared-input": _shared_input,
     "decomposition": _decomposition,
     "open-system": _open_system,
+    "service-background": _service_background,
     "validation-probe": _validation_probe,
     "predictor-probes": _predictor_probes,
 }

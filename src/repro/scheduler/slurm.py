@@ -78,6 +78,11 @@ class SlurmScheduler:
         self.drained: set[int] = set()
         #: total fault-induced requeues across the run
         self.requeues = 0
+        #: optional admission policy consulted by :meth:`try_submit`
+        #: (service mode attaches one; batch submission never rejects)
+        self.admission: "Optional[object]" = None
+        #: arrivals turned away by the admission policy
+        self.rejected = 0
         for agent in self.agents:
             agent.on_capacity_freed.append(self._pump)
 
@@ -119,6 +124,30 @@ class SlurmScheduler:
             )
         self._pump()
         return job
+
+    def try_submit(
+        self,
+        spec: TaskSpec,
+        *,
+        flags: Optional[MemFlag] = None,
+        priority: int = 0,
+        on_done: Optional[Callable[[Job], None]] = None,
+    ) -> Optional[Job]:
+        """Admission-gated submission: consult the attached policy and
+        either enqueue the job or turn it away (returns ``None``).
+
+        Rejection is deliberately cheap — no :class:`Job`, no metrics
+        entry — so an open-loop stream pounding a saturated cluster costs
+        one policy check per arrival, nothing more.
+        """
+        if self.admission is not None:
+            from ..service.admission import ClusterView
+
+            if not self.admission.admit(spec, ClusterView(self, self.agents)):
+                self.rejected += 1
+                obs.counter("sched.rejected")
+                return None
+        return self.submit(spec, flags=flags, priority=priority, on_done=on_done)
 
     def submit_batch(
         self,
@@ -354,6 +383,25 @@ class SlurmScheduler:
     @property
     def pending_count(self) -> int:
         return len(self.queue)
+
+    @property
+    def busy_cores(self) -> int:
+        """Cores currently executing tasks across the cluster."""
+        return sum(agent.cores_used for agent in self.agents)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(agent.cores for agent in self.agents)
+
+    @property
+    def running_count(self) -> int:
+        """Jobs currently in the RUNNING state."""
+        return sum(1 for j in self.jobs.values() if j.state is JobState.RUNNING)
+
+    def utilization(self) -> float:
+        """Instantaneous busy-core fraction (a service-window sample)."""
+        total = self.total_cores
+        return self.busy_cores / total if total else 0.0
 
     def queue_snapshot(self) -> list[dict[str, object]]:
         """``squeue``-style view of pending jobs, in dispatch order."""

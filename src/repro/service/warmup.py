@@ -1,0 +1,92 @@
+"""Warm-up truncation and convergence detection for windowed series.
+
+A service run's first windows measure an empty, filling cluster; keeping
+them biases every steady-state average.  Two standard detectors over the
+per-window series:
+
+* **MSER-5** (White's Marginal Standard Error Rule, batch size 5): pick
+  the truncation point that minimizes the standard error of the
+  remaining mean — the widely recommended default for simulation output
+  analysis.
+* **sliding-cv**: the first window where the coefficient of variation of
+  the trailing ``span`` windows drops below a threshold — the "report
+  loop settles" heuristic an elastic controller would use online.
+
+Both return a window *count* to discard; ``converged=False`` (warm-up
+spans the whole run) means the run never reached steady state and its
+post-warm-up aggregates should be treated as unconverged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..util.validation import require
+
+__all__ = ["detect_warmup", "mser5", "sliding_cv"]
+
+
+def mser5(series: Sequence[float], batch: int = 5) -> Tuple[int, bool]:
+    """(windows to discard, converged) by the MSER-``batch`` rule.
+
+    The series is averaged into batches of ``batch`` windows; truncation
+    candidates are batch boundaries in the first half of the run (the
+    standard guard against the statistic collapsing at the tail).
+    """
+    require(batch >= 1, "batch must be >= 1")
+    values = np.asarray([v for v in series if v == v], dtype=float)  # drop NaN
+    n_batches = len(values) // batch
+    if n_batches < 2:
+        return 0, False
+    batches = values[: n_batches * batch].reshape(n_batches, batch).mean(axis=1)
+    # standard error of the mean over batches d..end, for each candidate d
+    best_d, best_se = 0, np.inf
+    for d in range(0, max(1, n_batches // 2)):
+        tail = batches[d:]
+        se = float(tail.std(ddof=0)) / np.sqrt(len(tail))
+        if se < best_se:
+            best_d, best_se = d, se
+    return best_d * batch, True
+
+
+def sliding_cv(
+    series: Sequence[float], threshold: float, span: int
+) -> Tuple[int, bool]:
+    """First index where CV(trailing ``span`` windows) < ``threshold``.
+
+    Returns ``(len(series), False)`` when the series never settles —
+    warm-up swallowed the run.
+    """
+    require(span >= 2, "span must be >= 2")
+    require(threshold > 0, "threshold must be > 0")
+    values = np.asarray(list(series), dtype=float)
+    for end in range(span, len(values) + 1):
+        window = values[end - span : end]
+        if np.isnan(window).any():
+            continue
+        mean = float(window.mean())
+        if mean == 0.0:
+            continue
+        cv = float(window.std(ddof=0)) / abs(mean)
+        if cv < threshold:
+            return end - span, True
+    return len(values), False
+
+
+def detect_warmup(
+    method: str,
+    series: Sequence[float],
+    *,
+    cv_threshold: float = 0.10,
+    cv_span: int = 5,
+) -> Tuple[int, bool]:
+    """Dispatch on a :class:`~repro.service.spec.ServiceSpec` method name."""
+    if method == "none" or len(series) == 0:
+        return 0, True
+    if method == "mser-5":
+        return mser5(series)
+    if method == "sliding-cv":
+        return sliding_cv(series, cv_threshold, cv_span)
+    raise KeyError(f"unknown warmup method {method!r}")  # pragma: no cover

@@ -2,7 +2,7 @@
 
 from .engine import SimulationEngine
 from .events import Event
-from .process import PeriodicProcess, RateTracker
+from .process import PeriodicProcess, RateTracker, ReportPeriod, TickGroup
 from .trace import TraceEvent, Tracer
 
 __all__ = [
@@ -10,6 +10,8 @@ __all__ = [
     "Event",
     "PeriodicProcess",
     "RateTracker",
+    "ReportPeriod",
+    "TickGroup",
     "TraceEvent",
     "Tracer",
 ]

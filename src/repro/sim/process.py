@@ -20,7 +20,7 @@ from ..util.validation import check_non_negative, check_positive
 from .engine import SimulationEngine
 from .events import Event
 
-__all__ = ["PeriodicProcess", "TickGroup", "RateTracker"]
+__all__ = ["PeriodicProcess", "ReportPeriod", "TickGroup", "RateTracker"]
 
 
 class PeriodicProcess:
@@ -139,6 +139,49 @@ class TickGroup:
             self._firing = False
         if self._members:
             self._event = self.engine.schedule(self.interval, self._tick, self.label)
+
+
+class ReportPeriod(TickGroup):
+    """A :class:`TickGroup` whose members observe *windows*, not ticks.
+
+    The steady-state service layer divides a run into fixed report
+    windows; every periodic reporter (metrics sampler, admission
+    telemetry, an autoscaling controller later) shares one engine event
+    per boundary.  Members receive ``(window_index, window_start,
+    window_end)`` — the window that just *closed* — instead of the bare
+    clock, and the group tracks window boundaries from its own start
+    time so a partial trailing window can be closed explicitly via
+    :meth:`close_partial` when the run stops mid-window.
+    """
+
+    def __init__(
+        self, engine: SimulationEngine, window: float, label: str = "report-period"
+    ) -> None:
+        super().__init__(engine, window, label)
+        self.window = self.interval
+        self.origin: float = engine.now
+        self.windows_closed: int = 0
+
+    def add_reporter(self, fn: "Callable[[int, float, float], Any]") -> int:
+        """Join with window semantics (see class docstring)."""
+
+        def member(_now: float) -> None:
+            index = self.windows_closed
+            start = self.origin + index * self.window
+            self.windows_closed += 1
+            fn(index, start, start + self.window)
+
+        return self.add(member)
+
+    def close_partial(self, fn: "Callable[[int, float, float], Any]") -> None:
+        """Invoke ``fn`` for the trailing partial window (if the clock sits
+        strictly inside one); used when a run stops at a horizon that is
+        not a window multiple."""
+        start = self.origin + self.windows_closed * self.window
+        if self.engine.now > start:
+            index = self.windows_closed
+            self.windows_closed += 1
+            fn(index, start, self.engine.now)
 
 
 class RateTracker:
