@@ -23,7 +23,7 @@ simulation of tiered-memory HPC clusters.  Public entry points:
 from importlib import import_module
 from typing import TYPE_CHECKING
 
-__version__ = "1.7.0"
+__version__ = "1.9.0"
 
 _EXPORTS = {
     # environments

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..memory.pageset import UNMAPPED, PageSet
 from ..memory.tiers import CXL, DRAM, MEMORY_TIERS, PMEM, TierKind, TierSpec
+from ..obs import insight as _insight
 from ..policies.base import (
     AllocationRequest,
     MemoryPolicy,
@@ -291,11 +292,13 @@ class TieredMemoryManager(MemoryPolicy):
         deficit = nbytes - mem.free(tier)
         if deficit <= 0:
             return
-        if tier == DRAM:
-            self.replacement.replace(ctx, deficit, protect_owner=owner)
-        elif tier == PMEM:
-            self._demote_tier(ctx, PMEM, CXL, deficit, owner)
-        # CXL: unlimited by assumption; nothing to do
+        # allocation-pressure movements are ledgered apart from daemon ones
+        with _insight.cause("ensure-room"):
+            if tier == DRAM:
+                self.replacement.replace(ctx, deficit, protect_owner=owner)
+            elif tier == PMEM:
+                self._demote_tier(ctx, PMEM, CXL, deficit, owner)
+            # CXL: unlimited by assumption; nothing to do
 
     def _demote_tier(
         self, ctx: PolicyContext, src: TierKind, dst: TierKind, nbytes: int, protect: str

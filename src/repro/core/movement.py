@@ -26,6 +26,7 @@ import numpy as np
 
 from .. import obs
 from ..memory.pageset import DEFAULT_CHUNK_SIZE
+from ..obs import insight as _insight
 from ..memory.tiers import CXL, DRAM, PMEM, SWAP
 from ..policies.base import PolicyContext
 from ..util.validation import check_fraction, check_positive, require
@@ -108,9 +109,15 @@ class IntelligentPageMovement:
         if mem.arena is not None and getattr(mem, "fast_core", False):
             freed = self._tick_fast(ctx, promote_budget_bytes)
         else:
-            self._promote(ctx, promote_budget_bytes)
-            freed = self._proactive_swap(ctx)
-            self._reactive(ctx)
+            # cause scopes label the migration ledger: every movement the
+            # stage triggers (including nested reclaims / exchange
+            # evictions) is attributed to the stage that decided it
+            with _insight.cause("promote"):
+                self._promote(ctx, promote_budget_bytes)
+            with _insight.cause("proactive"):
+                freed = self._proactive_swap(ctx)
+            with _insight.cause("reactive"):
+                self._reactive(ctx)
         if freed >= self.config.compaction_min_bytes:
             mem.compact()
 
@@ -334,9 +341,12 @@ class IntelligentPageMovement:
         """One batched daemon pass; returns proactively-freed bytes."""
         arena = ctx.memory.arena
         arena.refresh_protection(lambda owner: is_protected(self.owner_flags(owner)))
-        self._promote_fast(ctx, budget_bytes)
-        freed = self._proactive_swap_fast(ctx)
-        self._reactive(ctx)
+        with _insight.cause("promote"):
+            self._promote_fast(ctx, budget_bytes)
+        with _insight.cause("proactive"):
+            freed = self._proactive_swap_fast(ctx)
+        with _insight.cause("reactive"):
+            self._reactive(ctx)
         return freed
 
     def _promote_fast(self, ctx: PolicyContext, budget_bytes: int) -> None:

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..memory.pageset import PageSet
 from ..memory.tiers import CXL, DRAM, PMEM, SWAP, TierKind
+from ..obs import insight as _insight
 from ..policies.base import PolicyContext
 from ..util.validation import require
 from .flags import MemFlag
@@ -125,21 +126,24 @@ class PageReplacementPolicy:
             return 0
         need_chunks = -(-nbytes // any_ps.chunk_size)
         freed = 0
-        for ps, idx in self.select_victims(ctx, need_chunks, protect_owner=protect_owner):
-            remaining = idx
-            for tier in self.demote_order:
-                if remaining.size == 0:
-                    break
-                room = max(0, mem.free(tier)) // ps.chunk_size
-                take = remaining[: int(room)]
-                if take.size:
-                    freed += mem.migrate(ps, take, tier)
-                    if shadow_demotions:
-                        mem.add_page_cache_shadow(ps, take)
-                    remaining = remaining[take.size:]
-            if remaining.size:
-                # every lower tier full: pages must swap after all
-                freed += mem.swap_out(ps, remaining)
+        # label direct invocations in the migration ledger without
+        # overriding a more specific caller scope (reactive / ensure-room)
+        with _insight.fallback_cause("replace"):
+            for ps, idx in self.select_victims(ctx, need_chunks, protect_owner=protect_owner):
+                remaining = idx
+                for tier in self.demote_order:
+                    if remaining.size == 0:
+                        break
+                    room = max(0, mem.free(tier)) // ps.chunk_size
+                    take = remaining[: int(room)]
+                    if take.size:
+                        freed += mem.migrate(ps, take, tier)
+                        if shadow_demotions:
+                            mem.add_page_cache_shadow(ps, take)
+                        remaining = remaining[take.size:]
+                if remaining.size:
+                    # every lower tier full: pages must swap after all
+                    freed += mem.swap_out(ps, remaining)
         return freed
 
     def _replace_fast(
@@ -176,19 +180,20 @@ class PageReplacementPolicy:
         cum = cum[:k]
         freed = 0
         start = 0
-        for tier in self.demote_order:
-            if start >= victims.size:
-                break
-            room = max(0, mem.free(tier))
-            base = int(cum[start - 1]) if start else 0
-            end = int(np.searchsorted(cum, base + room, side="right"))
-            take = victims[start:end]
-            if take.size:
-                freed += mem.migrate_positions(take, tier)
-                if shadow_demotions:
-                    mem.add_page_cache_shadows_batch(take)
-                start = end
-        if start < victims.size:
-            # every lower tier full: pages must swap after all
-            freed += mem.migrate_positions(victims[start:], SWAP)
+        with _insight.fallback_cause("replace"):
+            for tier in self.demote_order:
+                if start >= victims.size:
+                    break
+                room = max(0, mem.free(tier))
+                base = int(cum[start - 1]) if start else 0
+                end = int(np.searchsorted(cum, base + room, side="right"))
+                take = victims[start:end]
+                if take.size:
+                    freed += mem.migrate_positions(take, tier)
+                    if shadow_demotions:
+                        mem.add_page_cache_shadows_batch(take)
+                    start = end
+            if start < victims.size:
+                # every lower tier full: pages must swap after all
+                freed += mem.migrate_positions(victims[start:], SWAP)
         return freed

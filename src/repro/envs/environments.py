@@ -23,20 +23,25 @@ import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
+import numpy as np
+
 from .. import obs
 from ..containers.image import ImageRegistry, default_images
 from ..containers.runtime import ContainerRuntime, NetworkFabric
 from ..core.flags import MemFlag
 from ..core.manager import TieredMemoryManager
 from ..core.sharing import SharedMemoryManager
-from ..memory.pageset import DEFAULT_CHUNK_SIZE
+from ..memory.pageset import DEFAULT_CHUNK_SIZE, UNMAPPED
 from ..memory.tiers import (
+    DRAM,
+    NUM_TIERS,
     TierKind,
     TierSpec,
     constrained_tier_specs,
     scaled_tier_capacities,
 )
 from ..memory.topology import MemoryTopology
+from ..obs import insight as _insight
 from ..metrics.collector import MetricsRegistry
 from ..policies.base import MemoryPolicy
 from ..policies.linux import LinuxSwapPolicy
@@ -151,6 +156,16 @@ class Environment:
             )
             for i, node in enumerate(self.topology.nodes)
         ]
+        # Tier time-series sampling rides the shared daemon tick; one
+        # enabled() check per cluster tick when the insight plane is off.
+        # The stall proxy weights each slow tier's resident bytes by its
+        # access-latency excess over DRAM.
+        dram_lat = max(specs[DRAM].latency, 1e-12)
+        self._stall_weights = np.array(
+            [max(0.0, specs[TierKind(t)].latency / dram_lat - 1.0) for t in range(NUM_TIERS)],
+            dtype=np.float64,
+        )
+        self.ticker.add(self._sample_insight)
         self.registry = registry if registry is not None else default_images()
         self.fabric = NetworkFabric(self.engine, config.network_bandwidth)
         self.containers = ContainerRuntime(
@@ -277,6 +292,41 @@ class Environment:
 
     def node_traffic(self) -> dict[str, int]:
         return MetricsRegistry.node_traffic(self.topology.nodes)
+
+    def _sample_insight(self, now: float) -> None:
+        """Tier time-series sample on the daemon tick (insight plane).
+
+        Captures, per node: per-tier occupancy and free bytes, the
+        temperature-distribution quantiles over all mapped chunks, and
+        the latency-weighted slow-tier stall proxy (resident-byte share
+        weighted by each tier's access-latency excess over DRAM).
+        """
+        ins = _insight.active()
+        if not ins.enabled:
+            return
+        for agent in self.agents:
+            mem = agent.memory
+            occ = np.array(
+                [mem.used(TierKind(t)) for t in range(NUM_TIERS)], dtype=np.int64
+            )
+            free = np.array(
+                [mem.free(TierKind(t)) for t in range(NUM_TIERS)], dtype=np.int64
+            )
+            total = int(occ.sum())
+            stall = (
+                float((occ * self._stall_weights).sum()) / total if total else 0.0
+            )
+            temps = [
+                ps.temperature[ps.tier != UNMAPPED]
+                for ps in mem.pagesets()
+            ]
+            temps = [t for t in temps if t.size]
+            if temps:
+                flat = np.concatenate(temps).astype(np.float64, copy=False)
+                temp_q = np.quantile(flat, _insight.TEMP_QUANTILES)
+            else:
+                temp_q = np.zeros(len(_insight.TEMP_QUANTILES), dtype=np.float64)
+            ins.sample(now, mem.node_id, occ, free, stall, temp_q)
 
     def summary(self) -> str:
         """One-paragraph human description of the wired cluster."""

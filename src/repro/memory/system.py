@@ -20,6 +20,7 @@ from typing import Iterable, Optional
 import numpy as np
 
 from .. import obs
+from ..obs import insight as _insight
 from ..resilience import invariants as inv
 from ..util.errors import AllocationError
 from ..util.validation import check_fraction, require
@@ -115,6 +116,10 @@ class NodeMemorySystem:
         #: bytes migrated since the executor last sampled (for the
         #: migration-overhead term in the rate model); the executor resets it.
         self.migration_bytes_window: int = 0
+        #: sim-clock accessor for the migration ledger; a bare memory
+        #: system has no engine, so it reads zero until the node agent
+        #: wires in its engine's clock.
+        self.now = lambda: 0.0
 
     # ------------------------------------------------------------------ #
     # capacity queries
@@ -253,6 +258,7 @@ class NodeMemorySystem:
         self._used -= counts * ps.chunk_size
         self._used[d] += nbytes
         tel_on = obs.enabled()  # hoisted: label construction isn't free
+        ins = _insight.active()
         for s in np.flatnonzero(counts):
             moved_bytes = int(counts[s]) * ps.chunk_size
             self.stats.record_migration(int(s), d, moved_bytes)
@@ -262,6 +268,11 @@ class NodeMemorySystem:
                     moved_bytes,
                     src=TIER_NAMES[TierKind(int(s))],
                     dst=TIER_NAMES[dst],
+                )
+            if ins.enabled:
+                ins.migration(
+                    self.now(), self.node_id, ps.owner,
+                    int(s), d, int(counts[s]), moved_bytes,
                 )
         self.migration_bytes_window += nbytes
         if dst == DRAM:
@@ -321,6 +332,7 @@ class NodeMemorySystem:
         self._used -= bytes_per_src
         self._used[d] += nbytes
         tel_on = obs.enabled()
+        ins = _insight.active()
         for s in np.flatnonzero(bytes_per_src):
             moved_bytes = int(bytes_per_src[s])
             self.stats.record_migration(int(s), d, moved_bytes)
@@ -331,10 +343,21 @@ class NodeMemorySystem:
                     src=TIER_NAMES[TierKind(int(s))],
                     dst=TIER_NAMES[dst],
                 )
+            if ins.enabled:
+                # positions span tasks: the batched path attributes to "*"
+                ins.migration(
+                    self.now(), self.node_id, "*",
+                    int(s), d, int(np.count_nonzero(src == s)), moved_bytes,
+                )
         self.migration_bytes_window += nbytes
         if sh_chunks:
             self._page_cache_used -= sh_bytes
             self.stats.page_cache_drops += sh_chunks
+            if ins.enabled:
+                ins.ledger_event(
+                    self.now(), self.node_id, "shadow-drop", "*",
+                    int(DRAM), _insight.ANY_TIER, int(sh_chunks), int(sh_bytes),
+                )
         if checker.enabled:
             checker.conservation(
                 self.node_id, before, int(self._used.sum()),
@@ -369,6 +392,13 @@ class NodeMemorySystem:
         ps.in_page_cache[take] = True
         self._page_cache_used += int(take.size) * ps.chunk_size
         self.stats.page_cache_inserts += int(take.size)
+        ins = _insight.active()
+        if ins.enabled:
+            ins.ledger_event(
+                self.now(), self.node_id, "shadow", ps.owner,
+                _insight.ANY_TIER, int(DRAM),
+                int(take.size), int(take.size) * ps.chunk_size,
+            )
         return int(take.size)
 
     def add_page_cache_shadows_batch(self, positions: np.ndarray) -> int:
@@ -390,6 +420,12 @@ class NodeMemorySystem:
             return 0
         self._page_cache_used += nbytes
         self.stats.page_cache_inserts += int(take.size)
+        ins = _insight.active()
+        if ins.enabled:
+            ins.ledger_event(
+                self.now(), self.node_id, "shadow", "*",
+                _insight.ANY_TIER, int(DRAM), int(take.size), int(nbytes),
+            )
         return int(take.size)
 
     def _drop_shadows(self, ps: PageSet, idx: np.ndarray) -> None:
@@ -398,23 +434,39 @@ class NodeMemorySystem:
             ps.in_page_cache[shadowed] = False
             self._page_cache_used -= int(shadowed.size) * ps.chunk_size
             self.stats.page_cache_drops += int(shadowed.size)
+            ins = _insight.active()
+            if ins.enabled:
+                ins.ledger_event(
+                    self.now(), self.node_id, "shadow-drop", ps.owner,
+                    int(DRAM), _insight.ANY_TIER,
+                    int(shadowed.size), int(shadowed.size) * ps.chunk_size,
+                )
 
     def _reclaim_page_cache(self, nbytes_needed: int) -> None:
         """Drop coldest shadows until ``nbytes_needed`` is reclaimed."""
         if nbytes_needed <= 0:
             return
         reclaimed = 0
-        for ps in list(self._pagesets.values()):
-            if reclaimed >= nbytes_needed:
-                break
-            shadowed = np.flatnonzero(ps.in_page_cache)
-            if shadowed.size == 0:
-                continue
-            order = np.argsort(ps.temperature[shadowed], kind="stable")
-            need_chunks = -(-(nbytes_needed - reclaimed) // ps.chunk_size)
-            drop = shadowed[order[:need_chunks]]
-            self._drop_shadows(ps, drop)
-            reclaimed += int(drop.size) * ps.chunk_size
+        dropped_chunks = 0
+        with _insight.cause("reclaim"):
+            for ps in list(self._pagesets.values()):
+                if reclaimed >= nbytes_needed:
+                    break
+                shadowed = np.flatnonzero(ps.in_page_cache)
+                if shadowed.size == 0:
+                    continue
+                order = np.argsort(ps.temperature[shadowed], kind="stable")
+                need_chunks = -(-(nbytes_needed - reclaimed) // ps.chunk_size)
+                drop = shadowed[order[:need_chunks]]
+                self._drop_shadows(ps, drop)
+                reclaimed += int(drop.size) * ps.chunk_size
+                dropped_chunks += int(drop.size)
+        ins = _insight.active()
+        if ins.enabled and reclaimed:
+            ins.ledger_event(
+                self.now(), self.node_id, "reclaim", "*",
+                int(DRAM), _insight.ANY_TIER, dropped_chunks, reclaimed,
+            )
 
     def compact(self) -> None:
         """Record a compaction pass (§III-C4).
@@ -462,24 +514,31 @@ class NodeMemorySystem:
         ]
         evacuated = 0
         stranded: dict[str, np.ndarray] = {}
-        for ps in list(self._pagesets.values()):
-            victims = np.flatnonzero(ps.tier == t)
-            for dst in survivors:
-                if victims.size == 0:
-                    break
-                headroom = (
-                    self.free_excluding_page_cache(dst) if dst == DRAM else self.free(dst)
-                )
-                room = max(0, headroom) // ps.chunk_size
-                take = victims[: int(room)]
-                if take.size == 0:
-                    continue
-                evacuated += self.migrate(ps, take, dst)
-                victims = victims[int(room):]
-            if victims.size:
-                stranded[ps.owner] = victims
+        with _insight.cause("evacuate"):
+            for ps in list(self._pagesets.values()):
+                victims = np.flatnonzero(ps.tier == t)
+                for dst in survivors:
+                    if victims.size == 0:
+                        break
+                    headroom = (
+                        self.free_excluding_page_cache(dst) if dst == DRAM else self.free(dst)
+                    )
+                    room = max(0, headroom) // ps.chunk_size
+                    take = victims[: int(room)]
+                    if take.size == 0:
+                        continue
+                    evacuated += self.migrate(ps, take, dst)
+                    victims = victims[int(room):]
+                if victims.size:
+                    stranded[ps.owner] = victims
         if obs.enabled():
             obs.counter("mem.evacuated_bytes", evacuated, tier=TIER_NAMES[tier])
+        ins = _insight.active()
+        if ins.enabled:
+            ins.ledger_event(
+                self.now(), self.node_id, "evacuate", "*",
+                t, _insight.ANY_TIER, 0, evacuated,
+            )
         if checker.enabled:
             # evacuation shuffles bytes to survivors; stranded chunks stay
             # accounted on the dead tier until their tasks are killed

@@ -5,15 +5,35 @@ Emission points across the stack call the module-level dispatchers
 unless a run activates a :class:`Telemetry` context via :func:`session`
 (``run_all --telemetry DIR``, ``scenarios run --telemetry DIR``).  See
 ``docs/observability.md`` for the span taxonomy and exporter formats.
+
+The memory-introspection plane (:mod:`repro.obs.insight` — migration
+ledger, tier time-series, live service metrics) rides the same
+null-object discipline under its own active context: ``obs.insight``
+is re-exported here as the submodule, with the main types aliased for
+convenience (:class:`Insight`, :class:`InsightRecord`,
+:class:`SignalView`, :class:`LiveMetricsWriter`).
 """
 
+from . import insight
 from .exporters import (
+    ledger_ndjson,
+    load_insight_record,
     load_run_dir,
     metrics_table,
+    percentile,
     to_chrome_trace,
     to_jsonl,
     validate_chrome_trace,
     write_run_dir,
+)
+from .insight import (
+    Insight,
+    InsightRecord,
+    LiveMetricsWriter,
+    MigrationLedger,
+    SignalView,
+    TierSampler,
+    worker_insight,
 )
 from .telemetry import (
     NULL,
@@ -34,25 +54,36 @@ from .telemetry import (
 )
 
 __all__ = [
+    "Insight",
+    "InsightRecord",
+    "LiveMetricsWriter",
+    "MigrationLedger",
     "NULL",
     "NullTelemetry",
+    "SignalView",
     "SpanRecord",
     "Telemetry",
     "TelemetryRecord",
+    "TierSampler",
     "activate",
     "active",
     "counter",
     "enabled",
     "event",
     "gauge",
+    "insight",
+    "ledger_ndjson",
+    "load_insight_record",
     "load_run_dir",
     "metrics_table",
     "observe",
+    "percentile",
     "session",
     "span",
     "to_chrome_trace",
     "to_jsonl",
     "validate_chrome_trace",
+    "worker_insight",
     "worker_telemetry",
     "write_run_dir",
 ]

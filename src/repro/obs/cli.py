@@ -10,6 +10,14 @@ Subcommands:
     validates the document structurally and exits non-zero on problems.
 ``top DIR [-n N]``
     The N most expensive span names by cumulative self-inclusive time.
+``tail DIR [-n N]``
+    The last N windows of a live service stream (``live.ndjson``, written
+    by ``scenarios serve --live``): window counters plus per-node tier
+    occupancy and the stall proxy.
+
+``summary`` and ``top`` take ``--json`` to emit their rollups as one
+machine-readable JSON document instead of tables; ``tail --json`` echoes
+the raw NDJSON payloads.
 """
 
 from __future__ import annotations
@@ -24,11 +32,13 @@ from ..metrics.report import format_table
 from .exporters import (
     TRACE_FILE,
     find_run_dirs,
+    load_insight_record,
     load_run_dir,
     percentile,
     to_chrome_trace,
     validate_chrome_trace,
 )
+from .insight import LIVE_FILE, format_live_window
 from .telemetry import TelemetryRecord, split_label
 
 __all__ = ["main"]
@@ -66,8 +76,87 @@ def _counter_rollup(record: TelemetryRecord) -> List[List[object]]:
     return rows
 
 
+def _summary_doc(run_dir: str, record: TelemetryRecord) -> dict:
+    """One run's rollups as a JSON-ready document (``summary --json``)."""
+    doc: dict = {
+        "dir": run_dir,
+        "run_id": record.run_id,
+        "meta": dict(record.meta),
+        "workers": list(record.workers),
+        "spans": [
+            {"span": name, "count": count, "total": total, "p50": p50, "max": mx}
+            for name, count, total, p50, mx in _span_rollup(record)
+        ],
+        "counters": [
+            {"experiment": exp, "counter": name, "labels": labels, "total": total}
+            for exp, name, labels, total in _counter_rollup(record)
+        ],
+        "events": len(record.events),
+        "dropped": {
+            "spans": record.dropped_spans,
+            "events": record.dropped_events,
+            "observations": record.dropped_observations,
+        },
+    }
+    insight = load_insight_record(run_dir)
+    if insight is not None:
+        counts, nbytes = _ledger_by_kind(insight)
+        doc["insight"] = {
+            "ledger_entries": len(insight.entries),
+            "ledger_dropped": insight.dropped,
+            "counts_by_kind": counts,
+            "bytes_by_kind": nbytes,
+            "nodes": sorted(insight.series, key=str),
+            "samples_seen": dict(insight.samples_seen),
+        }
+    return doc
+
+
+def _ledger_by_kind(insight) -> "tuple[Dict[str, int], Dict[str, int]]":
+    """Entry and byte totals per ledger kind, from the drop-proof totals."""
+    counts: Dict[str, int] = {}
+    nbytes: Dict[str, int] = {}
+    for (kind, _cause, _src, _dst), (n, _chunks, b) in insight.totals.items():
+        counts[kind] = counts.get(kind, 0) + int(n)
+        nbytes[kind] = nbytes.get(kind, 0) + int(b)
+    return counts, nbytes
+
+
+def _print_insight_summary(run_dir: str) -> None:
+    """Append the insight-plane rollup to a text summary, when present."""
+    insight = load_insight_record(run_dir)
+    if insight is None:
+        return
+    counts, nbytes = _ledger_by_kind(insight)
+    if counts:
+        print()
+        rows = [
+            [kind, float(counts[kind]), float(nbytes.get(kind, 0))]
+            for kind in sorted(counts)
+        ]
+        print(
+            format_table(
+                ["kind", "entries", "bytes"],
+                rows,
+                title="migration ledger",
+                float_fmt="{:.0f}",
+            )
+        )
+    if insight.series:
+        nodes = ", ".join(sorted(insight.series, key=str))
+        total = sum(insight.samples_seen.values())
+        print()
+        print(f"  tier series: {len(insight.series)} node(s) [{nodes}], "
+              f"{total} samples")
+
+
 def _cmd_summary(args: argparse.Namespace) -> int:
     dirs = find_run_dirs(args.dir) or [args.dir]
+    if getattr(args, "json", False):
+        docs = [_summary_doc(run_dir, _load(run_dir)) for run_dir in dirs]
+        json.dump(docs, sys.stdout, indent=2, sort_keys=True, default=str)
+        print()
+        return 0
     for run_dir in dirs:
         record = _load(run_dir)
         print(f"run {record.run_id!r}  ({run_dir})")
@@ -126,13 +215,16 @@ def _cmd_summary(args: argparse.Namespace) -> int:
             f"(spans={record.dropped_spans}, events={record.dropped_events}, "
             f"obs={record.dropped_observations})"
         )
+        _print_insight_summary(run_dir)
         print()
     return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     record = _load(args.dir)
-    doc = to_chrome_trace(record)
+    # re-emitting from a run dir that carries an insight record keeps its
+    # counter tracks (tier occupancy/stall/temp) in the regenerated trace
+    doc = to_chrome_trace(record, load_insight_record(args.dir))
     if args.check:
         problems = validate_chrome_trace(doc)
         if problems:
@@ -150,6 +242,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_top(args: argparse.Namespace) -> int:
     record = _load(args.dir)
     rows = _span_rollup(record)[: args.n]
+    if getattr(args, "json", False):
+        doc = [
+            {"span": name, "count": count, "total": total, "p50": p50, "max": mx}
+            for name, count, total, p50, mx in rows
+        ]
+        json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
     if not rows:
         print("(no spans recorded)")
         return 0
@@ -164,6 +264,30 @@ def _cmd_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tail(args: argparse.Namespace) -> int:
+    path = args.dir if args.dir.endswith(".ndjson") else os.path.join(args.dir, LIVE_FILE)
+    if not os.path.isfile(path):
+        raise SystemExit(
+            f"no {LIVE_FILE} under {args.dir!r} — was this written by serve --live?"
+        )
+    with open(path, encoding="utf-8") as fh:
+        lines = [ln.strip() for ln in fh if ln.strip()]
+    windows = lines[-args.n:] if args.n > 0 else lines
+    if getattr(args, "json", False):
+        for ln in windows:
+            print(ln)
+        return 0
+    print(f"{path}: {len(lines)} window(s), showing last {len(windows)}")
+    for ln in windows:
+        try:
+            payload = json.loads(ln)
+        except json.JSONDecodeError:
+            # a live stream's final line may still be mid-write; skip it
+            continue
+        print(format_live_window(payload))
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro obs",
@@ -173,6 +297,9 @@ def main(argv: "list[str] | None" = None) -> int:
 
     p_summary = sub.add_parser("summary", help="span/counter rollups for a run dir tree")
     p_summary.add_argument("dir", help="telemetry directory (searched recursively)")
+    p_summary.add_argument(
+        "--json", action="store_true", help="emit the rollups as a JSON document"
+    )
     p_summary.set_defaults(fn=_cmd_summary)
 
     p_trace = sub.add_parser("trace", help="emit/validate Chrome trace_event JSON")
@@ -186,7 +313,22 @@ def main(argv: "list[str] | None" = None) -> int:
     p_top = sub.add_parser("top", help="most expensive spans")
     p_top.add_argument("dir", help="telemetry run directory")
     p_top.add_argument("-n", type=int, default=15, help="how many rows (default 15)")
+    p_top.add_argument(
+        "--json", action="store_true", help="emit the rows as a JSON document"
+    )
     p_top.set_defaults(fn=_cmd_top)
+
+    p_tail = sub.add_parser(
+        "tail", help="render the last windows of a live service stream"
+    )
+    p_tail.add_argument("dir", help="--live directory (or a live.ndjson path)")
+    p_tail.add_argument(
+        "-n", type=int, default=10, help="how many windows (default 10, 0 = all)"
+    )
+    p_tail.add_argument(
+        "--json", action="store_true", help="echo the raw NDJSON payloads"
+    )
+    p_tail.set_defaults(fn=_cmd_tail)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -22,13 +22,23 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
+from .insight import (
+    TEMP_QUANTILES,
+    TIER_LABELS,
+    InsightRecord,
+    entry_dict,
+    tier_label,
+)
 from .telemetry import TelemetryRecord, split_label
 
 __all__ = [
+    "ledger_ndjson",
+    "load_insight_record",
     "load_run_dir",
     "metrics_table",
+    "percentile",
     "to_chrome_trace",
     "to_jsonl",
     "validate_chrome_trace",
@@ -39,14 +49,24 @@ RUN_FILE = "run.json"
 EVENTS_FILE = "events.jsonl"
 TRACE_FILE = "trace.json"
 METRICS_FILE = "metrics.csv"
+LEDGER_FILE = "ledger.ndjson"
+INSIGHT_FILE = "insight.json"
+
+#: first line of ledger.ndjson; bump on layout changes
+LEDGER_SCHEMA = "repro.insight.ledger/1"
 
 _MAIN_PID = 1       # wall-clock span track
 _SIM_PID = 2        # simulated-time event track
 _MAIN_THREAD = 0    # tid for spans recorded by the parent process
 
 
-def _percentile(values: List[float], q: float) -> float:
-    """Nearest-rank percentile on a sorted copy (no numpy dependency)."""
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile on a sorted copy (no numpy dependency).
+
+    Empty input reads 0.0; a singleton reads its only element for any
+    ``q`` — the shared implementation behind the CLI summary and the
+    metrics table.
+    """
     if not values:
         return 0.0
     ordered = sorted(values)
@@ -86,14 +106,19 @@ def to_jsonl(record: TelemetryRecord) -> str:
 # Chrome trace_event
 # --------------------------------------------------------------------------- #
 
-def to_chrome_trace(record: TelemetryRecord) -> Dict[str, Any]:
+def to_chrome_trace(
+    record: TelemetryRecord, insight: Optional[InsightRecord] = None
+) -> Dict[str, Any]:
     """Build a Chrome ``trace_event`` document.
 
     Spans become complete ("X") events in microseconds relative to the
     run epoch, one tid per worker; counters become a single "C" sample;
     sim-time events become instants ("i") on a dedicated pid whose
     timestamp is ``sim_time * 1e6`` (so 1 trace-second == 1 simulated
-    second when viewed).
+    second when viewed).  With an :class:`InsightRecord`, per-node tier
+    occupancy / stall / temperature series become Perfetto counter
+    tracks ("C") on the sim pid, timestamp-sorted so each track is
+    monotonic even after fork-merge interleaves cell clocks.
     """
     events: List[Dict[str, Any]] = []
     tids = {"": _MAIN_THREAD}
@@ -173,11 +198,68 @@ def to_chrome_trace(record: TelemetryRecord) -> Dict[str, Any]:
             }
         )
 
+    if insight is not None:
+        events.extend(_insight_counter_tracks(insight))
+
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {"run_id": record.run_id, **{str(k): str(v) for k, v in record.meta.items()}},
     }
+
+
+def _insight_counter_tracks(insight: InsightRecord) -> List[Dict[str, Any]]:
+    """Tier time-series as Perfetto counter tracks on the sim pid.
+
+    Samples are sorted by timestamp per node before emission: a merged
+    ``jobs=N`` record interleaves cell-local sim clocks, and Perfetto's
+    counter renderer (and :func:`validate_chrome_trace`) require each
+    track's timestamps to be non-decreasing.
+    """
+    out: List[Dict[str, Any]] = []
+    for node in sorted(insight.series):
+        s = insight.series[node]
+        ts = s["t"]
+        order = sorted(range(len(ts)), key=lambda i: float(ts[i]))
+        for i in order:
+            t_us = float(ts[i]) * 1e6
+            out.append(
+                {
+                    "name": f"tier.occupancy.{node}",
+                    "ph": "C",
+                    "pid": _SIM_PID,
+                    "tid": 0,
+                    "ts": t_us,
+                    "args": {
+                        label: float(s["occupancy"][i][t])
+                        for t, label in enumerate(TIER_LABELS)
+                    },
+                }
+            )
+            out.append(
+                {
+                    "name": f"tier.stall.{node}",
+                    "ph": "C",
+                    "pid": _SIM_PID,
+                    "tid": 0,
+                    "ts": t_us,
+                    "args": {"stall": float(s["stall"][i])},
+                }
+            )
+            out.append(
+                {
+                    "name": f"tier.temp.{node}",
+                    "ph": "C",
+                    "pid": _SIM_PID,
+                    "tid": 0,
+                    "ts": t_us,
+                    "args": {
+                        f"p{int(q * 100)}": float(s["temp_q"][i][j])
+                        for j, q in enumerate(TEMP_QUANTILES)
+                    },
+                }
+            )
+    return out
 
 
 _REQUIRED_BY_PHASE = {
@@ -192,7 +274,12 @@ _REQUIRED_BY_PHASE = {
 
 def validate_chrome_trace(doc: Any) -> List[str]:
     """Structural validation against the trace_event format; returns a
-    list of problems (empty == valid).  Used by the CI smoke job."""
+    list of problems (empty == valid).  Used by the CI smoke job.
+
+    Counter ("C") tracks get the checks Perfetto's counter renderer
+    relies on: a non-empty ``args`` object of numeric samples, and
+    non-decreasing timestamps per ``(pid, tid, name)`` track.
+    """
     problems: List[str] = []
     if not isinstance(doc, dict):
         return ["top level is not an object"]
@@ -201,6 +288,7 @@ def validate_chrome_trace(doc: Any) -> List[str]:
         return ["traceEvents missing or not a list"]
     if not events:
         problems.append("traceEvents is empty")
+    counter_clock: Dict[tuple, float] = {}
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             problems.append(f"event[{i}] is not an object")
@@ -216,6 +304,26 @@ def validate_chrome_trace(doc: Any) -> List[str]:
             problems.append(f"event[{i}] ts is not numeric")
         if ph == "X" and isinstance(ev.get("dur"), (int, float)) and ev["dur"] < 0:
             problems.append(f"event[{i}] has negative dur")
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"event[{i}] (C) args is not a non-empty object")
+            else:
+                for key, value in args.items():
+                    if not isinstance(value, (int, float)) or isinstance(value, bool):
+                        problems.append(
+                            f"event[{i}] (C) sample {key!r} is not numeric"
+                        )
+            ts = ev.get("ts")
+            if isinstance(ts, (int, float)):
+                track = (ev.get("pid"), ev.get("tid"), ev.get("name"))
+                last = counter_clock.get(track)
+                if last is not None and ts < last:
+                    problems.append(
+                        f"event[{i}] (C) non-monotonic ts on track {track[2]!r}: "
+                        f"{ts} after {last}"
+                    )
+                counter_clock[track] = float(ts)
     return problems
 
 
@@ -223,7 +331,7 @@ def validate_chrome_trace(doc: Any) -> List[str]:
 # flat metrics table
 # --------------------------------------------------------------------------- #
 
-def metrics_table(record: TelemetryRecord) -> str:
+def metrics_table(record: TelemetryRecord, insight: Optional[InsightRecord] = None) -> str:
     rows = ["kind,name,labels,value"]
 
     def fmt(kind: str, key: str, value: float) -> str:
@@ -239,16 +347,82 @@ def metrics_table(record: TelemetryRecord) -> str:
         values = record.histograms[name]
         rows.append(fmt("histogram_count", name, float(len(values))))
         for q in (50, 95, 99):
-            rows.append(fmt(f"histogram_p{q}", name, _percentile(values, q)))
+            rows.append(fmt(f"histogram_p{q}", name, percentile(values, q)))
+    if insight is not None:
+        rows.extend(_insight_rows(insight, fmt))
     return "\n".join(rows) + "\n"
+
+
+def _insight_rows(insight: InsightRecord, fmt) -> List[str]:
+    """Migration-ledger totals and tier time-series summaries as metric
+    rows (the ``metrics.csv`` face of the introspection plane)."""
+    rows: List[str] = []
+    for (kind, cause, src, dst) in sorted(insight.totals):
+        n, chunks, nbytes = insight.totals[(kind, cause, src, dst)]
+        key = (
+            f"insight.ledger{{cause={cause},dst={tier_label(dst)},"
+            f"kind={kind},src={tier_label(src)}}}"
+        )
+        rows.append(fmt("ledger_entries", key, float(n)))
+        rows.append(fmt("ledger_chunks", key, float(chunks)))
+        rows.append(fmt("ledger_bytes", key, float(nbytes)))
+    for node in sorted(insight.series):
+        s = insight.series[node]
+        count = len(s["t"])
+        rows.append(fmt("series_count", f"insight.samples{{node={node}}}", float(count)))
+        if not count:
+            continue
+        occ = s["occupancy"]
+        stall = s["stall"]
+        for t, label in enumerate(TIER_LABELS):
+            rows.append(
+                fmt(
+                    "series_last",
+                    f"insight.tier_occupancy_bytes{{node={node},tier={label}}}",
+                    float(occ[-1][t]),
+                )
+            )
+        rows.append(fmt("series_last", f"insight.stall{{node={node}}}", float(stall[-1])))
+        rows.append(
+            fmt("series_max", f"insight.stall{{node={node}}}", float(max(stall)))
+        )
+    return rows
 
 
 # --------------------------------------------------------------------------- #
 # run directory
 # --------------------------------------------------------------------------- #
 
-def write_run_dir(record: TelemetryRecord, out_dir: str) -> Dict[str, str]:
-    """Write all four exports under ``out_dir``; returns name -> path."""
+def ledger_ndjson(insight: InsightRecord) -> str:
+    """The migration ledger as NDJSON: a schema header line (entry
+    layout, drop count, drop-proof totals), then one line per entry."""
+    header = {
+        "schema": LEDGER_SCHEMA,
+        "fields": list(entry_dict(tuple([0.0, "", "", "", "", -1, -1, 0, 0])).keys()),
+        "entries": len(insight.entries),
+        "dropped": insight.dropped,
+        "totals": {
+            f"{kind}|{cause}|{tier_label(src)}|{tier_label(dst)}": list(v)
+            for (kind, cause, src, dst), v in sorted(insight.totals.items())
+        },
+    }
+    lines = [json.dumps(header, sort_keys=True)]
+    for entry in insight.entries:
+        lines.append(json.dumps(entry_dict(entry), sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+def write_run_dir(
+    record: TelemetryRecord,
+    out_dir: str,
+    insight: Optional[InsightRecord] = None,
+) -> Dict[str, str]:
+    """Write all exports under ``out_dir``; returns name -> path.
+
+    With an :class:`InsightRecord` the directory additionally gains
+    ``ledger.ndjson`` and ``insight.json``, the trace gains counter
+    tracks, and the metrics table gains ledger/series rows.
+    """
     os.makedirs(out_dir, exist_ok=True)
     paths = {}
     run_path = os.path.join(out_dir, RUN_FILE)
@@ -261,12 +435,21 @@ def write_run_dir(record: TelemetryRecord, out_dir: str) -> Dict[str, str]:
     paths["events"] = events_path
     trace_path = os.path.join(out_dir, TRACE_FILE)
     with open(trace_path, "w") as fh:
-        json.dump(to_chrome_trace(record), fh, default=str)
+        json.dump(to_chrome_trace(record, insight), fh, default=str)
     paths["trace"] = trace_path
     metrics_path = os.path.join(out_dir, METRICS_FILE)
     with open(metrics_path, "w") as fh:
-        fh.write(metrics_table(record))
+        fh.write(metrics_table(record, insight))
     paths["metrics"] = metrics_path
+    if insight is not None:
+        ledger_path = os.path.join(out_dir, LEDGER_FILE)
+        with open(ledger_path, "w") as fh:
+            fh.write(ledger_ndjson(insight))
+        paths["ledger"] = ledger_path
+        insight_path = os.path.join(out_dir, INSIGHT_FILE)
+        with open(insight_path, "w") as fh:
+            json.dump(insight.to_dict(), fh, default=str)
+        paths["insight"] = insight_path
     return paths
 
 
@@ -278,6 +461,16 @@ def load_run_dir(run_dir: str) -> TelemetryRecord:
         return TelemetryRecord.from_dict(json.load(fh))
 
 
+def load_insight_record(run_dir: str) -> Optional[InsightRecord]:
+    """The run directory's insight record, or ``None`` when the run was
+    recorded without the introspection plane."""
+    path = os.path.join(run_dir, INSIGHT_FILE)
+    if not os.path.exists(path):
+        return None
+    with open(path) as fh:
+        return InsightRecord.from_dict(json.load(fh))
+
+
 def find_run_dirs(root: str) -> List[str]:
     """All directories under ``root`` (inclusive) containing a run.json."""
     found: List[str] = []
@@ -287,6 +480,3 @@ def find_run_dirs(root: str) -> List[str]:
     return sorted(found)
 
 
-def percentile(values: List[float], q: float) -> float:
-    """Public alias used by the CLI summary."""
-    return _percentile(values, q)

@@ -19,6 +19,7 @@ import os
 from typing import Any, Callable, Optional, Sequence, TypeVar
 
 from .. import obs
+from ..obs import insight as _insight
 from ..util.validation import require
 
 __all__ = ["available_parallelism", "map_ordered", "resolve_jobs", "supports_fork"]
@@ -30,14 +31,17 @@ _IN_WORKER = False
 
 
 class _Telemetered:
-    """Wrapper a pool worker returns when telemetry is active: the real
-    result plus the worker's telemetry snapshot for the parent to merge."""
+    """Wrapper a pool worker returns when telemetry (or the insight
+    plane) is active: the real result plus the worker's snapshots for
+    the parent to merge.  ``record`` is the telemetry snapshot (or
+    ``None``), ``insight`` the insight snapshot (or ``None``)."""
 
-    __slots__ = ("result", "record")
+    __slots__ = ("result", "record", "insight")
 
-    def __init__(self, result: Any, record: Any) -> None:
+    def __init__(self, result: Any, record: Any, insight: Any = None) -> None:
         self.result = result
         self.record = record
+        self.insight = insight
 
 
 def available_parallelism() -> int:
@@ -69,11 +73,20 @@ def _call(fn: Callable[[Any], _T], item: Any) -> Any:
     # so swap in a fresh child context and ship its snapshot back with
     # the result for the parent to merge.
     worker_tel = obs.worker_telemetry()
-    if worker_tel is None:
+    worker_ins = _insight.worker_insight()
+    if worker_tel is None and worker_ins is None:
         return fn(item)
-    with obs.session(worker_tel):
+    if worker_tel is None:
+        with _insight.session(worker_ins):
+            result = fn(item)
+        return _Telemetered(result, None, worker_ins.snapshot())
+    if worker_ins is None:
+        with obs.session(worker_tel):
+            result = fn(item)
+        return _Telemetered(result, worker_tel.snapshot())
+    with obs.session(worker_tel), _insight.session(worker_ins):
         result = fn(item)
-    return _Telemetered(result, worker_tel.snapshot())
+    return _Telemetered(result, worker_tel.snapshot(), worker_ins.snapshot())
 
 
 def _map_dispatch(fn: Callable[[Any], _T], items: "list[Any]", jobs: Optional[int]) -> list[_T]:
@@ -96,10 +109,14 @@ def _map_dispatch(fn: Callable[[Any], _T], items: "list[Any]", jobs: Optional[in
     finally:
         pool.join()
     tel = obs.active()
+    ins = _insight.active()
     results: list[_T] = []
     for entry in raw:
         if isinstance(entry, _Telemetered):
-            tel.merge(entry.record)
+            if entry.record is not None:
+                tel.merge(entry.record)
+            if entry.insight is not None:
+                ins.merge(entry.insight)
             results.append(entry.result)
         else:
             results.append(entry)

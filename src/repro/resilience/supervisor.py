@@ -51,6 +51,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..obs import insight as _insight
 from ..parallel import executor as _px
 from ..util.validation import require
 from .journal import RunJournal
@@ -112,12 +113,23 @@ def _worker_loop(worker_id: int, task_q: Any, result_conn: Any, fn: Callable[[An
         idx, attempt, item = msg
         try:
             worker_tel = obs.worker_telemetry()
-            if worker_tel is None:
+            worker_ins = _insight.worker_insight()
+            if worker_tel is None and worker_ins is None:
                 payload: Any = fn(item)
-            else:
+            elif worker_tel is None:
+                with _insight.session(worker_ins):
+                    value = fn(item)
+                payload = _px._Telemetered(value, None, worker_ins.snapshot())
+            elif worker_ins is None:
                 with obs.session(worker_tel):
                     value = fn(item)
                 payload = _px._Telemetered(value, worker_tel.snapshot())
+            else:
+                with obs.session(worker_tel), _insight.session(worker_ins):
+                    value = fn(item)
+                payload = _px._Telemetered(
+                    value, worker_tel.snapshot(), worker_ins.snapshot()
+                )
         except BaseException as exc:  # noqa: BLE001 - report, don't die
             _send_safe(
                 result_conn,
@@ -286,7 +298,10 @@ class _Supervisor:
         if self.done[idx] or idx in self.failures:
             return  # stale report for an already-settled cell
         if isinstance(payload, _px._Telemetered):
-            obs.active().merge(payload.record)
+            if payload.record is not None:
+                obs.active().merge(payload.record)
+            if payload.insight is not None:
+                _insight.active().merge(payload.insight)
             payload = payload.result
         self.results[idx] = payload
         self.done[idx] = True

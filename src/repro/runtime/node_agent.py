@@ -55,6 +55,9 @@ class NodeAgent:
         check_positive(cores, "cores")
         self.engine = engine
         self.memory = memory
+        # the migration ledger stamps entries with sim-time; a bare
+        # NodeMemorySystem defaults to t=0 until an agent adopts it
+        memory.now = lambda: engine.now
         self.policy = policy
         self.metrics = metrics
         #: optional :class:`repro.sim.trace.Tracer` for structured events

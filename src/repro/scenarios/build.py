@@ -189,12 +189,14 @@ class RealizedScenario:
         self.env.stop()
         return metrics
 
-    def serve(self) -> ServiceReport:
+    def serve(self, *, live: Optional[str] = None) -> ServiceReport:
         """Drive the scenario as an open-loop service and stop.
 
         The scenario's workload (if any) becomes the *background*: its
         tasks are submitted at their batch/arrival times while the
-        service stream arrives on top.
+        service stream arrives on top.  ``live`` names a directory for
+        the streaming window metrics (``live.ndjson`` + ``metrics.prom``;
+        see :class:`~repro.obs.insight.LiveMetricsWriter`).
         """
         require(
             self.spec.service is not None,
@@ -209,6 +211,7 @@ class RealizedScenario:
             background=self.tasks,
             bg_arrivals=self.arrivals,
             max_time=self.spec.max_time,
+            live=live,
         )
         self.env.stop()
         return report
@@ -275,16 +278,17 @@ class ScenarioOutcome:
         return 0.0
 
 
-def run_service(spec: ScenarioSpec) -> ServiceReport:
+def run_service(spec: ScenarioSpec, *, live: Optional[str] = None) -> ServiceReport:
     """Realize and serve one service scenario (the service CLI's work unit).
 
     Hermetic and picklable, like :func:`run_scenario`: safe as a sweep
     cell in any worker process, and the returned
     :class:`~repro.service.metrics.ServiceReport` rides the result-cache
-    codec unchanged.
+    codec unchanged.  ``live`` streams window metrics to a directory
+    (``scenarios serve --live``).
     """
     require(spec.service is not None, f"scenario {spec.name!r} has no service section")
-    return realize(spec).serve()
+    return realize(spec).serve(live=live)
 
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:

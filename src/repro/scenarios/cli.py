@@ -60,8 +60,21 @@ def _run_one(spec: ScenarioSpec) -> ScenarioOutcome:
     return run_scenario(spec)
 
 
-def _serve_one(spec: ScenarioSpec) -> ServiceReport:
-    return run_service(spec)
+def _serve_one(
+    spec: ScenarioSpec,
+    live_root: Optional[str] = None,
+    live_solo: bool = True,
+) -> ServiceReport:
+    live = None
+    if live_root is not None:
+        # one spec streams straight into the directory; a family fans out
+        # into per-member subdirectories so streams don't clobber each other
+        live = (
+            live_root
+            if live_solo
+            else str(Path(live_root) / spec.name.replace("/", "__"))
+        )
+    return run_service(spec, live=live)
 
 
 def _scenario_cell_key(spec: ScenarioSpec):
@@ -92,8 +105,10 @@ def _service_cell_key(spec: ScenarioSpec):
 
 def _cmd_run(args: argparse.Namespace) -> int:
     import contextlib
+    import functools
 
     from .. import obs
+    from ..obs import insight as _insight
     from ..resilience import (
         InvariantChecker,
         RetryPolicy,
@@ -105,6 +120,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
 
     service_mode = bool(getattr(args, "service", False))
+    live_root = getattr(args, "live", None)
+    if live_root and not service_mode:
+        raise SystemExit("--live needs service mode (serve, or run --service)")
     specs = _resolve(args.ref)
     if service_mode:
         missing = [s.name for s in specs if s.service is None]
@@ -113,6 +131,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"error: not service scenarios (no [service] section): {missing}"
             )
         cell_fn, cell_key = _serve_one, _service_cell_key
+        if live_root:
+            cell_fn = functools.partial(
+                _serve_one, live_root=live_root, live_solo=len(specs) == 1
+            )
     else:
         cell_fn, cell_key = _run_one, _scenario_cell_key
     keys = [spec.name for spec in specs]
@@ -128,8 +150,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.telemetry
         else obs.NULL
     )
+    # the insight plane (ledger + tier series) rides along whenever the
+    # run records telemetry or streams live windows
+    ins = (
+        _insight.Insight(f"scenarios/{args.ref}", {"jobs": args.jobs})
+        if (args.telemetry or live_root)
+        else _insight.NULL
+    )
     with contextlib.ExitStack() as stack:
         stack.enter_context(obs.session(telemetry))
+        stack.enter_context(_insight.session(ins))
         if args.check_invariants:
             stack.enter_context(_invariants.session(InvariantChecker()))
         journal = None
@@ -196,14 +226,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         for out in outcomes:
             print(f"  {out.scenario}: digest={out.digest[:12]} seed={out.seed}")
+    if live_root:
+        _print_live_tail(live_root, specs)
     if args.telemetry:
-        paths = obs.write_run_dir(telemetry.snapshot(), args.telemetry)
+        paths = obs.write_run_dir(
+            telemetry.snapshot(), args.telemetry, ins.snapshot()
+        )
         print(f"telemetry: {paths['run']} (trace: {paths['trace']})")
+        if "ledger" in paths:
+            print(f"insight: {paths['ledger']} (record: {paths['insight']})")
     if sup.failures:
         print(failure_table(sup.failures))
         print(f"error: {len(sup.failures)} scenario(s) quarantined")
         return 1
     return 0
+
+
+def _print_live_tail(live_root: str, specs: Sequence[ScenarioSpec]) -> None:
+    """After a ``--live`` run, echo where each stream landed and render its
+    last windows (the same view ``obs tail`` gives while the run is hot)."""
+    import json
+
+    from ..obs import insight as _insight
+
+    dirs = (
+        [(specs[0].name, Path(live_root))]
+        if len(specs) == 1
+        else [(s.name, Path(live_root) / s.name.replace("/", "__")) for s in specs]
+    )
+    for name, directory in dirs:
+        path = directory / _insight.LIVE_FILE
+        if not path.is_file():
+            continue
+        lines = [ln for ln in path.read_text(encoding="utf-8").splitlines() if ln]
+        print(f"live: {name} -> {directory} ({len(lines)} windows)")
+        for ln in lines[-3:]:
+            print(_insight.format_live_window(json.loads(ln)))
 
 
 def _print_service_reports(
@@ -299,6 +357,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         p.add_argument(
             "--check-invariants", action="store_true",
             help="assert runtime conservation invariants during the run",
+        )
+        p.add_argument(
+            "--live", metavar="DIR", default=None,
+            help="service mode only: stream per-window metrics under DIR "
+                 "(live.ndjson + metrics.prom, with tier occupancy/stall when "
+                 "the insight plane is on; view with 'obs tail DIR'). "
+                 "Cached cells do not stream — add --no-cache for a full feed",
         )
 
     p_run = sub.add_parser("run", help="run a family, member, or spec file")

@@ -26,6 +26,8 @@ from typing import Iterator, Optional, Sequence, Tuple
 
 from .. import obs
 from ..envs.environments import Environment
+from ..obs import insight as _insight
+from ..obs.insight import LiveMetricsWriter, live_window_payload
 from ..sim.process import ReportPeriod
 from ..util.errors import SchedulingError
 from ..util.validation import require
@@ -58,6 +60,12 @@ class ServiceRun:
     background:
         Tasks submitted outside the stream (long-running colocated
         jobs); ``bg_arrivals`` optionally delays them.
+    live:
+        Optional :class:`~repro.obs.insight.LiveMetricsWriter` (or a
+        directory path): every closed window appends one NDJSON line and
+        rewrites a Prometheus-text snapshot, with per-node tier
+        occupancy / stall blocks when the insight plane is active —
+        what ``scenarios serve --live`` and ``obs tail`` consume.
     """
 
     def __init__(
@@ -71,6 +79,7 @@ class ServiceRun:
         background: Sequence[TaskSpec] = (),
         bg_arrivals: Optional[Sequence[float]] = None,
         max_time: float = 1e9,
+        live: "LiveMetricsWriter | str | None" = None,
     ) -> None:
         if bg_arrivals is not None:
             require(len(bg_arrivals) == len(background),
@@ -96,6 +105,7 @@ class ServiceRun:
         self._generated_all = False
         self._submitted: "set[str]" = set()
         self.report: Optional[ServiceReport] = None
+        self.live = LiveMetricsWriter(live) if isinstance(live, str) else live
 
     # ------------------------------------------------------------------ #
     # arrival handling
@@ -135,8 +145,10 @@ class ServiceRun:
     def _on_window(self, index: int, start: float, end: float) -> None:
         acc = self.accumulator
         acc.on_boundary(self.scheduler.pending_count, self.scheduler.running_count)
+        if not (obs.enabled() or self.live is not None):
+            return
+        closed = acc._live[index]
         if obs.enabled():
-            closed = acc._live[index]
             obs.event(
                 end, "service", "window",
                 index=index,
@@ -145,6 +157,18 @@ class ServiceRun:
                 rejected=closed.rejected,
                 queue=closed.queue_depth,
                 running=closed.running,
+            )
+        if self.live is not None:
+            self.live.write_window(
+                live_window_payload(
+                    index, start, end,
+                    offered=closed.arrivals,
+                    admitted=closed.admitted,
+                    rejected=closed.rejected,
+                    queue=closed.queue_depth,
+                    running=closed.running,
+                    view=_insight.view(),
+                )
             )
 
     # ------------------------------------------------------------------ #
@@ -236,6 +260,7 @@ def serve(
     background: Sequence[TaskSpec] = (),
     bg_arrivals: Optional[Sequence[float]] = None,
     max_time: float = 1e9,
+    live: "LiveMetricsWriter | str | None" = None,
 ) -> ServiceReport:
     """One-call form: build a :class:`ServiceRun`, execute it, return the
     report (the environment is *not* stopped — callers owning telemetry
@@ -249,4 +274,5 @@ def serve(
         background=background,
         bg_arrivals=bg_arrivals,
         max_time=max_time,
+        live=live,
     ).execute()

@@ -386,3 +386,146 @@ class TestLatencyPercentiles:
         )
         assert out.percentile("execution_time", 95) == 2.0
         assert out.percentile("queue_wait", 50) == 0.0  # pre-1.4 outcomes
+
+
+# --------------------------------------------------------------------------- #
+# nearest-rank percentile helper (shared by exporters and the CLI)
+# --------------------------------------------------------------------------- #
+
+class TestPercentileHelper:
+    def test_empty_is_zero(self):
+        from repro.obs.exporters import percentile
+
+        assert percentile([], 50) == 0.0
+        assert percentile([], 99) == 0.0
+
+    def test_singleton_is_the_value(self):
+        from repro.obs.exporters import percentile
+
+        assert percentile([7.5], 0) == 7.5
+        assert percentile([7.5], 50) == 7.5
+        assert percentile([7.5], 100) == 7.5
+
+    def test_nearest_rank(self):
+        from repro.obs.exporters import percentile
+
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]  # sorts before ranking
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 50) == 3.0
+        assert percentile(values, 75) == 4.0
+        assert percentile(values, 100) == 5.0
+
+
+# --------------------------------------------------------------------------- #
+# insight plane: exporters, counter tracks, and fork-merge parity
+# --------------------------------------------------------------------------- #
+
+def _insight_record():
+    import numpy as np
+    from repro.obs import insight as _insight
+
+    ins = _insight.Insight("obs-insight")
+    for i in range(4):
+        with ins.cause("reactive"):
+            ins.migration(float(i), "n0", f"t{i}", 2, 0, 1, 4096)
+        ins.sample(
+            float(i), "n0",
+            np.array([100 + i, 50, 25, 0], dtype=np.int64),
+            np.array([900 - i, 950, 975, 1000], dtype=np.int64),
+            0.1 * i, [0.1, 0.5, 0.9],
+        )
+    return ins
+
+
+class TestInsightExport:
+    def test_run_dir_includes_insight_artifacts(self, tmp_path):
+        from repro.obs.exporters import load_insight_record
+
+        ins = _insight_record()
+        paths = write_run_dir(_sample_record(), str(tmp_path), ins.snapshot())
+        assert "ledger" in paths and "insight" in paths
+        lines = [l for l in open(paths["ledger"]) if l.strip()]
+        header = json.loads(lines[0])
+        assert header["entries"] == 4 == len(lines) - 1
+        back = load_insight_record(str(tmp_path))
+        assert back == ins.snapshot()
+
+    def test_counter_tracks_are_valid_and_monotonic(self):
+        doc = obs.to_chrome_trace(_sample_record(), _insight_record().snapshot())
+        assert obs.validate_chrome_trace(doc) == []
+        counters = [ev for ev in doc["traceEvents"] if ev["ph"] == "C"]
+        names = {ev["name"] for ev in counters}
+        assert {"tier.occupancy.n0", "tier.stall.n0", "tier.temp.n0"} <= names
+
+    def test_validator_rejects_non_monotonic_counters(self):
+        doc = obs.to_chrome_trace(_sample_record(), _insight_record().snapshot())
+        counters = [ev for ev in doc["traceEvents"] if ev["ph"] == "C"]
+        counters[-1]["ts"] = -1.0  # out of order within its track
+        problems = obs.validate_chrome_trace(doc)
+        assert any("monotonic" in p for p in problems)
+
+    def test_validator_rejects_malformed_counter_args(self):
+        doc = obs.to_chrome_trace(_sample_record(), _insight_record().snapshot())
+        counters = [ev for ev in doc["traceEvents"] if ev["ph"] == "C"]
+        counters[0]["args"] = {}
+        counters[1]["args"] = {"v": "not-a-number"}
+        problems = obs.validate_chrome_trace(doc)
+        assert any("non-empty object" in p for p in problems)
+        assert any("not numeric" in p for p in problems)
+
+    def test_metrics_table_gains_insight_rows(self):
+        from repro.obs.exporters import metrics_table
+
+        csv = metrics_table(_sample_record(), _insight_record().snapshot())
+        kinds = {line.split(",", 1)[0] for line in csv.splitlines()[1:]}
+        assert {"ledger_entries", "ledger_bytes", "series_count"} <= kinds
+
+
+def _insight_cell(i):
+    """Top-level so the pool can pickle it; one migration + one sample."""
+    import numpy as np
+    from repro.obs import insight as _insight
+
+    ins = _insight.active()
+    with _insight.cause("reactive"):
+        ins.migration(float(i), f"n{i % 2}", f"t{i}", 2, 0, 1, 1024)
+    ins.sample(
+        float(i), f"n{i % 2}",
+        np.array([i, 0, 0, 0], dtype=np.int64),
+        np.array([100, 100, 100, 100], dtype=np.int64),
+        0.0, [0.1, 0.5, 0.9],
+    )
+    return i * i
+
+
+def _run_insight_sweep(jobs):
+    from repro.obs import insight as _insight
+
+    ins = _insight.Insight("sweep-insight")
+    with _insight.session(ins):
+        results = map_ordered(_insight_cell, list(range(8)), jobs=jobs)
+    return results, ins.snapshot()
+
+
+@pytest.mark.skipif(not supports_fork(), reason="no fork on this platform")
+class TestInsightMergeUnderFork:
+    def test_forked_sweep_matches_sequential(self):
+        seq_results, seq = _run_insight_sweep(jobs=1)
+        par_results, par = _run_insight_sweep(jobs=3)
+        assert par_results == seq_results == [i * i for i in range(8)]
+        assert par.totals == seq.totals
+        assert par.entries == seq.entries  # merged in input order
+        assert sorted(par.series) == sorted(seq.series) == ["n0", "n1"]
+        for node in seq.series:
+            for name, arr in seq.series[node].items():
+                import numpy as np
+
+                assert np.array_equal(par.series[node][name], arr)
+        assert par.samples_seen == seq.samples_seen
+        assert par.workers and not seq.workers
+
+    def test_disabled_sweep_returns_bare_results(self):
+        from repro.obs import insight as _insight
+
+        assert not _insight.enabled()
+        assert map_ordered(_insight_cell, [1, 2, 3], jobs=2) == [1, 4, 9]
